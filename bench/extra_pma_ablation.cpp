@@ -1,0 +1,86 @@
+// Extra ablations beyond the paper's tables (DESIGN.md §4 "extras"):
+//   1. VCSR degree-weighted gap layout vs classic even PMA layout — the
+//      design choice DGAP inherits from VCSR [24] over PCSR [66];
+//   2. PMA segment-size sweep (section granularity trades lock/merge
+//      overhead against rebalance width);
+//   3. per-thread undo-log size sweep (chunk granularity of crash-safe
+//      moves).
+#include <iostream>
+
+#include "src/bench_common/harness.hpp"
+#include "src/common/table.hpp"
+#include "src/core/dgap_store.hpp"
+#include "src/graph/datasets.hpp"
+
+using namespace dgap;
+using namespace dgap::bench;
+
+namespace {
+
+struct RunOut {
+  double seconds;
+  std::uint64_t rebalances;
+};
+
+RunOut run(const EdgeStream& stream, std::uint64_t pool_mb,
+           const core::DgapOptions& base) {
+  auto pool = fresh_pool(pool_mb);
+  auto store = core::DgapStore::create(*pool, base);
+  Timer t;
+  for (const Edge& e : stream.edges()) store->insert_edge(e.src, e.dst);
+  return {t.seconds(), store->stats().rebalances};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchConfig cfg =
+      parse_common(cli, /*default_scale=*/0.1, {"orkut"});
+  configure_latency(cfg.latency);
+  print_banner("Extra ablations: layout strategy, segment size, ULOG size",
+               cfg);
+  EdgeStream stream = load_dataset(cfg.datasets[0], cfg.scale);
+
+  core::DgapOptions base;
+  base.init_vertices = stream.num_vertices();
+  base.init_edges = stream.num_edges();
+
+  {
+    std::cout << "\n--- gap layout strategy ---\n";
+    TablePrinter t({"Layout", "InsertTime(s)", "Rebalances"});
+    for (const bool weighted : {true, false}) {
+      core::DgapOptions o = base;
+      o.vcsr_weighted_gaps = weighted;
+      const RunOut r = run(stream, cfg.pool_mb, o);
+      t.add_row({weighted ? "VCSR-weighted" : "even(PCSR)",
+                 TablePrinter::fmt(r.seconds, 3),
+                 std::to_string(r.rebalances)});
+    }
+    t.print(std::cout);
+  }
+  {
+    std::cout << "\n--- segment size (slots per section) ---\n";
+    TablePrinter t({"SegmentSlots", "InsertTime(s)", "Rebalances"});
+    for (const std::uint64_t slots : {128u, 256u, 512u, 1024u, 2048u}) {
+      core::DgapOptions o = base;
+      o.segment_slots = slots;
+      const RunOut r = run(stream, cfg.pool_mb, o);
+      t.add_row({std::to_string(slots), TablePrinter::fmt(r.seconds, 3),
+                 std::to_string(r.rebalances)});
+    }
+    t.print(std::cout);
+  }
+  {
+    std::cout << "\n--- undo log size (bytes) ---\n";
+    TablePrinter t({"ULOG_SZ", "InsertTime(s)"});
+    for (const std::uint32_t sz : {512u, 1024u, 2048u, 4096u, 8192u}) {
+      core::DgapOptions o = base;
+      o.ulog_bytes = sz;
+      const RunOut r = run(stream, cfg.pool_mb, o);
+      t.add_row({std::to_string(sz), TablePrinter::fmt(r.seconds, 3)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 5: XPGraph insertion throughput (MEPS) as a function of its
+// archiving threshold, swept 2^1 .. 2^16.
+//
+// Expected shape: throughput rises steeply with the threshold and
+// saturates — archiving cost amortizes over bigger batches. The paper picks
+// 2^10 as the comparison point.
+#include <iostream>
+
+#include "src/baselines/xpgraph_store.hpp"
+#include "src/bench_common/harness.hpp"
+#include "src/common/table.hpp"
+#include "src/graph/datasets.hpp"
+
+using namespace dgap;
+using namespace dgap::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchConfig cfg =
+      parse_common(cli, /*default_scale=*/0.2, {"livejournal"});
+  configure_latency(cfg.latency);
+  print_banner("Figure 5: XPGraph insert MEPS vs archiving threshold", cfg);
+
+  EdgeStream stream = load_dataset(cfg.datasets[0], cfg.scale);
+  TablePrinter table({"Threshold", "MEPS"});
+  for (int log2t = 1; log2t <= 16; ++log2t) {
+    auto pool = fresh_pool(cfg.pool_mb);
+    baselines::XpGraphStore::Options o;
+    o.init_vertices = stream.num_vertices();
+    o.archive_threshold = 1ull << log2t;
+    // Keep the log under constant pressure so the threshold is what is
+    // actually measured (otherwise a roomy log never archives at all).
+    o.log_capacity_edges =
+        std::max<std::uint64_t>(stream.num_edges() / 16, 1 << 14);
+    auto store = baselines::XpGraphStore::create(*pool, o);
+    const InsertResult r = time_inserts(
+        stream, [&](NodeId u, NodeId v) { store->insert_edge(u, v); });
+    table.add_row({"2^" + std::to_string(log2t),
+                   TablePrinter::fmt(r.meps)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 6: dynamic graph insertion throughput (MEPS), single writer
+// thread, all five dynamic systems across the six paper graphs.
+//
+// Method (paper §4.1/§4.2): shuffled edge stream, first 10% inserted as
+// warm-up, remaining 90% timed. Higher is better. Expected shape: DGAP best
+// or near-best everywhere; GraphOne-FD slowest on big graphs; LLAMA hurt by
+// snapshot conversion cost; XPGraph close to DGAP.
+#include <iostream>
+
+#include "src/bench_common/harness.hpp"
+#include "src/common/table.hpp"
+#include "src/graph/datasets.hpp"
+
+using namespace dgap;
+using namespace dgap::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchConfig cfg = parse_common(
+      cli, /*default_scale=*/0.2,
+      {"orkut", "livejournal", "citpatents", "twitter", "friendster",
+       "protein"});
+  configure_latency(cfg.latency);
+  print_banner("Figure 6: insertion throughput (MEPS), 1 writer thread",
+               cfg);
+
+  TablePrinter table(
+      {"Graph", "DGAP", "BAL", "LLAMA", "GraphOne-FD", "XPGraph"});
+  for (const auto& name : cfg.datasets) {
+    EdgeStream stream = load_dataset(name, cfg.scale);
+    std::vector<std::string> row = {name};
+    for (const auto& sys : kDynamicSystems) {
+      if (!cfg.only_system.empty() && sys != cfg.only_system) {
+        row.push_back("-");
+        continue;
+      }
+      auto pool = fresh_pool(cfg.pool_mb);
+      auto store = make_store(sys, *pool, stream.num_vertices(),
+                              stream.num_edges(), 1);
+      const InsertResult r = time_inserts(
+          stream, [&](NodeId u, NodeId v) { store->insert(u, v); });
+      row.push_back(TablePrinter::fmt(r.meps));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

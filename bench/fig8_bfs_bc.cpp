@@ -1,0 +1,61 @@
+// Figure 8: BFS and Betweenness Centrality runtime, normalized to CSR on
+// PM, single analysis thread.
+//
+// Expected shape (paper §4.3): unlike the whole-graph kernels, GraphOne-FD
+// and XPGraph *win* BFS (adjacency lists in DRAM fit its random vertex
+// access), DGAP stays within ~1.1-1.4x of CSR and far ahead of LLAMA; for
+// the heavier BC, DGAP catches back up to the DRAM-based systems.
+#include <iostream>
+
+#include "src/bench_common/harness.hpp"
+#include "src/common/table.hpp"
+#include "src/graph/datasets.hpp"
+
+using namespace dgap;
+using namespace dgap::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchConfig cfg = parse_common(
+      cli, /*default_scale=*/0.1,
+      {"orkut", "livejournal", "citpatents", "twitter", "friendster",
+       "protein"});
+  cfg.latency = cli.get_bool("latency", false);
+  configure_latency(cfg.latency);
+  print_banner(
+      "Figure 8: BFS and BC time normalized to CSR on PM (1 thread)", cfg);
+
+  for (const char* kernel : {"BFS", "BC"}) {
+    std::cout << "\n--- " << kernel << " ---\n";
+    TablePrinter table({"Graph", "CSR(s)", "DGAP", "BAL", "LLAMA",
+                        "GraphOne-FD", "XPGraph"});
+    for (const auto& name : cfg.datasets) {
+      EdgeStream stream = load_dataset(name, cfg.scale);
+      auto csr_pool = fresh_pool(cfg.pool_mb);
+      auto csr = make_csr(*csr_pool, stream);
+      const NodeId source = csr->pick_source();
+      const double base = std::string(kernel) == "BFS"
+                              ? csr->time_bfs(1, source)
+                              : csr->time_bc(1, source);
+      std::vector<std::string> row = {name, TablePrinter::fmt(base, 3)};
+      for (const auto& sys : kDynamicSystems) {
+        if (!cfg.only_system.empty() && sys != cfg.only_system) {
+          row.push_back("-");
+          continue;
+        }
+        auto pool = fresh_pool(cfg.pool_mb);
+        auto store = make_store(sys, *pool, stream.num_vertices(),
+                                stream.num_edges(), 1);
+        for (const Edge& e : stream.edges()) store->insert(e.src, e.dst);
+        store->finalize();
+        const double t = std::string(kernel) == "BFS"
+                             ? store->time_bfs(1, source)
+                             : store->time_bc(1, source);
+        row.push_back(TablePrinter::fmt(t / base));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// google-benchmark microbenchmarks for the PM substrate and PMA core: the
+// primitive costs underlying every table in the paper reproduction
+// (per-line flush, fence, allocator, transaction round-trip, PMA insert).
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/pma/pma_set.hpp"
+#include "src/pmem/alloc.hpp"
+#include "src/pmem/latency_model.hpp"
+#include "src/pmem/pool.hpp"
+#include "src/pmem/tx.hpp"
+
+namespace dgap {
+namespace {
+
+using pmem::PmemPool;
+
+void BM_PersistLine(benchmark::State& state) {
+  pmem::LatencyConfig lc;
+  lc.enabled = state.range(0) != 0;
+  pmem::latency_model().configure(lc);
+  auto pool = PmemPool::create({.path = "", .size = 16 << 20});
+  char* base = pool->at<char>(PmemPool::kHeaderSize);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    char* p = base + (i++ % 1024) * 64;
+    *reinterpret_cast<std::uint64_t*>(p) = i;
+    pool->persist(p, 8);
+  }
+  pmem::latency_model().configure(pmem::LatencyConfig{});
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PersistLine)->Arg(0)->Arg(1);
+
+void BM_PersistSequential4K(benchmark::State& state) {
+  auto pool = PmemPool::create({.path = "", .size = 64 << 20});
+  char* base = pool->at<char>(PmemPool::kHeaderSize);
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    pool->persist(base + off, 4096);
+    off = (off + 4096) % (32u << 20);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_PersistSequential4K);
+
+void BM_AllocatorAllocFree(benchmark::State& state) {
+  auto pool = PmemPool::create({.path = "", .size = 64 << 20});
+  auto& alloc = pool->allocator();
+  for (auto _ : state) {
+    const auto off = alloc.alloc(static_cast<std::uint64_t>(state.range(0)));
+    alloc.free(off, static_cast<std::uint64_t>(state.range(0)));
+  }
+}
+BENCHMARK(BM_AllocatorAllocFree)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_TxRoundTrip(benchmark::State& state) {
+  auto pool = PmemPool::create({.path = "", .size = 64 << 20});
+  const auto anchor = pmem::TxJournal::create(*pool);
+  pmem::TxJournal journal(*pool, anchor);
+  const auto data = pool->allocator().alloc(4096);
+  auto* p = pool->at<std::uint64_t>(data);
+  for (auto _ : state) {
+    pmem::PmemTx tx(*pool, journal);
+    tx.add_range(p, static_cast<std::uint64_t>(state.range(0)));
+    p[0] += 1;
+    pool->persist(p, 8);
+    tx.commit();
+  }
+}
+BENCHMARK(BM_TxRoundTrip)->Arg(64)->Arg(1024);
+
+void BM_PmaSetInsert(benchmark::State& state) {
+  pma::PmaSet::Config cfg;
+  cfg.segment_slots = static_cast<std::uint64_t>(state.range(0));
+  pma::PmaSet set(cfg);
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.insert(rng.next_u64() >> 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PmaSetInsert)->Arg(32)->Arg(256);
+
+}  // namespace
+}  // namespace dgap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// §4.4 "DGAP Recovery Evaluations": normal-shutdown restart time vs
+// crash-recovery time, per graph.
+//
+// Expected shape: normal restarts are fast and nearly size-independent
+// (load the shutdown image); crash recovery scans the edge array + logs, so
+// it grows with graph size but stays in seconds thanks to sequential PM
+// bandwidth (paper: <1 s small graphs, ~4 s largest).
+#include <filesystem>
+#include <iostream>
+#include <unistd.h>
+
+#include "src/bench_common/harness.hpp"
+#include "src/common/table.hpp"
+#include "src/core/dgap_store.hpp"
+#include "src/graph/datasets.hpp"
+
+using namespace dgap;
+using namespace dgap::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchConfig cfg = parse_common(
+      cli, /*default_scale=*/0.1,
+      {"orkut", "livejournal", "citpatents", "twitter", "friendster",
+       "protein"});
+  configure_latency(cfg.latency);
+  print_banner("Recovery evaluation: normal reboot vs crash recovery", cfg);
+
+  const auto dir = std::filesystem::temp_directory_path();
+  TablePrinter table({"Graph", "Edges", "Shutdown(s)", "NormalOpen(s)",
+                      "CrashOpen(s)"});
+
+  for (const auto& name : cfg.datasets) {
+    EdgeStream stream = load_dataset(name, cfg.scale);
+    const std::string path =
+        (dir / ("dgap_recovery_" + name + "_" + std::to_string(::getpid()) +
+                ".pool"))
+            .string();
+    std::filesystem::remove(path);
+
+    core::DgapOptions o;
+    o.init_vertices = stream.num_vertices();
+    o.init_edges = stream.num_edges();
+
+    double shutdown_s = 0;
+    double normal_open_s = 0;
+    double crash_open_s = 0;
+    {
+      auto pool =
+          pmem::PmemPool::create({.path = path, .size = cfg.pool_mb << 20});
+      auto store = core::DgapStore::create(*pool, o);
+      for (const Edge& e : stream.edges()) store->insert_edge(e.src, e.dst);
+      Timer t;
+      store->shutdown();
+      shutdown_s = t.seconds();
+    }
+    {
+      auto pool = pmem::PmemPool::open({.path = path});
+      Timer t;
+      auto store = core::DgapStore::open(*pool, o);
+      normal_open_s = t.seconds();
+      // Leave WITHOUT shutdown: the next open takes the crash path.
+    }
+    {
+      auto pool = pmem::PmemPool::open({.path = path});
+      Timer t;
+      auto store = core::DgapStore::open(*pool, o);
+      crash_open_s = t.seconds();
+      store->shutdown();
+    }
+    table.add_row({name, std::to_string(stream.num_edges()),
+                   TablePrinter::fmt(shutdown_s, 3),
+                   TablePrinter::fmt(normal_open_s, 3),
+                   TablePrinter::fmt(crash_open_s, 3)});
+    std::filesystem::remove(path);
+  }
+  table.print(std::cout);
+  return 0;
+}

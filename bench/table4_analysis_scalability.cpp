@@ -1,0 +1,77 @@
+// Table 4: execution time (seconds) of all four kernels on all six systems
+// with 1 and 16 analysis threads.
+//
+// Expected shape (paper §4.3.1): everything scales with threads except CC
+// (its convergence loop limits parallel speedup for every framework); DGAP
+// stays closest to CSR except BFS, where the DRAM adjacency systems win.
+// NOTE: 2 hardware threads here; T16 shows trend only.
+#include <iostream>
+
+#include "src/bench_common/harness.hpp"
+#include "src/common/table.hpp"
+#include "src/graph/datasets.hpp"
+
+using namespace dgap;
+using namespace dgap::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  BenchConfig cfg = parse_common(
+      cli, /*default_scale=*/0.05,
+      {"orkut", "livejournal", "citpatents", "twitter", "friendster",
+       "protein"});
+  cfg.latency = cli.get_bool("latency", false);
+  configure_latency(cfg.latency);
+  print_banner("Table 4: kernel runtime (s) at T1 and T16", cfg);
+
+  std::vector<int> thread_counts = {1, 16};
+  if (cli.has("threads")) {
+    thread_counts.clear();
+    for (const auto& t : split_csv(cli.get("threads")))
+      thread_counts.push_back(std::stoi(t));
+  }
+
+  const std::vector<std::string> kernels = {"PR", "BFS", "BC", "CC"};
+  for (const auto& name : cfg.datasets) {
+    EdgeStream stream = load_dataset(name, cfg.scale);
+
+    // Load every system once per graph; reuse across kernels/threads.
+    auto csr_pool = fresh_pool(cfg.pool_mb);
+    auto csr = make_csr(*csr_pool, stream);
+    const NodeId source = csr->pick_source();
+
+    std::vector<std::unique_ptr<pmem::PmemPool>> pools;
+    std::vector<std::pair<std::string, std::unique_ptr<IStore>>> stores;
+    stores.emplace_back("CSR", nullptr);  // handled via csr
+    for (const auto& sys : kDynamicSystems) {
+      if (!cfg.only_system.empty() && sys != cfg.only_system) continue;
+      pools.push_back(fresh_pool(cfg.pool_mb));
+      auto store = make_store(sys, *pools.back(), stream.num_vertices(),
+                              stream.num_edges(), 1);
+      for (const Edge& e : stream.edges()) store->insert(e.src, e.dst);
+      store->finalize();
+      stores.emplace_back(sys, std::move(store));
+    }
+
+    std::cout << "\n--- " << name << " ---\n";
+    TablePrinter table({"System", "PR.T1", "PR.T16", "BFS.T1", "BFS.T16",
+                        "BC.T1", "BC.T16", "CC.T1", "CC.T16"});
+    for (auto& [sys, store] : stores) {
+      IStore* s = store ? store.get() : csr.get();
+      std::vector<std::string> row = {sys};
+      for (const auto& kernel : kernels) {
+        for (const int threads : thread_counts) {
+          double t = 0;
+          if (kernel == "PR") t = s->time_pagerank(threads);
+          if (kernel == "BFS") t = s->time_bfs(threads, source);
+          if (kernel == "BC") t = s->time_bc(threads, source);
+          if (kernel == "CC") t = s->time_cc(threads);
+          row.push_back(TablePrinter::fmt(t, 3));
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table 5: DGAP component ablation — full insert time (seconds) for the
+// three small graphs with design components removed incrementally:
+//
+//   DGAP           all three designs on
+//   No EL          per-section edge log off (nearby shifts return)
+//   No EL&UL       + per-thread undo log off (PMDK-style transactions)
+//   No EL&UL&DP    + DRAM data placement off (metadata persisted in place)
+//
+// Expected shape: the edge log contributes the most (~4.5x in the paper);
+// the undo log another ~13%; metadata placement roughly doubles the rest.
+#include <iostream>
+
+#include "src/bench_common/harness.hpp"
+#include "src/common/table.hpp"
+#include "src/core/dgap_store.hpp"
+#include "src/graph/datasets.hpp"
+
+using namespace dgap;
+using namespace dgap::bench;
+
+namespace {
+
+double run_variant(const EdgeStream& stream, std::uint64_t pool_mb,
+                   bool use_elog, bool use_ulog, bool dram_meta) {
+  auto pool = fresh_pool(pool_mb);
+  core::DgapOptions o;
+  o.init_vertices = stream.num_vertices();
+  o.init_edges = stream.num_edges();
+  o.use_elog = use_elog;
+  o.use_ulog = use_ulog;
+  o.metadata_in_dram = dram_meta;
+  auto store = core::DgapStore::create(*pool, o);
+  Timer t;
+  for (const Edge& e : stream.edges()) store->insert_edge(e.src, e.dst);
+  return t.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchConfig cfg = parse_common(
+      cli, /*default_scale=*/0.1, {"orkut", "livejournal", "citpatents"});
+  configure_latency(cfg.latency);
+  print_banner("Table 5: insertion time (s) of DGAP ablation variants",
+               cfg);
+
+  TablePrinter table(
+      {"Graph", "DGAP", "No EL", "No EL&UL", "No EL&UL&DP"});
+  for (const auto& name : cfg.datasets) {
+    EdgeStream stream = load_dataset(name, cfg.scale);
+    table.add_row(
+        {name,
+         TablePrinter::fmt(run_variant(stream, cfg.pool_mb, true, true,
+                                       true)),
+         TablePrinter::fmt(run_variant(stream, cfg.pool_mb, false, true,
+                                       true)),
+         TablePrinter::fmt(run_variant(stream, cfg.pool_mb, false, false,
+                                       true)),
+         TablePrinter::fmt(run_variant(stream, cfg.pool_mb, false, false,
+                                       false))});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Crash-recovery demo: watch DGAP survive a power failure.
+//
+// Uses the shadow-mode pool — a strict crash simulator where only
+// explicitly persisted cache lines survive — to kill the store at a random
+// point mid-ingest (often in the middle of a PMA rebalance), then runs the
+// paper's recovery pipeline (§3.1.5): undo-log replay, edge-array scan,
+// edge-log scan, re-issued rebalancing. Finally it verifies that every
+// acknowledged edge survived.
+//
+// Run:  ./examples/crash_recovery_demo [--edges 50000] [--crash-at 30000]
+#include <iostream>
+#include <map>
+
+#include "src/common/cli.hpp"
+#include "src/common/timer.hpp"
+#include "src/core/dgap_store.hpp"
+#include "src/graph/adj_graph.hpp"
+#include "src/graph/generators.hpp"
+
+using namespace dgap;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto edges = static_cast<std::uint64_t>(cli.get_int("edges", 50000));
+  const auto crash_at =
+      static_cast<std::uint64_t>(cli.get_int("crash-at", 30000));
+
+  auto pool = pmem::PmemPool::create(
+      {.path = "", .size = 128 << 20, .shadow = true});
+  core::DgapOptions options;
+  options.init_vertices = 2048;
+  options.init_edges = edges;
+  options.segment_slots = 128;  // small sections: rebalances are frequent
+  auto graph = core::DgapStore::create(*pool, options);
+
+  EdgeStream stream = symmetrize(generate_rmat(2048, edges / 2, 31337));
+  AdjGraph acknowledged(stream.num_vertices());
+
+  std::cout << "ingesting " << stream.num_edges()
+            << " edges; crash armed after " << crash_at
+            << " persistent flushes...\n";
+  pool->arm_crash_after(crash_at);
+  std::size_t acked = 0;
+  bool crashed = false;
+  try {
+    for (const Edge& e : stream.edges()) {
+      graph->insert_edge(e.src, e.dst);
+      acknowledged.add_edge(e.src, e.dst);
+      ++acked;
+    }
+  } catch (const pmem::PmemPool::CrashInjected&) {
+    crashed = true;
+  }
+  pool->disarm_crash();
+  std::cout << (crashed ? "CRASH" : "no crash") << " after " << acked
+            << " acknowledged inserts (rebalances so far: "
+            << graph->stats().rebalances << ")\n";
+
+  // Power loss: volatile state gone, unpersisted lines gone.
+  graph.reset();
+  pool->simulate_crash();
+
+  Timer t;
+  auto recovered = core::DgapStore::open(*pool, options);
+  std::cout << "recovered in " << t.millis() << " ms\n";
+
+  std::string why;
+  if (!recovered->check_invariants(&why)) {
+    std::cerr << "INVARIANT VIOLATION: " << why << "\n";
+    return 1;
+  }
+
+  // Every acknowledged edge must be present (the one in-flight insert may
+  // legitimately appear as an extra).
+  const core::Snapshot snap = recovered->consistent_view();
+  std::uint64_t missing = 0;
+  std::uint64_t extra = 0;
+  for (NodeId v = 0; v < acknowledged.num_nodes(); ++v) {
+    std::map<NodeId, std::int64_t> balance;
+    for (const NodeId d : acknowledged.out_neigh(v)) balance[d] += 1;
+    for (const NodeId d : snap.neighbors(v)) balance[d] -= 1;
+    for (const auto& [dst, count] : balance) {
+      if (count > 0) missing += static_cast<std::uint64_t>(count);
+      if (count < 0) extra += static_cast<std::uint64_t>(-count);
+    }
+  }
+  std::cout << "acknowledged edges missing after recovery: " << missing
+            << " (must be 0)\n"
+            << "unacknowledged in-flight edges present:     " << extra
+            << " (may be 0 or 1)\n";
+
+  // And the store keeps working.
+  recovered->insert_edge(1, 2);
+  std::cout << "post-recovery insert OK; store operational.\n";
+  return missing == 0 ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+// Betweenness Centrality — Brandes' algorithm (paper Table 1: "Brandes
+// approx.": centrality from a sampled set of source vertices, GAPBS-style).
+//
+// For each source: a level-synchronous BFS records path counts sigma and
+// the level sets; a backward sweep accumulates dependencies
+// delta(v) = sum_{w : succ} sigma(v)/sigma(w) * (1 + delta(w)).
+// Scores are normalized to [0,1] by the max, as GAPBS does.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/algorithms/graph_view.hpp"
+#include "src/common/bitmap.hpp"
+#include "src/common/sliding_queue.hpp"
+
+namespace dgap::algorithms {
+
+template <GraphView G>
+std::vector<double> betweenness_centrality(
+    const G& g, const std::vector<NodeId>& sources) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> scores(static_cast<std::size_t>(n), 0.0);
+  if (n == 0) return scores;
+
+  std::vector<std::atomic<std::int64_t>> sigma(static_cast<std::size_t>(n));
+  std::vector<std::int32_t> depth(static_cast<std::size_t>(n));
+  std::vector<double> delta(static_cast<std::size_t>(n));
+
+  for (const NodeId source : sources) {
+#pragma omp parallel for schedule(static)
+    for (NodeId v = 0; v < n; ++v) {
+      sigma[v].store(0, std::memory_order_relaxed);
+      depth[v] = -1;
+      delta[v] = 0.0;
+    }
+    sigma[source].store(1, std::memory_order_relaxed);
+    depth[source] = 0;
+
+    // Forward: level-synchronous BFS tracking path counts and levels.
+    SlidingQueue<NodeId> queue(static_cast<std::size_t>(n));
+    queue.push_back(source);
+    queue.slide_window();
+    std::vector<std::size_t> level_ends;
+    std::int32_t level = 0;
+    while (!queue.empty()) {
+#pragma omp parallel
+      {
+        QueueBuffer<NodeId> lqueue(queue);
+#pragma omp for schedule(dynamic, 64) nowait
+        for (auto it = queue.begin(); it < queue.end(); ++it) {
+          const NodeId u = *it;
+          const std::int64_t sigma_u =
+              sigma[u].load(std::memory_order_relaxed);
+          g.for_each_out(u, [&](NodeId v) {
+            std::int32_t expected = -1;
+            if (depth[v] == -1 &&
+                __atomic_compare_exchange_n(&depth[v], &expected,
+                                            level + 1, false,
+                                            __ATOMIC_ACQ_REL,
+                                            __ATOMIC_ACQUIRE)) {
+              lqueue.push_back(v);
+            }
+            if (depth[v] == level + 1)
+              sigma[v].fetch_add(sigma_u, std::memory_order_relaxed);
+          });
+        }
+        lqueue.flush();
+      }
+      level_ends.push_back(queue.end() - queue.begin());
+      queue.slide_window();
+      ++level;
+    }
+
+    // Backward: accumulate dependencies level by level, deepest first.
+    std::vector<std::vector<NodeId>> levels(
+        static_cast<std::size_t>(level) + 1);
+    for (NodeId v = 0; v < n; ++v)
+      if (depth[v] >= 0) levels[depth[v]].push_back(v);
+    for (std::int32_t l = level; l-- > 0;) {
+      const auto& frontier = levels[l + 1];
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        const NodeId w = frontier[i];
+        const double coeff =
+            (1.0 + delta[w]) /
+            static_cast<double>(sigma[w].load(std::memory_order_relaxed));
+        g.for_each_out(w, [&](NodeId v) {
+          if (depth[v] == l) {
+            const double add =
+                static_cast<double>(
+                    sigma[v].load(std::memory_order_relaxed)) *
+                coeff;
+#pragma omp atomic
+            delta[v] += add;
+          }
+        });
+      }
+    }
+#pragma omp parallel for schedule(static)
+    for (NodeId v = 0; v < n; ++v)
+      if (v != source) scores[v] += delta[v];
+  }
+
+  double biggest = 0.0;
+#pragma omp parallel for reduction(max : biggest) schedule(static)
+  for (NodeId v = 0; v < n; ++v) biggest = std::max(biggest, scores[v]);
+  if (biggest > 0.0) {
+#pragma omp parallel for schedule(static)
+    for (NodeId v = 0; v < n; ++v) scores[v] /= biggest;
+  }
+  return scores;
+}
+
+// Single-source convenience matching the paper's per-run setup.
+template <GraphView G>
+std::vector<double> betweenness_centrality(const G& g, NodeId source) {
+  return betweenness_centrality(g, std::vector<NodeId>{source});
+}
+
+}  // namespace dgap::algorithms

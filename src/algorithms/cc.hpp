@@ -1,0 +1,51 @@
+// Connected Components via Shiloach-Vishkin (paper Table 1), in the
+// hook-and-compress formulation GAPBS uses.
+//
+// Repeatedly: (hook) for every edge (u,v), link the larger component id to
+// the smaller; (compress) pointer-jump every vertex's label to its root.
+// Terminates when a full pass changes nothing. Works on directed edge
+// iteration over a symmetric graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/algorithms/graph_view.hpp"
+
+namespace dgap::algorithms {
+
+template <GraphView G>
+std::vector<NodeId> connected_components(const G& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> comp(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (NodeId v = 0; v < n; ++v) comp[v] = v;
+
+  bool change = true;
+  while (change) {
+    change = false;
+#pragma omp parallel for schedule(dynamic, 1024) reduction(|| : change)
+    for (NodeId u = 0; u < n; ++u) {
+      g.for_each_out(u, [&](NodeId v) {
+        const NodeId comp_u = comp[u];
+        const NodeId comp_v = comp[v];
+        if (comp_u == comp_v) return;
+        // Hook the higher id onto the lower (benign racy min-update: wrong
+        // winners only delay convergence, never break correctness).
+        const NodeId high = comp_u > comp_v ? comp_u : comp_v;
+        const NodeId low = comp_u + comp_v - high;
+        if (comp[high] == high) {
+          change = true;
+          comp[high] = low;
+        }
+      });
+    }
+#pragma omp parallel for schedule(static)
+    for (NodeId v = 0; v < n; ++v) {
+      while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
+    }
+  }
+  return comp;
+}
+
+}  // namespace dgap::algorithms

@@ -1,0 +1,92 @@
+#include "src/baselines/bal_store.hpp"
+
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+#include "src/pmem/alloc.hpp"
+
+namespace dgap::baselines {
+
+std::unique_ptr<BalStore> BalStore::create(pmem::PmemPool& pool,
+                                           NodeId init_vertices,
+                                           std::uint32_t block_edges) {
+  std::unique_ptr<BalStore> store(new BalStore(pool));
+  store->block_edges_ = block_edges;
+  const auto n = static_cast<std::size_t>(std::max<NodeId>(init_vertices, 1));
+  store->heads_.resize(n);
+  store->degree_ = std::vector<std::atomic<std::int64_t>>(n);
+  store->locks_ = std::make_unique<SpinLock[]>(n);
+  store->lock_count_ = n;
+  return store;
+}
+
+std::uint64_t BalStore::alloc_block() {
+  const std::uint64_t off = pool_.allocator().alloc(block_bytes());
+  auto* b = pool_.at<Block>(off);
+  std::memset(b, 0, block_bytes());
+  pool_.persist(b, sizeof(Block));  // header is enough; dst written later
+  return off;
+}
+
+void BalStore::insert_vertex(NodeId v) {
+  if (v < num_nodes()) return;
+  std::lock_guard<SpinLock> g(grow_mu_);
+  const auto needed = static_cast<std::size_t>(v) + 1;
+  if (needed <= heads_.size()) return;
+  // Readers are not expected during growth (bulk-load phase); analysis runs
+  // after loading, matching the paper's methodology.
+  const std::size_t new_size = std::max(needed, heads_.size() * 2);
+  heads_.resize(new_size);
+  auto bigger = std::vector<std::atomic<std::int64_t>>(new_size);
+  for (std::size_t i = 0; i < degree_.size(); ++i)
+    bigger[i].store(degree_[i].load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  degree_ = std::move(bigger);
+  auto locks = std::make_unique<SpinLock[]>(new_size);
+  locks_ = std::move(locks);
+  lock_count_ = new_size;
+}
+
+void BalStore::insert_edge(NodeId src, NodeId dst) {
+  if (src < 0 || dst < 0) throw std::invalid_argument("negative vertex id");
+  insert_vertex(std::max(src, dst));
+  std::lock_guard<SpinLock> g(locks_[src]);
+  VertexHead& h = heads_[src];
+  if (h.tail_off != 0) {
+    auto* tail = pool_.at<Block>(h.tail_off);
+    if (tail->count < block_edges_) {
+      tail->dst[tail->count] = dst;
+      // Edge value first, then the count bump that publishes it.
+      pool_.persist(&tail->dst[tail->count], sizeof(NodeId));
+      tail->count += 1;
+      pool_.persist(&tail->count, sizeof(tail->count));
+      degree_[src].fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+  }
+  // Need a fresh block (first block or tail full).
+  const std::uint64_t off = alloc_block();
+  auto* b = pool_.at<Block>(off);
+  b->dst[0] = dst;
+  b->count = 1;
+  pool_.persist(b, sizeof(Block) + sizeof(NodeId));
+  if (h.tail_off == 0) {
+    h.head_off = off;
+  } else {
+    auto* tail = pool_.at<Block>(h.tail_off);
+    tail->next_off = off;
+    pool_.persist(&tail->next_off, sizeof(tail->next_off));
+  }
+  h.tail_off = off;
+  degree_[src].fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::uint64_t BalStore::num_edges_directed() const {
+  std::uint64_t total = 0;
+  for (const auto& d : degree_)
+    total += static_cast<std::uint64_t>(d.load(std::memory_order_relaxed));
+  return total;
+}
+
+}  // namespace dgap::baselines

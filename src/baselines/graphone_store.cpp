@@ -1,0 +1,115 @@
+#include "src/baselines/graphone_store.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/common/platform.hpp"
+#include "src/pmem/alloc.hpp"
+
+namespace dgap::baselines {
+
+std::unique_ptr<GraphOneStore> GraphOneStore::create(
+    pmem::PmemPool& pool, NodeId init_vertices, std::uint64_t flush_every,
+    std::uint64_t archive_every) {
+  std::unique_ptr<GraphOneStore> store(new GraphOneStore(pool));
+  store->flush_every_ = std::max<std::uint64_t>(flush_every, 1);
+  store->archive_every_ = std::max<std::uint64_t>(archive_every, 1);
+  const auto n =
+      static_cast<std::size_t>(std::max<NodeId>(init_vertices, 1));
+  store->heads_.resize(n, nullptr);
+  store->tails_.resize(n, nullptr);
+  store->degree_ = std::vector<std::atomic<std::int64_t>>(n);
+  return store;
+}
+
+void GraphOneStore::insert_vertex(NodeId v) {
+  if (static_cast<std::size_t>(v) < heads_.size()) return;
+  const std::size_t n = static_cast<std::size_t>(v) + 1;
+  heads_.resize(n, nullptr);
+  tails_.resize(n, nullptr);
+  auto bigger = std::vector<std::atomic<std::int64_t>>(n);
+  for (std::size_t i = 0; i < degree_.size(); ++i)
+    bigger[i].store(degree_[i].load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  degree_ = std::move(bigger);
+}
+
+void GraphOneStore::ensure_log_capacity(std::uint64_t more) {
+  const std::uint64_t needed = durable_edges_ + more;
+  if (needed <= log_capacity_) return;
+  const std::uint64_t new_cap =
+      ceil_pow2(std::max<std::uint64_t>(needed, 1 << 16));
+  const std::uint64_t new_off =
+      pool_.allocator().alloc(new_cap * sizeof(Edge), 4096);
+  if (durable_edges_ > 0) {
+    std::memcpy(pool_.at<char>(new_off), pool_.at<char>(log_off_),
+                durable_edges_ * sizeof(Edge));
+    pool_.persist(pool_.at<char>(new_off), durable_edges_ * sizeof(Edge));
+  }
+  if (log_off_ != 0)
+    pool_.allocator().free(log_off_, log_capacity_ * sizeof(Edge));
+  log_off_ = new_off;
+  log_capacity_ = new_cap;
+}
+
+void GraphOneStore::insert_edge(NodeId src, NodeId dst) {
+  if (src < 0 || dst < 0) throw std::invalid_argument("negative vertex id");
+  insert_vertex(std::max(src, dst));
+  // Hot path: append-only DRAM edge list (GraphOne's level-0 structure).
+  staged_.push_back({src, dst});
+  ++total_edges_;
+  if (staged_.size() >= archive_every_) archive_batch();
+}
+
+void GraphOneStore::archive_batch() {
+  // GraphOne's archive phase: move the staged edge-list window into the
+  // blocked adjacency list with atomic degree publication.
+  for (const Edge& e : staged_) {
+    AdjBlock* tail = tails_[e.src];
+    if (tail == nullptr || tail->count == kBlockEdges) {
+      arena_.emplace_back();
+      AdjBlock* fresh = &arena_.back();
+      if (tail == nullptr)
+        heads_[e.src] = fresh;
+      else
+        tail->next = fresh;
+      tails_[e.src] = fresh;
+      tail = fresh;
+    }
+    tail->dst[tail->count] = e.dst;
+    // Publish count then degree with release semantics, as GraphOne's
+    // reader-concurrent archive does.
+    __atomic_store_n(&tail->count, tail->count + 1, __ATOMIC_RELEASE);
+    degree_[e.src].fetch_add(1, std::memory_order_acq_rel);
+    durable_buffer_.push_back(e);
+  }
+  staged_.clear();
+
+  // Durable phase: persist the edge list to PM once enough accumulated.
+  if (durable_buffer_.size() >= flush_every_) {
+    ensure_log_capacity(durable_buffer_.size());
+    Edge* log = pool_.at<Edge>(log_off_);
+    std::memcpy(log + durable_edges_, durable_buffer_.data(),
+                durable_buffer_.size() * sizeof(Edge));
+    pool_.persist(log + durable_edges_,
+                  durable_buffer_.size() * sizeof(Edge));
+    durable_edges_ += durable_buffer_.size();
+    durable_buffer_.clear();
+  }
+}
+
+void GraphOneStore::flush_durable() {
+  archive_batch();
+  if (!durable_buffer_.empty()) {
+    ensure_log_capacity(durable_buffer_.size());
+    Edge* log = pool_.at<Edge>(log_off_);
+    std::memcpy(log + durable_edges_, durable_buffer_.data(),
+                durable_buffer_.size() * sizeof(Edge));
+    pool_.persist(log + durable_edges_,
+                  durable_buffer_.size() * sizeof(Edge));
+    durable_edges_ += durable_buffer_.size();
+    durable_buffer_.clear();
+  }
+}
+
+}  // namespace dgap::baselines

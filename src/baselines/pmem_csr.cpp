@@ -1,0 +1,48 @@
+#include "src/baselines/pmem_csr.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "src/pmem/alloc.hpp"
+
+namespace dgap::baselines {
+
+std::unique_ptr<PmemCsr> PmemCsr::build(pmem::PmemPool& pool,
+                                        const EdgeStream& stream) {
+  std::unique_ptr<PmemCsr> csr(new PmemCsr);
+  const NodeId n = stream.num_vertices();
+  const std::uint64_t m = stream.num_edges();
+  csr->num_nodes_ = n;
+  csr->num_edges_ = m;
+
+  auto& alloc = pool.allocator();
+  const std::uint64_t off_off =
+      alloc.alloc((static_cast<std::uint64_t>(n) + 1) * sizeof(std::uint64_t),
+                  4096);
+  const std::uint64_t edge_off = alloc.alloc(m * sizeof(NodeId), 4096);
+  auto* offsets = pool.at<std::uint64_t>(off_off);
+  auto* edges = pool.at<NodeId>(edge_off);
+
+  // Counting sort by source: degree histogram, prefix sum, placement.
+  std::vector<std::uint64_t> degree(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : stream.edges()) ++degree[e.src];
+  std::uint64_t sum = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    offsets[v] = sum;
+    sum += degree[v];
+  }
+  offsets[n] = sum;
+
+  std::vector<std::uint64_t> cursor(offsets, offsets + n);
+  for (const Edge& e : stream.edges()) edges[cursor[e.src]++] = e.dst;
+
+  pool.persist(offsets, (static_cast<std::uint64_t>(n) + 1) *
+                            sizeof(std::uint64_t));
+  pool.persist(edges, m * sizeof(NodeId));
+
+  csr->offsets_ = offsets;
+  csr->edges_ = edges;
+  return csr;
+}
+
+}  // namespace dgap::baselines

@@ -1,0 +1,47 @@
+// PmemCsr: static Compressed Sparse Row on persistent memory.
+//
+// The paper ports GAPBS's optimized CSR to PM as the graph-analysis oracle:
+// it cannot be updated, but its compact sequential layout is the
+// performance ceiling every dynamic store is normalized against (Figs 7/8,
+// Table 4). Built in one shot from an edge stream; offsets and edges both
+// live in the pool and are persisted with large sequential writes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/graph/edge_stream.hpp"
+#include "src/graph/types.hpp"
+#include "src/pmem/pool.hpp"
+
+namespace dgap::baselines {
+
+class PmemCsr {
+ public:
+  static std::unique_ptr<PmemCsr> build(pmem::PmemPool& pool,
+                                        const EdgeStream& stream);
+
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::uint64_t num_edges_directed() const {
+    return num_edges_;
+  }
+  [[nodiscard]] std::int64_t out_degree(NodeId v) const {
+    return static_cast<std::int64_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  template <typename F>
+  void for_each_out(NodeId v, F&& fn) const {
+    const std::uint64_t end = offsets_[v + 1];
+    for (std::uint64_t i = offsets_[v]; i < end; ++i)
+      if (emit_stop(fn, edges_[i])) return;
+  }
+
+ private:
+  PmemCsr() = default;
+  NodeId num_nodes_ = 0;
+  std::uint64_t num_edges_ = 0;
+  const std::uint64_t* offsets_ = nullptr;  // n+1 entries, in pool
+  const NodeId* edges_ = nullptr;           // num_edges entries, in pool
+};
+
+}  // namespace dgap::baselines

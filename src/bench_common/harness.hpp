@@ -1,0 +1,102 @@
+// Shared benchmark harness: common CLI handling, the Optane-like latency
+// model setup, the YCSB-style warm-up/measure insert driver (paper §4.1),
+// and a type-erased store wrapper so every bench drives all six systems
+// (CSR, DGAP, BAL, LLAMA, GraphOne-FD, XPGraph) through identical code.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/cli.hpp"
+#include "src/common/timer.hpp"
+#include "src/graph/edge_stream.hpp"
+#include "src/graph/types.hpp"
+#include "src/pmem/pool.hpp"
+
+namespace dgap::bench {
+
+struct BenchConfig {
+  double scale = 1.0;  // dataset scale multiplier (see datasets.hpp)
+  std::vector<std::string> datasets;
+  bool latency = true;  // inject Optane-like delays
+  std::uint64_t pool_mb = 1024;
+  std::string only_system;  // run a single system when non-empty
+};
+
+// Parse --scale, --datasets=a,b,c, --latency, --pool-mb, --system.
+BenchConfig parse_common(const Cli& cli, double default_scale,
+                         std::vector<std::string> default_datasets);
+
+// Enable/disable the process-global PM latency model with Optane-like
+// defaults (see pmem/latency_model.hpp for the parameters).
+void configure_latency(bool enabled);
+
+// Fresh anonymous pool (benches do not need cross-process durability).
+std::unique_ptr<pmem::PmemPool> fresh_pool(std::uint64_t mb);
+
+// Print a standard bench banner so outputs are self-describing.
+void print_banner(const std::string& title, const BenchConfig& cfg);
+
+// --- insert timing ----------------------------------------------------------
+
+struct InsertResult {
+  double seconds = 0;
+  double meps = 0;  // million edges per second over the timed body
+};
+
+// Insert the 10% warm-up untimed, then time the remaining 90% (paper §4.1).
+template <typename InsertFn>
+InsertResult time_inserts(const EdgeStream& stream, InsertFn&& insert,
+                          double warmup_frac = 0.10) {
+  for (const Edge& e : stream.warmup(warmup_frac)) insert(e.src, e.dst);
+  const auto body = stream.body(warmup_frac);
+  Timer t;
+  for (const Edge& e : body) insert(e.src, e.dst);
+  InsertResult r;
+  r.seconds = t.seconds();
+  r.meps = static_cast<double>(body.size()) / r.seconds / 1e6;
+  return r;
+}
+
+// Multi-writer variant: the body is striped across `threads` writers.
+InsertResult time_inserts_mt(
+    const EdgeStream& stream, int threads,
+    const std::function<void(NodeId, NodeId)>& insert,
+    double warmup_frac = 0.10);
+
+// --- type-erased store ------------------------------------------------------
+
+// Uniform handle over every system. Kernel timers run the shared GAPBS-style
+// implementations on the store's analysis view with `omp_set_num_threads`
+// applied, and return seconds.
+class IStore {
+ public:
+  virtual ~IStore() = default;
+  virtual void insert(NodeId src, NodeId dst) = 0;
+  // Make all inserted edges analysis-visible (snapshot/flush/archive).
+  virtual void finalize() {}
+  [[nodiscard]] virtual std::uint64_t num_edges() const = 0;
+  virtual NodeId pick_source() = 0;
+  virtual double time_pagerank(int threads) = 0;
+  virtual double time_bfs(int threads, NodeId source) = 0;
+  virtual double time_bc(int threads, NodeId source) = 0;
+  virtual double time_cc(int threads) = 0;
+};
+
+inline const std::vector<std::string> kDynamicSystems = {
+    "dgap", "bal", "llama", "graphone", "xpgraph"};
+
+// Create a dynamic store by name. `batch_hint` parameterizes per-system
+// batching (LLAMA snapshot batch = 1% of edges, XPGraph archive threshold).
+std::unique_ptr<IStore> make_store(const std::string& kind,
+                                   pmem::PmemPool& pool, NodeId vertices,
+                                   std::uint64_t edges_estimate,
+                                   int writer_threads);
+
+// Static CSR (analysis oracle), built in one shot from a loaded stream.
+std::unique_ptr<IStore> make_csr(pmem::PmemPool& pool,
+                                 const EdgeStream& stream);
+
+}  // namespace dgap::bench

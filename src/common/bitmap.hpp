@@ -1,0 +1,75 @@
+// Atomic bitmap, modeled on the one in the GAP Benchmark Suite. Used by the
+// direction-optimizing BFS and by PMA gap bookkeeping.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/platform.hpp"
+
+namespace dgap {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t size) { resize(size); }
+
+  void resize(std::size_t size) {
+    size_ = size;
+    num_words_ = (size + kBits - 1) / kBits;
+    words_ = std::make_unique<std::atomic<std::uint64_t>[]>(num_words_);
+    reset();
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void reset() {
+    for (std::size_t i = 0; i < num_words_; ++i)
+      words_[i].store(0, std::memory_order_relaxed);
+  }
+
+  void set_bit(std::size_t pos) {
+    words_[pos / kBits].fetch_or(mask(pos), std::memory_order_relaxed);
+  }
+
+  // Returns true if this call transitioned the bit 0 -> 1.
+  bool set_bit_atomic(std::size_t pos) {
+    const std::uint64_t m = mask(pos);
+    const std::uint64_t old =
+        words_[pos / kBits].fetch_or(m, std::memory_order_acq_rel);
+    return (old & m) == 0;
+  }
+
+  [[nodiscard]] bool get_bit(std::size_t pos) const {
+    return (words_[pos / kBits].load(std::memory_order_relaxed) & mask(pos)) !=
+           0;
+  }
+
+  void swap(Bitmap& other) {
+    words_.swap(other.words_);
+    std::swap(num_words_, other.num_words_);
+    std::swap(size_, other.size_);
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < num_words_; ++i)
+      n += static_cast<std::size_t>(
+          __builtin_popcountll(words_[i].load(std::memory_order_relaxed)));
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kBits = 64;
+  static constexpr std::uint64_t mask(std::size_t pos) {
+    return 1ULL << (pos % kBits);
+  }
+
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words_;
+  std::size_t num_words_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dgap

@@ -1,0 +1,69 @@
+#include "src/common/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dgap {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size() && !s.empty()) {
+    const auto comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace dgap

@@ -1,0 +1,69 @@
+// Platform- and compiler-level helpers shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dgap {
+
+// Cache geometry assumed throughout the PM substrate. Optane DCPMM's
+// internal write-combining buffer (the "XPLine") is 256 bytes; CPU cache
+// lines are 64 bytes. Both constants drive the latency / write-amplification
+// model in src/pmem.
+inline constexpr std::size_t kCacheLineSize = 64;
+inline constexpr std::size_t kXPLineSize = 256;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DGAP_LIKELY(x) __builtin_expect(!!(x), 1)
+#define DGAP_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define DGAP_NOINLINE __attribute__((noinline))
+#define DGAP_ALWAYS_INLINE __attribute__((always_inline)) inline
+#else
+#define DGAP_LIKELY(x) (x)
+#define DGAP_UNLIKELY(x) (x)
+#define DGAP_NOINLINE
+#define DGAP_ALWAYS_INLINE inline
+#endif
+
+// Round `v` up to the next multiple of `align` (power of two).
+constexpr std::uint64_t round_up(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+constexpr std::uint64_t round_down(std::uint64_t v, std::uint64_t align) {
+  return v & ~(align - 1);
+}
+
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Smallest power of two >= v (v must be >= 1).
+constexpr std::uint64_t ceil_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// floor(log2(v)) for v >= 1.
+constexpr int log2_floor(std::uint64_t v) {
+  int r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+// Address of the cache line containing `p`.
+inline std::uintptr_t line_of(const void* p) {
+  return round_down(reinterpret_cast<std::uintptr_t>(p), kCacheLineSize);
+}
+
+// Number of cache lines spanned by [addr, addr+len).
+inline std::uint64_t lines_spanned(const void* addr, std::size_t len) {
+  if (len == 0) return 0;
+  const auto first = line_of(addr);
+  const auto last = line_of(static_cast<const char*>(addr) + len - 1);
+  return (last - first) / kCacheLineSize + 1;
+}
+
+}  // namespace dgap

@@ -1,0 +1,92 @@
+// SlidingQueue + QueueBuffer, modeled on the GAP Benchmark Suite frontier
+// queue. A single shared array holds successive BFS frontiers; worker
+// threads batch their pushes through thread-local QueueBuffers to avoid
+// contending on the shared tail for every element.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+
+namespace dgap {
+
+template <typename T>
+class QueueBuffer;
+
+template <typename T>
+class SlidingQueue {
+ public:
+  explicit SlidingQueue(std::size_t shared_size)
+      : shared_(std::make_unique<T[]>(shared_size)), capacity_(shared_size) {
+    reset();
+  }
+
+  void push_back(T to_add) {
+    shared_[shared_in_.fetch_add(1, std::memory_order_relaxed)] = to_add;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return shared_out_start_ == shared_out_end_;
+  }
+
+  void reset() {
+    shared_out_start_ = 0;
+    shared_out_end_ = 0;
+    shared_in_.store(0, std::memory_order_relaxed);
+  }
+
+  // Advance the window: everything pushed since the last slide becomes the
+  // new readable frontier.
+  void slide_window() {
+    shared_out_start_ = shared_out_end_;
+    shared_out_end_ = shared_in_.load(std::memory_order_relaxed);
+  }
+
+  using iterator = T*;
+  iterator begin() const { return shared_.get() + shared_out_start_; }
+  iterator end() const { return shared_.get() + shared_out_end_; }
+  [[nodiscard]] std::size_t size() const { return end() - begin(); }
+
+ private:
+  friend class QueueBuffer<T>;
+  std::unique_ptr<T[]> shared_;
+  std::size_t capacity_;
+  std::size_t shared_out_start_ = 0;
+  std::size_t shared_out_end_ = 0;
+  std::atomic<std::size_t> shared_in_{0};
+};
+
+template <typename T>
+class QueueBuffer {
+ public:
+  explicit QueueBuffer(SlidingQueue<T>& master, std::size_t given_size = 12800)
+      : sq_(master), local_size_(given_size) {
+    in_ = 0;
+    local_queue_ = std::make_unique<T[]>(local_size_);
+  }
+
+  void push_back(T to_add) {
+    if (in_ == local_size_) flush();
+    local_queue_[in_++] = to_add;
+  }
+
+  void flush() {
+    if (in_ == 0) return;
+    T* shared_queue = sq_.shared_.get();
+    const std::size_t copy_start =
+        sq_.shared_in_.fetch_add(in_, std::memory_order_relaxed);
+    assert(copy_start + in_ <= sq_.capacity_);
+    std::copy(local_queue_.get(), local_queue_.get() + in_,
+              shared_queue + copy_start);
+    in_ = 0;
+  }
+
+ private:
+  SlidingQueue<T>& sq_;
+  std::unique_ptr<T[]> local_queue_;
+  std::size_t in_;
+  std::size_t local_size_;
+};
+
+}  // namespace dgap

@@ -1,0 +1,93 @@
+// Lightweight locks used for per-section concurrency control. All locks in
+// DGAP live in DRAM (paper §3.1.6): losing them on crash is fine because
+// pending writes are recovered from persistent logs instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/platform.hpp"
+
+namespace dgap {
+
+// Test-and-test-and-set spinlock, padded to a cache line to avoid false
+// sharing inside lock arrays.
+class alignas(kCacheLineSize) SpinLock {
+ public:
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// Reader/writer spinlock with writer preference, padded to a cache line.
+// `state` < 0 means writer held; > 0 counts readers. `pending` blocks new
+// readers while a writer (or a rebalance spanning this section) waits —
+// this is the "condition variable" role from paper §3.1.6.
+class alignas(kCacheLineSize) RWSpinLock {
+ public:
+  void lock_shared() {
+    for (;;) {
+      while (pending_.load(std::memory_order_acquire) ||
+             state_.load(std::memory_order_relaxed) < 0) {
+        cpu_relax();
+      }
+      std::int32_t cur = state_.load(std::memory_order_relaxed);
+      if (cur >= 0 && state_.compare_exchange_weak(
+                          cur, cur + 1, std::memory_order_acquire)) {
+        if (!pending_.load(std::memory_order_acquire)) return;
+        // A writer arrived between our check and increment: back out.
+        state_.fetch_sub(1, std::memory_order_release);
+      }
+    }
+  }
+
+  void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  void lock() {
+    set_pending();
+    lock_after_pending();
+  }
+
+  // Announce a writer so readers stop entering; separate from acquisition so
+  // rebalancing can mark a whole range before taking locks in order.
+  void set_pending() { pending_.store(true, std::memory_order_release); }
+
+  void lock_after_pending() {
+    std::int32_t expected = 0;
+    while (!state_.compare_exchange_weak(expected, -1,
+                                         std::memory_order_acquire)) {
+      expected = 0;
+      cpu_relax();
+    }
+  }
+
+  void unlock() {
+    pending_.store(false, std::memory_order_release);
+    state_.store(0, std::memory_order_release);
+  }
+
+ private:
+  static void cpu_relax() {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+  std::atomic<std::int32_t> state_{0};
+  std::atomic<bool> pending_{false};
+};
+
+}  // namespace dgap

@@ -1,0 +1,56 @@
+#include "src/common/timer.hpp"
+
+#include <algorithm>
+
+namespace dgap {
+
+namespace {
+
+inline void cpu_pause() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#endif
+}
+
+// Calibrate how many pause-loop iterations burn one nanosecond, so
+// spin_wait_ns() needs no clock reads at all — on this host both
+// clock_gettime and rdtsc cost 45-105 ns per call, far too much for
+// injecting ~100 ns delays millions of times.
+double calibrate_pauses_per_ns() {
+  // Warm up, then take the best (least-interfered) of several short
+  // samples: on an oversubscribed host a single sample can be descheduled
+  // mid-measurement and undershoot badly.
+  for (int i = 0; i < 10000; ++i) cpu_pause();
+  constexpr std::uint64_t kIters = 300'000;
+  std::uint64_t best_elapsed = ~std::uint64_t{0};
+  for (int sample = 0; sample < 7; ++sample) {
+    const std::uint64_t t0 = now_ns();
+    for (std::uint64_t i = 0; i < kIters; ++i) cpu_pause();
+    const std::uint64_t t1 = now_ns();
+    if (t1 > t0) best_elapsed = std::min(best_elapsed, t1 - t0);
+  }
+  if (best_elapsed == ~std::uint64_t{0} || best_elapsed == 0) return 1.0;
+  return static_cast<double>(kIters) / static_cast<double>(best_elapsed);
+}
+
+const double g_pauses_per_ns = calibrate_pauses_per_ns();
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t fast_now_ns() { return now_ns(); }
+
+void spin_wait_ns(std::uint64_t ns) {
+  if (ns == 0) return;
+  const auto iters = static_cast<std::uint64_t>(
+      static_cast<double>(ns) * g_pauses_per_ns);
+  for (std::uint64_t i = 0; i < iters; ++i) cpu_pause();
+}
+
+}  // namespace dgap

@@ -1,0 +1,48 @@
+// Wall-clock timers used by tests and the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace dgap {
+
+// Monotonic stopwatch. `start()` resets; `seconds()`/`ns()` report the span
+// since the last start (or construction).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void start() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] std::uint64_t ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Busy-wait for `ns` nanoseconds. Used by the PM latency model: sleeping is
+// far too coarse at the ~100ns scale of persistent-memory write latencies.
+void spin_wait_ns(std::uint64_t ns);
+
+// Current steady-clock time in nanoseconds since an arbitrary epoch.
+// NOTE: may be a full syscall on some hosts (~1 us) — never call on a hot
+// path; use fast_now_ns() there.
+std::uint64_t now_ns();
+
+// Cheapest available nanosecond clock for hot-path bookkeeping (the PM
+// latency model's recency stamps). On this host the vdso steady clock wins;
+// the spin loop itself never reads a clock (pause-count calibrated).
+std::uint64_t fast_now_ns();
+
+}  // namespace dgap

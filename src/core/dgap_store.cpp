@@ -1,0 +1,737 @@
+#include "src/core/dgap_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/pma/layout.hpp"
+#include "src/pmem/alloc.hpp"
+
+namespace dgap::core {
+
+namespace {
+std::atomic<std::uint64_t> g_instance_counter{1};
+}  // namespace
+
+DgapStore::DgapStore(pmem::PmemPool& pool, const DgapOptions& opts)
+    : pool_(pool),
+      opts_(opts),
+      instance_id_(g_instance_counter.fetch_add(1)) {}
+
+UlogDescriptor* DgapStore::ulog(std::uint32_t tid) const {
+  return pool_.at<UlogDescriptor>(root_->ulog_region_off +
+                                  tid * ulog_stride(root_->ulog_data_bytes));
+}
+
+char* DgapStore::ulog_data(std::uint32_t tid) const {
+  return reinterpret_cast<char*>(ulog(tid)) + sizeof(UlogDescriptor);
+}
+
+std::uint32_t DgapStore::writer_slot() const {
+  // Per-(store instance, thread) undo-log slot. Keyed by instance id so a
+  // new store reusing a freed address never aliases stale assignments.
+  thread_local std::unordered_map<std::uint64_t, std::uint32_t> t_slots;
+  const auto it = t_slots.find(instance_id_);
+  if (it != t_slots.end()) return it->second;
+  const std::uint32_t slot =
+      const_cast<DgapStore*>(this)->next_writer_.fetch_add(1);
+  if (slot >= root_->num_ulogs)
+    throw std::runtime_error(
+        "DGAP: more concurrent writer threads than "
+        "DgapOptions::max_writer_threads");
+  t_slots.emplace(instance_id_, slot);
+  return slot;
+}
+
+void DgapStore::adopt_layout(const DgapLayout& l) {
+  slots_ = pool_.at<Slot>(l.edge_array_off);
+  elog_base_ = pool_.at<ElogEntry>(l.elog_region_off);
+  capacity_ = l.capacity_slots;
+  num_segments_ = l.num_segments;
+  seg_slots_ = l.segment_slots;
+  seg_shift_ = log2_floor(l.segment_slots);
+  elog_entries_ = l.elog_entries;
+  sections_.ensure(num_segments_);
+}
+
+// ---------------------------------------------------------------------------
+// Creation / initialization
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<DgapStore> DgapStore::create(pmem::PmemPool& pool,
+                                             const DgapOptions& opts) {
+  if (!is_pow2(opts.segment_slots))
+    throw std::invalid_argument("segment_slots must be a power of two");
+  std::unique_ptr<DgapStore> store(new DgapStore(pool, opts));
+  store->init_fresh(opts);
+  return store;
+}
+
+void DgapStore::init_fresh(const DgapOptions& opts) {
+  auto& alloc = pool_.allocator();
+
+  const std::uint64_t root_off = alloc.alloc(sizeof(DgapRoot));
+  root_ = pool_.at<DgapRoot>(root_off);
+  std::memset(root_, 0, sizeof(DgapRoot));
+  root_->magic = kDgapMagic;
+  root_->num_ulogs = opts.max_writer_threads;
+  root_->ulog_data_bytes = opts.ulog_bytes;
+  root_->elog_bytes = opts.elog_bytes;
+
+  // Per-thread undo logs (paper §3, component 4).
+  const std::uint64_t stride = ulog_stride(opts.ulog_bytes);
+  root_->ulog_region_off = alloc.alloc(stride * opts.max_writer_threads);
+  std::memset(pool_.at<char>(root_->ulog_region_off), 0,
+              stride * opts.max_writer_threads);
+  pool_.persist(pool_.at<char>(root_->ulog_region_off),
+                stride * opts.max_writer_threads);
+
+  // PMDK-style transaction journal for the "No EL&UL" ablation.
+  if (!opts.use_ulog) {
+    root_->tx_anchor_off = pmem::TxJournal::create(pool_);
+    tx_journal_ =
+        std::make_unique<pmem::TxJournal>(pool_, root_->tx_anchor_off);
+  }
+
+  // Initial edge array sizing: room for the user's estimates at roughly 50%
+  // density so early inserts rarely rebalance.
+  const std::uint64_t needed =
+      static_cast<std::uint64_t>(opts.init_vertices) + opts.init_edges;
+  std::uint64_t cap = ceil_pow2(std::max<std::uint64_t>(
+      needed * 2, opts.segment_slots * 2));
+  const std::uint64_t nsegs = cap / opts.segment_slots;
+
+  DgapLayout layout{};
+  layout.capacity_slots = cap;
+  layout.num_segments = nsegs;
+  layout.segment_slots = opts.segment_slots;
+  layout.elog_entries = opts.elog_bytes / sizeof(ElogEntry);
+  layout.edge_array_off = alloc.alloc(cap * sizeof(Slot), 4096);
+  layout.elog_region_off =
+      alloc.alloc(nsegs * layout.elog_entries * sizeof(ElogEntry), 4096);
+
+  std::memset(pool_.at<char>(layout.edge_array_off), 0, cap * sizeof(Slot));
+  pool_.persist(pool_.at<char>(layout.edge_array_off), cap * sizeof(Slot));
+  std::memset(pool_.at<char>(layout.elog_region_off), 0,
+              nsegs * layout.elog_entries * sizeof(ElogEntry));
+  pool_.persist(pool_.at<char>(layout.elog_region_off),
+                nsegs * layout.elog_entries * sizeof(ElogEntry));
+
+  const std::uint64_t layout_off = alloc.alloc(sizeof(DgapLayout));
+  *pool_.at<DgapLayout>(layout_off) = layout;
+  pool_.persist(pool_.at<DgapLayout>(layout_off), sizeof(DgapLayout));
+  root_->layout_off = layout_off;
+  pool_.persist(root_, sizeof(DgapRoot));
+  pool_.set_root(root_off);
+
+  adopt_layout(layout);
+  tree_ = std::make_unique<pma::SegmentTree>(num_segments_, seg_slots_,
+                                             opts_.density);
+
+  entries_.assign(static_cast<std::size_t>(
+                      std::max<NodeId>(opts.init_vertices, 16) * 2),
+                  VertexEntry{});
+  build_initial_array(opts.init_vertices);
+
+  pool_.mark_running();
+}
+
+void DgapStore::build_initial_array(NodeId vertices) {
+  // Pre-place a pivot for every initial vertex, spread evenly so each gets a
+  // proportional share of the initial gaps (paper §3.1.1 pre-allocation).
+  if (vertices <= 0) {
+    num_vertices_.store(0, std::memory_order_release);
+    return;
+  }
+  const std::uint64_t n = static_cast<std::uint64_t>(vertices);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const std::uint64_t pos = v * capacity_ / n;
+    slots_[pos] = encode_pivot(static_cast<NodeId>(v));
+    entries_[v] = VertexEntry{pos, 0, 0, 0, 0};
+    tree_->add(sec_of(pos), +1);
+  }
+  pool_.persist(slots_, capacity_ * sizeof(Slot));
+  num_vertices_.store(n, std::memory_order_release);
+  root_->num_vertices = n;
+  pool_.persist(&root_->num_vertices, sizeof(root_->num_vertices));
+}
+
+std::unique_ptr<DgapStore> DgapStore::open(pmem::PmemPool& pool,
+                                           const DgapOptions& opts) {
+  std::unique_ptr<DgapStore> store(new DgapStore(pool, opts));
+  store->root_ = pool.at<DgapRoot>(pool.root());
+  if (store->root_->magic != kDgapMagic)
+    throw std::runtime_error("pool does not contain a DGAP store");
+  store->opts_.elog_bytes = store->root_->elog_bytes;
+  store->opts_.ulog_bytes = store->root_->ulog_data_bytes;
+  store->opts_.max_writer_threads = store->root_->num_ulogs;
+  if (store->root_->tx_anchor_off != 0)
+    store->tx_journal_ = std::make_unique<pmem::TxJournal>(
+        pool, store->root_->tx_anchor_off);
+  store->recover(!pool.was_clean_shutdown());
+  pool.mark_running();
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// Vertex growth
+// ---------------------------------------------------------------------------
+
+void DgapStore::insert_vertex(NodeId v) { ensure_vertices(v); }
+
+void DgapStore::reader_enter() const {
+  for (;;) {
+    while (growth_pending_.load(std::memory_order_acquire)) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+    active_readers_.fetch_add(1, std::memory_order_acq_rel);
+    if (!growth_pending_.load(std::memory_order_acquire)) return;
+    active_readers_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void DgapStore::reader_exit() const {
+  active_readers_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void DgapStore::quiesce_readers_begin() const {
+  growth_pending_.store(true, std::memory_order_release);
+  while (active_readers_.load(std::memory_order_acquire) != 0) {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+void DgapStore::quiesce_readers_end() const {
+  growth_pending_.store(false, std::memory_order_release);
+}
+
+void DgapStore::ensure_vertices(NodeId max_id) {
+  if (max_id < num_nodes()) return;
+  std::lock_guard<SpinLock> g(vertex_mu_);
+  while (num_nodes() <= max_id) {
+    const NodeId v = num_nodes();
+    if (static_cast<std::size_t>(v) >= entries_.size()) {
+      // Grow the vertex array under writer + reader exclusion: writers are
+      // blocked by global exclusive; analysis readers drain via the gate.
+      global_mu_.lock();
+      quiesce_readers_begin();
+      entries_.resize(entries_.size() * 2);
+      quiesce_readers_end();
+      global_mu_.unlock();
+    }
+    append_vertex_locked(v);
+  }
+}
+
+void DgapStore::append_vertex_locked(NodeId v) {
+  int failures = 0;
+  for (;;) {
+    std::uint64_t pos = 0;
+    if (v == 0) {
+      pos = 0;
+    } else {
+      const VertexEntry& prev = entries_[v - 1];
+      pos = prev.start + 1 + prev.arr_count;
+    }
+    if (pos >= capacity_) {
+      // The tail is out of room. Redistribute gaps toward the array end
+      // with an escalating free-space demand: each retry doubles the slack
+      // the chosen window must provide, widening it level by level until
+      // the sparse bulk of the array is included. Only a genuinely full
+      // array reaches the resize inside trigger_rebalance — without the
+      // escalation, every appended vertex would double the array.
+      const std::uint64_t demand = seg_slots_
+                                   << std::min(failures, 8);
+      ++failures;
+      trigger_rebalance(num_segments_ - 1, /*force=*/true, demand);
+      continue;
+    }
+    const std::uint64_t sec = sec_of(pos);
+    sections_[sec].lock.lock();
+    // Re-validate: a rebalance may have moved the tail.
+    const std::uint64_t pos2 =
+        v == 0 ? 0
+               : entries_[v - 1].start + 1 + entries_[v - 1].arr_count;
+    if (pos2 != pos || pos2 >= capacity_ || !is_gap(slots_[pos2])) {
+      sections_[sec].lock.unlock();
+      if (pos2 < capacity_ && !is_gap(slots_[pos2])) {
+        // The tail slot is occupied (dense end of array): make room, with
+        // the same escalating window demand as the out-of-room case.
+        const std::uint64_t demand = seg_slots_ << std::min(failures, 8);
+        ++failures;
+        trigger_rebalance(sec_of(pos2), /*force=*/true, demand);
+      }
+      continue;
+    }
+    pool_.store_persist(&slots_[pos], encode_pivot(v));
+    entries_[v] = VertexEntry{pos, 0, 0, 0, 0};
+    tree_->add(sec, +1);
+    if (!opts_.metadata_in_dram) mirror_vertex(v);
+    num_vertices_.store(static_cast<std::uint64_t>(v) + 1,
+                        std::memory_order_release);
+    root_->num_vertices = static_cast<std::uint64_t>(v) + 1;
+    pool_.persist(&root_->num_vertices, sizeof(root_->num_vertices));
+    sections_[sec].lock.unlock();
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge updates (paper §3.1.2)
+// ---------------------------------------------------------------------------
+
+void DgapStore::insert_edge(NodeId src, NodeId dst) {
+  insert_internal(src, dst, /*tombstone=*/false);
+}
+
+void DgapStore::delete_edge(NodeId src, NodeId dst) {
+  insert_internal(src, dst, /*tombstone=*/true);
+}
+
+void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
+  if (src < 0 || dst < 0) throw std::invalid_argument("negative vertex id");
+  ensure_vertices(std::max(src, dst));
+
+  int shift_failures = 0;
+  for (;;) {
+    global_mu_.lock_shared();
+    // Optimistic read; every value is re-validated under the section locks.
+    const VertexEntry e = entries_[src];
+    const std::uint64_t ss = seg_slots_;
+    const std::uint64_t cap = capacity_;
+    if (e.start >= cap || ss == 0) {  // torn mid-resize: retry
+      global_mu_.unlock_shared();
+      continue;
+    }
+
+    const std::uint64_t pos = e.start + 1 + e.arr_count;
+    const std::uint64_t home = e.start / ss;
+    const std::uint64_t pos_sec =
+        pos < cap ? pos / ss : num_segments_ - 1;
+    const std::uint64_t first = std::min(home, pos_sec);
+    const std::uint64_t last = std::max(home, pos_sec);
+    if (last >= sections_.size()) {
+      global_mu_.unlock_shared();
+      continue;
+    }
+
+    for (std::uint64_t s = first; s <= last; ++s) sections_[s].lock.lock();
+    const VertexEntry& live = entries_[src];
+    if (live.start != e.start || seg_slots_ != ss ||
+        live.arr_count != e.arr_count || live.el_count != e.el_count) {
+      for (std::uint64_t s = first; s <= last; ++s)
+        sections_[s].lock.unlock();
+      global_mu_.unlock_shared();
+      continue;
+    }
+
+    bool need_rebalance = false;
+    std::uint64_t rebalance_seg = 0;
+    bool retry = false;
+
+    if (live.el_count == 0 && pos < cap && is_gap(slots_[pos])) {
+      // Case (a), Fig 3(a): the slot at the end of the run is free — write
+      // the edge in place with a single atomic 8-byte persist.
+      pool_.store_persist(&slots_[pos], encode_edge(dst, tombstone));
+      entries_[src].arr_count += 1;
+      if (tombstone) entries_[src].has_tombstone = 1;
+      tree_->add(pos / ss, +1);
+      if (!opts_.metadata_in_dram) {
+        mirror_vertex(src);
+        mirror_segment(pos / ss);
+      }
+      ++stats_.array_inserts;
+    } else if (opts_.use_elog) {
+      // Case (b), Fig 3(b): destination occupied — append to the home
+      // section's edge log instead of shifting neighbors.
+      SectionMeta& sm = sections_[home];
+      if (sm.elog_raw >= elog_entries_) {
+        retry = true;  // log full: merge first, then retry the insert
+        need_rebalance = true;
+        rebalance_seg = home;
+      } else {
+        const std::uint32_t idx = sm.elog_raw;
+        ElogEntry* entry = elog(home) + idx;
+        *entry = make_elog_entry(src, dst, tombstone, live.el_head_p1);
+        pool_.persist(entry, sizeof(ElogEntry));
+        sm.elog_raw += 1;
+        sm.elog_live += 1;
+        entries_[src].el_count += 1;
+        entries_[src].el_head_p1 = idx + 1;
+        if (tombstone) entries_[src].has_tombstone = 1;
+        tree_->add(home, +1);
+        if (!opts_.metadata_in_dram) {
+          mirror_vertex(src);
+          mirror_segment(home);
+        }
+        ++stats_.elog_inserts;
+        if (static_cast<double>(sm.elog_raw) >=
+            opts_.elog_merge_fill * static_cast<double>(elog_entries_)) {
+          need_rebalance = true;
+          rebalance_seg = home;
+        }
+      }
+    } else {
+      // Ablation "No EL": perform the nearby shift the paper's motivation
+      // section measures (write amplification, Fig 1a).
+      bool shifted = false;
+      if (live.el_count == 0 && pos < cap) {
+        const std::uint64_t seg_end = (pos / ss + 1) * ss;
+        std::uint64_t gap = pos;
+        while (gap < seg_end && !is_gap(slots_[gap])) ++gap;
+        if (gap < seg_end) {
+          nearby_shift_insert(src, encode_edge(dst, tombstone), pos, gap);
+          entries_[src].arr_count += 1;
+          if (tombstone) entries_[src].has_tombstone = 1;
+          tree_->add(pos / ss, +1);
+          if (!opts_.metadata_in_dram) {
+            mirror_vertex(src);
+            mirror_segment(pos / ss);
+          }
+          shifted = true;
+        }
+      }
+      if (!shifted) {
+        retry = true;
+        need_rebalance = true;
+        ++shift_failures;
+        rebalance_seg = pos < cap ? pos / ss : num_segments_ - 1;
+      }
+    }
+
+    for (std::uint64_t s = first; s <= last; ++s) sections_[s].lock.unlock();
+    global_mu_.unlock_shared();
+    if (need_rebalance) {
+      if (shift_failures >= 4) {
+        // No-EL ablation escape hatch: repeated shift failures mean the
+        // region is packed beyond what window rebalancing redistributes —
+        // grow the array.
+        std::lock_guard<SpinLock> g(rebalance_mu_);
+        resize_and_rebuild(0);
+        shift_failures = 0;
+      } else {
+        trigger_rebalance(rebalance_seg, /*force=*/shift_failures >= 2);
+      }
+    }
+    if (!retry) break;
+  }
+}
+
+void DgapStore::nearby_shift_insert(NodeId src, Slot value, std::uint64_t pos,
+                                    std::uint64_t gap) {
+  (void)src;
+  // Shift [pos, gap) one slot right, then place `value` at pos. The whole
+  // overwritten range is backed up in the undo log first so a crash cannot
+  // tear the shift (recovery restores the pre-shift image).
+  const std::uint64_t range_slots = gap - pos + 1;
+  const std::uint32_t tid = writer_slot();
+  UlogDescriptor* d = ulog(tid);
+  const std::uint64_t ulog_slots = root_->ulog_data_bytes / sizeof(Slot);
+  const bool via_ulog = opts_.protect_structural_ops && opts_.use_ulog &&
+                        range_slots <= ulog_slots;
+  const bool via_tx = opts_.protect_structural_ops && !via_ulog &&
+                      tx_journal_ != nullptr;
+  if (via_ulog) {
+    std::memcpy(ulog_data(tid), slots_ + pos, range_slots * sizeof(Slot));
+    pool_.persist(ulog_data(tid), range_slots * sizeof(Slot));
+    d->undo_slot = pos;
+    d->undo_slots = range_slots;
+    d->undo_valid = 1;
+    d->state = UlogDescriptor::kShift;
+    pool_.persist(d, sizeof(UlogDescriptor));
+  }
+  if (via_tx) {
+    // "No EL&UL" ablation: the shift is protected by a PMDK-style
+    // transaction instead of the per-thread undo log.
+    pmem::PmemTx tx(pool_, *tx_journal_,
+                    range_slots * sizeof(Slot) + 4096);
+    tx.add_range(slots_ + pos, range_slots * sizeof(Slot));
+    std::memmove(slots_ + pos + 1, slots_ + pos,
+                 (gap - pos) * sizeof(Slot));
+    slots_[pos] = value;
+    pool_.persist(slots_ + pos, range_slots * sizeof(Slot));
+    tx.commit();
+  } else {
+    std::memmove(slots_ + pos + 1, slots_ + pos,
+                 (gap - pos) * sizeof(Slot));
+    slots_[pos] = value;
+    pool_.persist(slots_ + pos, range_slots * sizeof(Slot));
+  }
+  if (via_ulog) {
+    d->state = UlogDescriptor::kIdle;
+    d->undo_valid = 0;
+    pool_.persist(d, sizeof(UlogDescriptor));
+  }
+  // Pivots that moved right belong to later vertices: fix their starts.
+  for (std::uint64_t p = pos + 1; p <= gap; ++p) {
+    if (is_pivot(slots_[p]))
+      entries_[pivot_vertex(slots_[p])].start = p;
+  }
+  ++stats_.shift_inserts;
+  stats_.shift_slots_moved += gap - pos;
+}
+
+// ---------------------------------------------------------------------------
+// Reads / snapshots (paper §3.1.3)
+// ---------------------------------------------------------------------------
+
+DgapStore::LockedRange DgapStore::lock_vertex_shared(NodeId v,
+                                                     std::uint32_t limit,
+                                                     VertexEntry& out) const {
+  for (;;) {
+    const VertexEntry e = entries_[v];
+    const std::uint64_t ss = seg_slots_;
+    const int shift = seg_shift_;
+    if (ss == 0 || e.start >= capacity_) continue;
+    const std::uint32_t arr_take = std::min<std::uint32_t>(limit, e.arr_count);
+    const std::uint64_t last_slot = e.start + arr_take;  // >= pivot slot
+    const std::uint64_t first = e.start >> shift;
+    const std::uint64_t last = last_slot >> shift;
+    if (last >= sections_.size()) continue;
+    for (std::uint64_t s = first; s <= last; ++s)
+      sections_[s].lock.lock_shared();
+    const VertexEntry& live = entries_[v];
+    if (live.start == e.start && seg_slots_ == ss &&
+        live.arr_count >= arr_take) {
+      out = live;
+      return {first, last};
+    }
+    for (std::uint64_t s = first; s <= last; ++s)
+      sections_[s].lock.unlock_shared();
+  }
+}
+
+void DgapStore::unlock_shared(const LockedRange& r) const {
+  for (std::uint64_t s = r.first_sec; s <= r.last_sec; ++s)
+    sections_[s].lock.unlock_shared();
+}
+
+Snapshot DgapStore::consistent_view() const {
+  Snapshot snap;
+  snap.store_ = this;
+  // Briefly exclude writers while copying the degree column — the paper's
+  // "temporarily holds the graph updates" (§3.1.3).
+  global_mu_.lock();
+  const NodeId n = num_nodes();
+  snap.degree_.resize(static_cast<std::size_t>(n));
+  snap.tomb_.resize(static_cast<std::size_t>(n));
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const VertexEntry& e = entries_[v];
+    snap.degree_[v] = e.arr_count + e.el_count;
+    snap.tomb_[v] = e.has_tombstone;
+    total += snap.degree_[v];
+  }
+  snap.total_ = total;
+  global_mu_.unlock();
+  // Pin the vertex table for the snapshot's lifetime (see Snapshot docs).
+  reader_enter();
+  return snap;
+}
+
+void Snapshot::release() {
+  if (store_ != nullptr) {
+    store_->reader_exit();
+    store_ = nullptr;
+  }
+}
+
+std::vector<NodeId> Snapshot::neighbors(NodeId v) const {
+  std::vector<NodeId> out;
+  const auto limit = degree_[v];
+  out.reserve(limit);
+  std::vector<std::pair<NodeId, bool>> raw;
+  raw.reserve(limit);
+  store_->read_edges(v, limit,
+                     [&](NodeId d, bool tomb) { raw.emplace_back(d, tomb); });
+  // A tombstone cancels the latest prior un-cancelled instance of the same
+  // destination (deletion always follows its insertion chronologically).
+  std::vector<bool> cancelled(raw.size(), false);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (!raw[i].second) continue;
+    cancelled[i] = true;  // the tombstone itself is not a neighbor
+    for (std::size_t j = i; j-- > 0;) {
+      if (!cancelled[j] && !raw[j].second && raw[j].first == raw[i].first) {
+        cancelled[j] = true;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    if (!cancelled[i] && !raw[i].second) out.push_back(raw[i].first);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: metadata-on-PM cost emulation
+// ---------------------------------------------------------------------------
+
+void DgapStore::mirror_vertex(NodeId v) {
+  constexpr std::uint64_t kEntryBytes = 24;
+  const std::uint64_t needed =
+      (static_cast<std::uint64_t>(v) + 1) * kEntryBytes;
+  if (mirror_off_ == 0 || needed > mirror_capacity_) {
+    const std::uint64_t cap = std::max<std::uint64_t>(
+        ceil_pow2(needed), entries_.size() * kEntryBytes);
+    mirror_off_ = pool_.allocator().alloc(cap);
+    mirror_capacity_ = cap;
+  }
+  char* p = pool_.at<char>(mirror_off_ + v * kEntryBytes);
+  const VertexEntry& e = entries_[v];
+  std::memcpy(p, &e.start, 8);
+  std::memcpy(p + 8, &e.arr_count, 4);
+  std::memcpy(p + 12, &e.el_count, 4);
+  std::memcpy(p + 16, &e.el_head_p1, 4);
+  pool_.persist(p, kEntryBytes);  // repeated in-place persist: the slow path
+}
+
+void DgapStore::mirror_segment(std::uint64_t seg) {
+  if (mirror_off_ == 0) return;
+  // Re-persist the first line of the mirror as the PMA-tree count update;
+  // the cost (an in-place flush) is what matters for the ablation.
+  char* p = pool_.at<char>(mirror_off_ + (seg % 8) * 64);
+  pool_.persist(p, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown (paper §3.1.5)
+// ---------------------------------------------------------------------------
+
+void DgapStore::shutdown() {
+  global_mu_.lock();
+  const std::uint64_t n = num_segments_;
+  lock_sections_upto(n);
+  persist_shutdown_image();
+  pool_.mark_clean_shutdown();
+  unlock_sections_upto(n);
+  global_mu_.unlock();
+}
+
+void DgapStore::lock_sections_upto(std::uint64_t count) const {
+  for (std::uint64_t s = 0; s < count; ++s) sections_[s].lock.lock();
+}
+
+void DgapStore::unlock_sections_upto(std::uint64_t count) const {
+  for (std::uint64_t s = 0; s < count; ++s) sections_[s].lock.unlock();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::uint64_t DgapStore::num_edge_slots() const {
+  std::uint64_t total = 0;
+  const NodeId n = num_nodes();
+  for (NodeId v = 0; v < n; ++v)
+    total += entries_[v].arr_count + entries_[v].el_count;
+  return total;
+}
+
+std::uint64_t DgapStore::elog_capacity_bytes() const {
+  return num_segments_ * elog_entries_ * sizeof(ElogEntry);
+}
+
+double DgapStore::elog_fill_at_merge() const {
+  return stats_.merges == 0 ? 0.0
+                            : stats_.merge_fill_sum /
+                                  static_cast<double>(stats_.merges);
+}
+
+bool DgapStore::check_invariants(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  const NodeId n = num_nodes();
+
+  // Pass 1: scan the edge array; verify run shape and entry agreement.
+  std::vector<std::uint64_t> seg_used(num_segments_, 0);
+  NodeId cur = kInvalidNode;
+  std::uint64_t cur_edges = 0;
+  bool in_gap_tail = false;
+  std::uint64_t runs_seen = 0;
+  auto close_run = [&]() -> bool {
+    if (cur == kInvalidNode) return true;
+    const VertexEntry& e = entries_[cur];
+    if (e.arr_count != cur_edges) {
+      std::ostringstream os;
+      os << "vertex " << cur << " arr_count " << e.arr_count
+         << " != scanned " << cur_edges;
+      if (why != nullptr) *why = os.str();
+      return false;
+    }
+    ++runs_seen;
+    return true;
+  };
+  for (std::uint64_t pos = 0; pos < capacity_; ++pos) {
+    const Slot s = slots_[pos];
+    if (is_gap(s)) {
+      if (cur != kInvalidNode) in_gap_tail = true;
+      continue;
+    }
+    seg_used[sec_of(pos)] += 1;
+    if (is_pivot(s)) {
+      if (!close_run()) return false;
+      cur = pivot_vertex(s);
+      if (cur < 0 || cur >= n) return fail("pivot for unknown vertex");
+      if (entries_[cur].start != pos)
+        return fail("entry start does not match pivot position");
+      cur_edges = 0;
+      in_gap_tail = false;
+    } else {
+      if (cur == kInvalidNode) return fail("edge before any pivot");
+      if (in_gap_tail) return fail("edge after gap inside a run");
+      ++cur_edges;
+    }
+  }
+  if (!close_run()) return false;
+  if (runs_seen != static_cast<std::uint64_t>(n))
+    return fail("pivot count != num_vertices");
+
+  // Pass 2: per-section accounting (array slots + live elog entries).
+  for (std::uint64_t seg = 0; seg < num_segments_; ++seg) {
+    const std::uint64_t expect = seg_used[seg] + sections_[seg].elog_live;
+    if (tree_->count(seg) != expect) {
+      std::ostringstream os;
+      os << "segment " << seg << " tree count " << tree_->count(seg)
+         << " != " << expect;
+      if (why != nullptr) *why = os.str();
+      return false;
+    }
+  }
+
+  // Pass 3: edge-log chains.
+  for (NodeId v = 0; v < n; ++v) {
+    const VertexEntry& e = entries_[v];
+    if (e.el_count == 0) {
+      if (e.el_head_p1 != 0) return fail("head pointer without entries");
+      continue;
+    }
+    const std::uint64_t home = sec_of(e.start);
+    const ElogEntry* log = elog(home);
+    std::uint32_t idx_p1 = e.el_head_p1;
+    std::uint32_t hops = 0;
+    while (idx_p1 != 0) {
+      if (idx_p1 > elog_entries_) return fail("chain index out of range");
+      const ElogEntry& entry = log[idx_p1 - 1];
+      if (!elog_used(entry) || elog_consumed(entry))
+        return fail("chain references unused/consumed entry");
+      if (elog_src(entry) != v) return fail("chain crosses vertices");
+      ++hops;
+      if (hops > e.el_count) return fail("chain longer than el_count");
+      idx_p1 = entry.prev_p1;
+    }
+    if (hops != e.el_count) return fail("chain shorter than el_count");
+  }
+  return true;
+}
+
+}  // namespace dgap::core

@@ -1,0 +1,422 @@
+// DgapStore: the paper's contribution — a dynamic graph store whose single
+// mutable-CSR (PMA/VCSR) edge array lives on persistent memory, with
+//
+//   * a DRAM vertex array (degree / start / edge-log pointer) rebuilt from
+//     pivot elements after a crash                       (paper §3, box 1+2)
+//   * a per-section edge log absorbing inserts that would need a nearby
+//     shift                                              (paper §3, box 3)
+//   * a per-thread undo log making rebalancing crash-consistent without
+//     PMDK transactions                                  (paper §3, box 4)
+//   * degree-cache snapshots giving analysis tasks a consistent view
+//     (insertion-order edge storage makes "first degree_t(v) edges" exact)
+//   * per-section reader/writer locks, ordered acquisition for rebalances
+//     (paper §3.1.6)
+//
+// Ablation switches in DgapOptions turn each design off to reproduce the
+// paper's Table 5 variants.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/spinlock.hpp"
+#include "src/core/encoding.hpp"
+#include "src/core/options.hpp"
+#include "src/core/persistent_layout.hpp"
+#include "src/core/section_table.hpp"
+#include "src/graph/types.hpp"
+#include "src/pma/segment_tree.hpp"
+#include "src/pmem/pool.hpp"
+#include "src/pmem/tx.hpp"
+
+namespace dgap::core {
+
+class DgapStore;
+
+// Degree-cache snapshot (paper §3.1.3): records every vertex's degree at
+// creation time; reads then return exactly the first degree_t(v) edges of v
+// in chronological order, so long-running analyses see a frozen graph while
+// writers keep inserting.
+//
+// A live Snapshot pins the store's vertex table (the reader gate is held
+// for the snapshot's lifetime), so per-vertex reads need no extra atomics.
+// Consequences: a Snapshot must not outlive its store, and vertex-table
+// growth (first insert of a brand-new vertex id beyond capacity) waits
+// until outstanding snapshots are destroyed. Move-only.
+class Snapshot {
+ public:
+  Snapshot() = default;
+  Snapshot(Snapshot&& other) noexcept { move_from(other); }
+  Snapshot& operator=(Snapshot&& other) noexcept {
+    release();
+    move_from(other);
+    return *this;
+  }
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+  ~Snapshot() { release(); }
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(degree_.size());
+  }
+  // Degree as slot count (includes tombstoned edges; exact when the
+  // workload is insert-only, like the paper's evaluation).
+  [[nodiscard]] std::int64_t out_degree(NodeId v) const { return degree_[v]; }
+  [[nodiscard]] std::uint64_t num_edges_directed() const { return total_; }
+
+  // Stream v's neighbors (tombstones skipped; with deletions present the
+  // store transparently falls back to the exact cancelling path).
+  template <typename F>
+  void for_each_out(NodeId v, F&& fn) const;
+
+  // Exact neighbor list with tombstone cancellation.
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId v) const;
+
+ private:
+  friend class DgapStore;
+  void release();
+  void move_from(Snapshot& other) {
+    store_ = other.store_;
+    degree_ = std::move(other.degree_);
+    tomb_ = std::move(other.tomb_);
+    total_ = other.total_;
+    other.store_ = nullptr;
+  }
+
+  const DgapStore* store_ = nullptr;
+  std::vector<std::uint32_t> degree_;
+  std::vector<std::uint8_t> tomb_;  // per-vertex "has tombstones" cache
+  std::uint64_t total_ = 0;
+};
+
+// Operation counters exposed for benches and the ablation analysis.
+struct DgapStats {
+  std::uint64_t array_inserts = 0;  // edges placed directly in the array
+  std::uint64_t elog_inserts = 0;   // edges absorbed by a per-section log
+  std::uint64_t shift_inserts = 0;  // ablation: nearby shifts performed
+  std::uint64_t shift_slots_moved = 0;
+  std::uint64_t rebalances = 0;
+  std::uint64_t resizes = 0;
+  std::uint64_t merges = 0;            // sections drained during rebalances
+  double merge_fill_sum = 0;           // sum of elog fill fractions at drain
+};
+
+class DgapStore {
+ public:
+  // Initialize a brand-new store inside `pool` (pool must be fresh).
+  static std::unique_ptr<DgapStore> create(pmem::PmemPool& pool,
+                                           const DgapOptions& opts);
+  // Attach to an existing store: fast path after a clean shutdown, full
+  // scan + undo-log replay after a crash (paper §3.1.5).
+  static std::unique_ptr<DgapStore> open(pmem::PmemPool& pool,
+                                         const DgapOptions& opts);
+
+  ~DgapStore() = default;
+  DgapStore(const DgapStore&) = delete;
+  DgapStore& operator=(const DgapStore&) = delete;
+
+  // --- updates (paper §3.1.2) ---------------------------------------------
+  void insert_edge(NodeId src, NodeId dst);
+  // Deletion = re-insert with a tombstone flag.
+  void delete_edge(NodeId src, NodeId dst);
+  // Ensure vertex ids [0, v] exist (pivot appended for each new vertex).
+  void insert_vertex(NodeId v);
+
+  // --- analysis (paper §3.1.3) ----------------------------------------------
+  [[nodiscard]] Snapshot consistent_view() const;
+
+  // --- lifecycle (paper §3.1.5) ---------------------------------------------
+  // Graceful shutdown: persist the DRAM vertex array + PMA metadata so the
+  // next open() is fast, then set NORMAL_SHUTDOWN.
+  void shutdown();
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(num_vertices_.load(std::memory_order_acquire));
+  }
+  [[nodiscard]] std::uint64_t num_edge_slots() const;  // incl. tombstones
+  [[nodiscard]] std::uint64_t capacity_slots() const { return capacity_; }
+  [[nodiscard]] std::uint64_t num_segments() const { return num_segments_; }
+  [[nodiscard]] const DgapStats& stats() const { return stats_; }
+  [[nodiscard]] const DgapOptions& options() const { return opts_; }
+  [[nodiscard]] std::uint64_t elog_capacity_bytes() const;
+  // Average edge-log fill fraction observed at merge time (Fig 9 metric).
+  [[nodiscard]] double elog_fill_at_merge() const;
+
+  // Deep structural audit for tests: run shape, tree counts, chain sanity.
+  [[nodiscard]] bool check_invariants(std::string* why = nullptr) const;
+
+  // Raw neighbor read used by Snapshot: emit the first `limit` chronological
+  // edges of v as (dst, tombstone) pairs.
+  template <typename F>
+  void read_edges(NodeId v, std::uint32_t limit, F&& emit) const;
+
+  // Hot-path variant for vertices known to carry no tombstones (the
+  // snapshot caches that flag): emits destinations only, skipping per-slot
+  // tombstone decoding.
+  template <typename F>
+  void read_edges_fast(NodeId v, std::uint32_t limit, F&& emit) const;
+
+  // NOTE: requires the caller to hold the reader gate (a live Snapshot).
+  [[nodiscard]] bool has_tombstones(NodeId v) const {
+    return entries_[v].has_tombstone != 0;
+  }
+
+ private:
+  struct VertexEntry {
+    std::uint64_t start = 0;       // pivot slot
+    std::uint32_t arr_count = 0;   // edges in the array run
+    std::uint32_t el_count = 0;    // edges in the section edge log
+    std::uint32_t el_head_p1 = 0;  // newest elog entry of v, +1 (0 = none)
+    std::uint8_t has_tombstone = 0;
+  };
+
+  struct SectionMeta {
+    RWSpinLock lock;
+    std::uint32_t elog_raw = 0;   // entries appended (incl. consumed)
+    std::uint32_t elog_live = 0;  // unconsumed entries
+  };
+
+  struct GatheredRun {
+    NodeId vertex;
+    std::uint64_t old_start;
+    std::uint32_t arr_count;  // array edges (excl. pivot)
+    std::uint32_t el_count;   // live elog edges to splice
+  };
+
+  DgapStore(pmem::PmemPool& pool, const DgapOptions& opts);
+
+  // --- layout helpers -------------------------------------------------------
+  [[nodiscard]] Slot* slots() const { return slots_; }
+  [[nodiscard]] ElogEntry* elog(std::uint64_t section) const {
+    return elog_base_ + section * elog_entries_;
+  }
+  [[nodiscard]] std::uint64_t sec_of(std::uint64_t slot) const {
+    return slot >> seg_shift_;  // seg_slots_ is a power of two
+  }
+  [[nodiscard]] UlogDescriptor* ulog(std::uint32_t tid) const;
+  [[nodiscard]] char* ulog_data(std::uint32_t tid) const;
+  [[nodiscard]] DgapRoot* root() const { return root_; }
+  [[nodiscard]] std::uint32_t writer_slot() const;
+
+  void adopt_layout(const DgapLayout& l);
+  void init_fresh(const DgapOptions& opts);
+  void build_initial_array(NodeId vertices);
+
+  // --- insert path ----------------------------------------------------------
+  void insert_internal(NodeId src, NodeId dst, bool tombstone);
+  void ensure_vertices(NodeId max_id);
+  void append_vertex_locked(NodeId v);
+
+  // Acquire the section locks covering v's run prefix [start, start+1+arr)
+  // plus the home section, exclusively (writer) or shared (reader). Returns
+  // a stable copy of the entry. Template over lock mode.
+  struct LockedRange {
+    std::uint64_t first_sec;
+    std::uint64_t last_sec;  // inclusive
+  };
+  LockedRange lock_vertex_shared(NodeId v, std::uint32_t limit,
+                                 VertexEntry& out) const;
+  void unlock_shared(const LockedRange& r) const;
+
+  void nearby_shift_insert(NodeId src, Slot value, std::uint64_t pos,
+                           std::uint64_t sec);
+
+  // --- rebalance / resize (rebalance.cpp) ------------------------------------
+  // `force` executes one window rebalance even when the usual trigger
+  // conditions no longer hold (used by crash recovery to finish interrupted
+  // operations, paper §3.1.4). `extra_slots` inflates the density test so
+  // the chosen window is guaranteed at least that much free space —
+  // tail-append escalation relies on it.
+  void trigger_rebalance(std::uint64_t seg_hint, bool force = false,
+                         std::uint64_t extra_slots = 0);
+  [[nodiscard]] bool rebalance_needed(std::uint64_t seg) const;
+  // Preconditions: exclusive locks held on [begin_seg, end_seg).
+  void rebalance_window_locked(std::uint64_t begin_seg, std::uint64_t end_seg,
+                               std::uint32_t tid);
+  std::vector<GatheredRun> gather_runs(std::uint64_t slot_begin,
+                                       std::uint64_t slot_end) const;
+  // Collect v's live elog edges oldest-first as encoded slots.
+  void collect_elog_slots(NodeId v, std::vector<Slot>& out) const;
+  void move_run(const GatheredRun& run, std::uint64_t new_start,
+                std::uint32_t tid, std::uint64_t win_begin,
+                std::uint64_t win_end);
+  void mark_elog_consumed(NodeId v, std::uint64_t home_sec);
+  void clear_window_elogs(std::uint64_t begin_seg, std::uint64_t end_seg,
+                          std::uint32_t tid);
+  void zero_range_persist(std::uint64_t begin_slot, std::uint64_t end_slot);
+  // Preconditions: rebalance_mu_ held, no section locks held.
+  void resize_and_rebuild(std::uint64_t extra_slots);
+  void lock_sections_upto(std::uint64_t count) const;
+  void unlock_sections_upto(std::uint64_t count) const;
+
+  // Chunked, undo-protected copy of one run image into the array. Factored
+  // so crash recovery can resume it. `staging` holds the run's new content.
+  void copy_run_chunks(const std::vector<Slot>& staging,
+                       std::uint64_t new_start, bool tail_first,
+                       std::uint64_t start_cursor, std::uint32_t tid);
+
+  // Reader gate: excludes analysis readers while the vertex table or the
+  // whole layout is swapped (resize). Writers are excluded via global_mu_.
+  void reader_enter() const;
+  void reader_exit() const;
+  void quiesce_readers_begin() const;  // sets the gate, waits for drain
+  void quiesce_readers_end() const;
+
+  // --- ablation: metadata-on-PM cost emulation --------------------------------
+  void mirror_vertex(NodeId v);
+  void mirror_segment(std::uint64_t seg);
+
+  // --- recovery (recovery.cpp) ------------------------------------------------
+  void recover(bool crashed);
+  // Returns the interrupted window [begin_slot, end_slot) to re-issue, or
+  // {0, 0} when nothing was in flight.
+  std::pair<std::uint64_t, std::uint64_t> replay_ulog(std::uint32_t tid);
+  void rebuild_volatile_from_scan();
+  bool load_shutdown_image();
+  void persist_shutdown_image();
+  // Rebuild the new-content staging of the in-flight run recorded in the
+  // descriptor, reading surviving pieces from old/new positions + elog.
+  std::vector<Slot> reconstruct_inflight_staging(const UlogDescriptor& d) const;
+
+  friend class Snapshot;
+
+  pmem::PmemPool& pool_;
+  DgapOptions opts_;
+  DgapRoot* root_ = nullptr;
+
+  // Volatile mirrors of the active layout (stable while holding any section
+  // lock; mutated only under all-section locks during resize).
+  Slot* slots_ = nullptr;
+  ElogEntry* elog_base_ = nullptr;
+  std::uint64_t capacity_ = 0;
+  std::uint64_t num_segments_ = 0;
+  std::uint64_t seg_slots_ = 0;
+  int seg_shift_ = 0;  // log2(seg_slots_)
+  std::uint64_t elog_entries_ = 0;
+
+  std::vector<VertexEntry> entries_;
+  std::unique_ptr<pma::SegmentTree> tree_;
+  // Growable without invalidating concurrent readers (see section_table.hpp).
+  mutable SectionTable<SectionMeta> sections_;
+  std::atomic<std::uint64_t> num_vertices_{0};
+
+  // Writers shared / snapshot+resize exclusive.
+  mutable RWSpinLock global_mu_;
+  SpinLock vertex_mu_;      // serializes vertex append
+  SpinLock rebalance_mu_;   // serializes structural ops (see rebalance.cpp)
+
+  // PM mirror for the metadata-on-PM ablation (cost emulation only).
+  std::uint64_t mirror_off_ = 0;
+  std::uint64_t mirror_capacity_ = 0;
+
+  std::unique_ptr<pmem::TxJournal> tx_journal_;  // ablation: PMDK-style tx
+
+  std::atomic<std::uint32_t> next_writer_{0};
+  mutable std::atomic<int> active_readers_{0};
+  mutable std::atomic<bool> growth_pending_{false};
+  std::uint64_t instance_id_;
+  DgapStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Template implementations
+// ---------------------------------------------------------------------------
+
+// NOTE: the vertex table is pinned by the Snapshot that calls this (reader
+// gate held for the snapshot's lifetime); section locks below protect the
+// PM arrays from concurrent structural changes.
+template <typename F>
+void DgapStore::read_edges(NodeId v, std::uint32_t limit, F&& emit) const {
+  if (limit == 0) return;
+  VertexEntry e;
+  const LockedRange r = lock_vertex_shared(v, limit, e);
+
+  const std::uint32_t arr_take =
+      std::min<std::uint32_t>(limit, e.arr_count);
+  const Slot* run = slots_ + e.start + 1;
+  for (std::uint32_t i = 0; i < arr_take; ++i) {
+    const Slot s = run[i];
+    emit(edge_dst(s), edge_tombstone(s));
+  }
+
+  std::uint32_t remaining = limit - arr_take;
+  if (remaining > 0) {
+    // Walk the back-pointer chain (newest first) into a FIFO buffer, then
+    // emit the oldest `remaining` entries in chronological order
+    // (paper §3.1.3's FIFO buffer of size rest_t(v)).
+    const std::uint64_t home = sec_of(e.start);
+    const ElogEntry* log = elog(home);
+    std::vector<const ElogEntry*> chain;
+    chain.reserve(e.el_count);
+    std::uint32_t idx_p1 = e.el_head_p1;
+    while (idx_p1 != 0 && chain.size() < e.el_count) {
+      const ElogEntry* entry = log + (idx_p1 - 1);
+      chain.push_back(entry);
+      idx_p1 = entry->prev_p1;
+    }
+    if (remaining > chain.size())
+      remaining = static_cast<std::uint32_t>(chain.size());
+    // chain is newest-first; the oldest `remaining` are at the back.
+    for (std::uint32_t i = 0; i < remaining; ++i) {
+      const ElogEntry* entry = chain[chain.size() - 1 - i];
+      emit(elog_dst(*entry), elog_tombstone(*entry));
+    }
+  }
+  unlock_shared(r);
+}
+
+template <typename F>
+void DgapStore::read_edges_fast(NodeId v, std::uint32_t limit,
+                                F&& emit) const {
+  if (limit == 0) return;
+  VertexEntry e;
+  const LockedRange r = lock_vertex_shared(v, limit, e);
+
+  const std::uint32_t arr_take = std::min<std::uint32_t>(limit, e.arr_count);
+  const Slot* run = slots_ + e.start + 1;
+  bool stopped = false;
+  for (std::uint32_t i = 0; i < arr_take; ++i) {
+    // No tombstones on this path: plain decode.
+    if (emit_stop(emit, static_cast<NodeId>(run[i] - 1))) {
+      stopped = true;
+      break;
+    }
+  }
+
+  std::uint32_t remaining = limit - arr_take;
+  if (DGAP_UNLIKELY(remaining > 0 && !stopped)) {
+    const ElogEntry* log = elog(sec_of(e.start));
+    std::vector<const ElogEntry*> chain;
+    chain.reserve(e.el_count);
+    std::uint32_t idx_p1 = e.el_head_p1;
+    while (idx_p1 != 0 && chain.size() < e.el_count) {
+      const ElogEntry* entry = log + (idx_p1 - 1);
+      chain.push_back(entry);
+      idx_p1 = entry->prev_p1;
+    }
+    if (remaining > chain.size())
+      remaining = static_cast<std::uint32_t>(chain.size());
+    for (std::uint32_t i = 0; i < remaining; ++i)
+      if (emit_stop(emit, elog_dst(*chain[chain.size() - 1 - i]))) break;
+  }
+  unlock_shared(r);
+}
+
+template <typename F>
+void Snapshot::for_each_out(NodeId v, F&& fn) const {
+  const auto limit = degree_[v];
+  if (limit == 0) return;
+  if (DGAP_UNLIKELY(tomb_[v] != 0)) {
+    // Exact tombstone cancellation (rare path: this vertex saw deletions).
+    for (const NodeId d : neighbors(v))
+      if (emit_stop(fn, d)) return;
+    return;
+  }
+  store_->read_edges_fast(v, limit, fn);
+}
+
+}  // namespace dgap::core

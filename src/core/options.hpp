@@ -1,0 +1,54 @@
+// DGAP configuration knobs (paper §3.1.1).
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/types.hpp"
+#include "src/pma/thresholds.hpp"
+
+namespace dgap::core {
+
+struct DgapOptions {
+  // User estimates; the store grows past both automatically.
+  NodeId init_vertices = 1024;          // INIT_VERTICES_SIZE
+  std::uint64_t init_edges = 16 * 1024;  // INIT_EDGES_SIZE
+
+  // Per-section edge log bytes (ELOG_SZ) — paper default 2 KB.
+  std::uint32_t elog_bytes = 2048;
+  // Per-thread undo log bytes (ULOG_SZ) — paper default 2 KB.
+  std::uint32_t ulog_bytes = 2048;
+  // Writer threads the store must support concurrently (one undo log each).
+  std::uint32_t max_writer_threads = 16;
+
+  // PMA shape.
+  std::uint64_t segment_slots = 512;  // slots per leaf section (power of two)
+  pma::DensityConfig density;
+
+  // Edge log merge trigger: fraction of the log that must fill before the
+  // section is merged back into the edge array (paper: 90%).
+  double elog_merge_fill = 0.90;
+
+  // VCSR-style degree-proportional gap distribution during rebalances
+  // (paper [24]); false falls back to classic even PMA spreading (PCSR
+  // [66]) — an ablation of the paper's layout choice.
+  bool vcsr_weighted_gaps = true;
+
+  // Disable ALL crash protection of structural operations (no undo log, no
+  // transactions, no backups). Used only by the Fig 1(b) motivation bench
+  // to time a "naive port" whose rebalances/shifts write unprotected —
+  // never use on data you care about.
+  bool protect_structural_ops = true;
+
+  // --- ablation switches (paper Table 5) -----------------------------------
+  // false => "No EL": inserts landing on occupied slots do a nearby shift.
+  bool use_elog = true;
+  // false => "No EL&UL": rebalancing uses PMDK-style transactions instead of
+  // the per-thread undo log.
+  bool use_ulog = true;
+  // false => "No EL&UL&DP": vertex array + PMA metadata updates are mirrored
+  // to persistent memory with in-place persists (cost emulation of keeping
+  // them on PM rather than DRAM).
+  bool metadata_in_dram = true;
+};
+
+}  // namespace dgap::core

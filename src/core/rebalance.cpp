@@ -1,0 +1,512 @@
+// Crash-consistent PMA rebalancing (paper §3.1.4) and array resizing.
+//
+// A rebalance takes a window of sections whose combined density (edge array
+// occupancy + live edge-log entries) fits the PMA threshold, replans the
+// vertex runs with VCSR-weighted gaps, and moves each run to its new slot —
+// splicing the run's edge-log entries after its array edges so the log
+// drains as part of the operation (paper §3, component 3).
+//
+// Per-run move protocol (per-thread undo log, paper §3, component 4):
+//
+//   1. persist descriptor {state=RunMove, window, vertex, old/new start,
+//      lengths, cursor=0};
+//   2. copy the new run image in chunks of at most ULOG_SZ bytes; before
+//      overwriting each destination chunk, back it up in the undo-log data
+//      area and persist {undo_slot, undo_slots, valid=1} — the paper's
+//      "idx";
+//      after writing+persisting the chunk, persist {cursor+=n, valid=0};
+//      chunks go tail-first when the run moves right, head-first when it
+//      moves left, so un-copied source slots are never clobbered;
+//   3. persist {state=RunZero, zero range}; zero the vacated slots;
+//   4. persist {state=RunMark}; mark the vertex's edge-log entries consumed
+//      (so a crash cannot splice them twice);
+//   5. persist {state=Idle}.
+//
+// Between runs the array is fully consistent (every run exactly once, at
+// its old or new position), so recovery only ever has to repair one
+// in-flight run — resume the chunk copy from the persisted cursor (after
+// restoring the backed-up chunk), re-zero, re-mark — and then simply
+// re-issue a fresh rebalance of the recorded window (paper: "reissue the
+// rebalancing operation").
+//
+// Movement order makes the invariant hold: first all runs moving right, in
+// descending position order; then all runs moving left, ascending. A run's
+// destination can then only overlap its own old slots or slots already
+// vacated — never an unmoved run.
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+#include "src/core/dgap_store.hpp"
+#include "src/pma/layout.hpp"
+#include "src/pmem/alloc.hpp"
+
+namespace dgap::core {
+
+bool DgapStore::rebalance_needed(std::uint64_t seg) const {
+  if (seg >= num_segments_) return false;
+  const SectionMeta& sm = sections_[seg];
+  if (sm.elog_raw >= elog_entries_) return true;
+  return static_cast<double>(sm.elog_raw) >=
+         opts_.elog_merge_fill * static_cast<double>(elog_entries_);
+}
+
+void DgapStore::trigger_rebalance(std::uint64_t seg_hint, bool force,
+                                  std::uint64_t extra_slots) {
+  std::lock_guard<SpinLock> g(rebalance_mu_);
+  bool first_round = true;
+  for (;;) {
+    if (seg_hint >= num_segments_) seg_hint = num_segments_ - 1;
+    const bool forced = force && first_round;
+    if (!forced && !rebalance_needed(seg_hint)) return;
+    first_round = false;
+
+    const auto win = tree_->find_rebalance_window(seg_hint, extra_slots);
+    if (!win.within_tau) {
+      resize_and_rebuild(0);
+      continue;  // resize drained every log; trigger re-checks and exits
+    }
+
+    // Acquire the window, then expand it to whole-run boundaries (a vertex
+    // run may span sections). Expansion restarts acquisition so locks are
+    // always taken in ascending order.
+    std::uint64_t b = win.begin_seg;
+    std::uint64_t e = win.end_seg;
+    bool resized_instead = false;
+    for (;;) {
+      for (std::uint64_t s = b; s < e; ++s) sections_[s].lock.lock();
+      std::uint64_t nb = b;
+      std::uint64_t ne = e;
+      const std::uint64_t wb = b * seg_slots_;
+      const std::uint64_t we = std::min(e * seg_slots_, capacity_);
+      if (wb > 0 && is_edge(slots_[wb])) {
+        std::uint64_t p = wb;
+        while (p > 0 && !is_pivot(slots_[p])) --p;
+        nb = sec_of(p);
+      }
+      if (we < capacity_ && is_edge(slots_[we])) {
+        std::uint64_t p = we;
+        while (p < capacity_ && is_edge(slots_[p])) ++p;
+        ne = sec_of(p - 1) + 1;
+      }
+      if (nb == b && ne == e) {
+        // The expanded window must still have room for its contents.
+        std::uint64_t total = 0;
+        for (std::uint64_t s = b; s < e; ++s) total += tree_->count(s);
+        if (total <= we - wb) break;
+        // Too dense after expansion: escalate one level or give up to a
+        // resize.
+        if (b == 0 && e == num_segments_) {
+          for (std::uint64_t s = b; s < e; ++s) sections_[s].lock.unlock();
+          resize_and_rebuild(0);
+          resized_instead = true;
+          break;
+        }
+        const std::uint64_t span = ceil_pow2(e - b) * 2;
+        nb = round_down(b, span);
+        ne = std::min(nb + span, num_segments_);
+      }
+      for (std::uint64_t s = b; s < e; ++s) sections_[s].lock.unlock();
+      b = nb;
+      e = ne;
+    }
+    if (resized_instead) continue;
+
+    rebalance_window_locked(b, e, writer_slot());
+    for (std::uint64_t s = b; s < e; ++s) sections_[s].lock.unlock();
+  }
+}
+
+std::vector<DgapStore::GatheredRun> DgapStore::gather_runs(
+    std::uint64_t slot_begin, std::uint64_t slot_end) const {
+  std::vector<GatheredRun> runs;
+  for (std::uint64_t pos = slot_begin; pos < slot_end; ++pos) {
+    const Slot s = slots_[pos];
+    if (is_pivot(s)) {
+      const NodeId v = pivot_vertex(s);
+      runs.push_back({v, pos, 0, entries_[v].el_count});
+    } else if (is_edge(s)) {
+      assert(!runs.empty());
+      runs.back().arr_count += 1;
+    }
+  }
+  return runs;
+}
+
+void DgapStore::collect_elog_slots(NodeId v, std::vector<Slot>& out) const {
+  const VertexEntry& e = entries_[v];
+  if (e.el_count == 0) return;
+  const ElogEntry* log = elog(sec_of(e.start));
+  std::vector<Slot> newest_first;
+  newest_first.reserve(e.el_count);
+  std::uint32_t idx_p1 = e.el_head_p1;
+  while (idx_p1 != 0) {
+    const ElogEntry& entry = log[idx_p1 - 1];
+    newest_first.push_back(
+        encode_edge(elog_dst(entry), elog_tombstone(entry)));
+    idx_p1 = entry.prev_p1;
+  }
+  out.insert(out.end(), newest_first.rbegin(), newest_first.rend());
+}
+
+void DgapStore::copy_run_chunks(const std::vector<Slot>& staging,
+                                std::uint64_t new_start, bool tail_first,
+                                std::uint64_t start_cursor,
+                                std::uint32_t tid) {
+  UlogDescriptor* d = ulog(tid);
+  char* backup = ulog_data(tid);
+  const std::uint64_t chunk_slots = root_->ulog_data_bytes / sizeof(Slot);
+  const std::uint64_t total = staging.size();
+  std::uint64_t cursor = start_cursor;
+  while (cursor < total) {
+    const std::uint64_t n = std::min(chunk_slots, total - cursor);
+    const std::uint64_t sbeg = tail_first ? total - cursor - n : cursor;
+    const std::uint64_t dst = new_start + sbeg;
+
+    // Back up the destination before overwriting it (paper Fig 4a).
+    std::memcpy(backup, slots_ + dst, n * sizeof(Slot));
+    pool_.persist(backup, n * sizeof(Slot));
+    d->undo_slot = dst;
+    d->undo_slots = n;
+    d->undo_valid = 1;
+    pool_.persist(d, sizeof(UlogDescriptor));
+
+    std::memcpy(slots_ + dst, staging.data() + sbeg, n * sizeof(Slot));
+    pool_.persist(slots_ + dst, n * sizeof(Slot));
+
+    cursor += n;
+    d->chunk_cursor = cursor;
+    d->undo_valid = 0;
+    pool_.persist(d, sizeof(UlogDescriptor));
+  }
+}
+
+void DgapStore::zero_range_persist(std::uint64_t begin_slot,
+                                   std::uint64_t end_slot) {
+  if (begin_slot >= end_slot) return;
+  std::memset(slots_ + begin_slot, 0, (end_slot - begin_slot) * sizeof(Slot));
+  pool_.persist(slots_ + begin_slot, (end_slot - begin_slot) * sizeof(Slot));
+}
+
+void DgapStore::mark_elog_consumed(NodeId v, std::uint64_t home_sec) {
+  ElogEntry* log = elog(home_sec);
+  bool any = false;
+  for (std::uint64_t i = 0; i < elog_entries_; ++i) {
+    ElogEntry& entry = log[i];
+    if (elog_used(entry) && !elog_consumed(entry) && elog_src(entry) == v) {
+      entry.src_p1 |= kElogFlagBit;
+      pool_.flush(&entry, sizeof(std::uint32_t));
+      any = true;
+    }
+  }
+  if (any) pool_.fence();
+}
+
+void DgapStore::move_run(const GatheredRun& run, std::uint64_t new_start,
+                         std::uint32_t tid, std::uint64_t win_begin,
+                         std::uint64_t win_end) {
+  const std::uint64_t old_len = 1 + run.arr_count;
+  const std::uint64_t new_len = old_len + run.el_count;
+  if (new_start == run.old_start && run.el_count == 0) return;  // stationary
+
+  std::vector<Slot> staging(new_len);
+  staging[0] = encode_pivot(run.vertex);
+  std::memcpy(staging.data() + 1, slots_ + run.old_start + 1,
+              run.arr_count * sizeof(Slot));
+  if (run.el_count > 0) {
+    std::vector<Slot> spliced;
+    spliced.reserve(run.el_count);
+    collect_elog_slots(run.vertex, spliced);
+    assert(spliced.size() == run.el_count);
+    std::copy(spliced.begin(), spliced.end(), staging.begin() + old_len);
+  }
+
+  const bool tail_first = new_start >= run.old_start;
+  const std::uint64_t home_sec = sec_of(run.old_start);
+
+  UlogDescriptor* d = ulog(tid);
+  d->state = UlogDescriptor::kRunMove;
+  d->win_begin = win_begin;
+  d->win_end = win_end;
+  d->run_vertex = run.vertex;
+  d->old_start = run.old_start;
+  d->new_start = new_start;
+  d->old_arr_len = old_len;
+  d->new_len = new_len;
+  d->chunk_cursor = 0;
+  d->undo_valid = 0;
+  pool_.persist(d, sizeof(UlogDescriptor));
+
+  copy_run_chunks(staging, new_start, tail_first, 0, tid);
+
+  // Zero vacated slots so stale copies can never be misread as live runs.
+  std::uint64_t zb = 0;
+  std::uint64_t ze = 0;
+  if (tail_first) {
+    zb = run.old_start;
+    ze = std::min(new_start, run.old_start + old_len);
+  } else {
+    zb = std::max(new_start + new_len, run.old_start);
+    ze = run.old_start + old_len;
+  }
+  if (zb < ze) {
+    d->state = UlogDescriptor::kRunZero;
+    d->zero_begin = zb;
+    d->zero_end = ze;
+    pool_.persist(d, sizeof(UlogDescriptor));
+    zero_range_persist(zb, ze);
+  }
+
+  if (run.el_count > 0) {
+    d->state = UlogDescriptor::kRunMark;
+    pool_.persist(d, sizeof(UlogDescriptor));
+    mark_elog_consumed(run.vertex, home_sec);
+  }
+
+  d->state = UlogDescriptor::kIdle;
+  pool_.persist(d, sizeof(UlogDescriptor));
+}
+
+void DgapStore::clear_window_elogs(std::uint64_t begin_seg,
+                                   std::uint64_t end_seg, std::uint32_t tid) {
+  UlogDescriptor* d = ulog(tid);
+  d->state = UlogDescriptor::kElogClear;
+  d->win_begin = begin_seg * seg_slots_;
+  d->win_end = std::min(end_seg * seg_slots_, capacity_);
+  pool_.persist(d, sizeof(UlogDescriptor));
+  for (std::uint64_t s = begin_seg; s < end_seg; ++s) {
+    if (sections_[s].elog_raw == 0) continue;
+    std::memset(elog(s), 0, sections_[s].elog_raw * sizeof(ElogEntry));
+    pool_.persist(elog(s), sections_[s].elog_raw * sizeof(ElogEntry));
+  }
+  d->state = UlogDescriptor::kIdle;
+  pool_.persist(d, sizeof(UlogDescriptor));
+}
+
+void DgapStore::rebalance_window_locked(std::uint64_t begin_seg,
+                                        std::uint64_t end_seg,
+                                        std::uint32_t tid) {
+  const std::uint64_t wb = begin_seg * seg_slots_;
+  const std::uint64_t we = std::min(end_seg * seg_slots_, capacity_);
+
+  const std::vector<GatheredRun> runs = gather_runs(wb, we);
+
+  // Fig 9 metric: edge-log utilization observed when a section is drained.
+  for (std::uint64_t s = begin_seg; s < end_seg; ++s) {
+    stats_.merges += 1;
+    stats_.merge_fill_sum += static_cast<double>(sections_[s].elog_raw) /
+                             static_cast<double>(elog_entries_);
+  }
+
+  std::vector<pma::VertexRun> vr;
+  vr.reserve(runs.size());
+  for (const auto& r : runs)
+    vr.push_back({r.vertex, r.old_start,
+                  std::uint64_t{1} + r.arr_count + r.el_count});
+  const auto plan = opts_.vcsr_weighted_gaps
+                        ? pma::plan_weighted(vr, wb, we - wb)
+                        : pma::plan_even(vr, wb, we - wb);
+
+  if (!opts_.protect_structural_ops) {
+    // Fig 1(b)'s naive-port mode: move data with plain writes + persists,
+    // no crash protection at all.
+    std::vector<Slot> image(we - wb, kGapSlot);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const auto& r = runs[i];
+      Slot* out = image.data() + (plan[i].new_start - wb);
+      out[0] = encode_pivot(r.vertex);
+      std::memcpy(out + 1, slots_ + r.old_start + 1,
+                  r.arr_count * sizeof(Slot));
+      if (r.el_count > 0) {
+        std::vector<Slot> spliced;
+        collect_elog_slots(r.vertex, spliced);
+        std::copy(spliced.begin(), spliced.end(), out + 1 + r.arr_count);
+      }
+    }
+    std::memcpy(slots_ + wb, image.data(), (we - wb) * sizeof(Slot));
+    pool_.persist(slots_ + wb, (we - wb) * sizeof(Slot));
+    for (std::uint64_t s = begin_seg; s < end_seg; ++s) {
+      if (sections_[s].elog_raw == 0) continue;
+      std::memset(elog(s), 0, sections_[s].elog_raw * sizeof(ElogEntry));
+      pool_.persist(elog(s), sections_[s].elog_raw * sizeof(ElogEntry));
+    }
+  } else if (!opts_.use_ulog && tx_journal_ != nullptr) {
+    // Ablation "No EL&UL": protect the whole window with a PMDK-style
+    // transaction (journal allocation + per-range ordering overhead).
+    pmem::PmemTx tx(pool_, *tx_journal_,
+                    (we - wb) * sizeof(Slot) + 64 * 1024);
+    tx.add_range(slots_ + wb, (we - wb) * sizeof(Slot));
+    std::vector<Slot> image(we - wb, kGapSlot);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const auto& r = runs[i];
+      Slot* out = image.data() + (plan[i].new_start - wb);
+      out[0] = encode_pivot(r.vertex);
+      std::memcpy(out + 1, slots_ + r.old_start + 1,
+                  r.arr_count * sizeof(Slot));
+      if (r.el_count > 0) {
+        std::vector<Slot> spliced;
+        collect_elog_slots(r.vertex, spliced);
+        std::copy(spliced.begin(), spliced.end(), out + 1 + r.arr_count);
+      }
+    }
+    std::memcpy(slots_ + wb, image.data(), (we - wb) * sizeof(Slot));
+    pool_.persist(slots_ + wb, (we - wb) * sizeof(Slot));
+    for (std::uint64_t s = begin_seg; s < end_seg; ++s) {
+      if (sections_[s].elog_raw == 0) continue;
+      tx.add_range(elog(s), sections_[s].elog_raw * sizeof(ElogEntry));
+      std::memset(elog(s), 0, sections_[s].elog_raw * sizeof(ElogEntry));
+      pool_.persist(elog(s), sections_[s].elog_raw * sizeof(ElogEntry));
+    }
+    tx.commit();
+  } else {
+    // Pass 1: runs moving right, rightmost first.
+    for (std::size_t i = plan.size(); i-- > 0;) {
+      if (plan[i].new_start >= runs[i].old_start)
+        move_run(runs[i], plan[i].new_start, tid, wb, we);
+    }
+    // Pass 2: runs moving left, leftmost first.
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (plan[i].new_start < runs[i].old_start)
+        move_run(runs[i], plan[i].new_start, tid, wb, we);
+    }
+    clear_window_elogs(begin_seg, end_seg, tid);
+  }
+
+  // Volatile metadata: vertex entries, section logs, tree counts.
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    VertexEntry& e = entries_[plan[i].vertex];
+    e.start = plan[i].new_start;
+    e.arr_count = runs[i].arr_count + runs[i].el_count;
+    e.el_count = 0;
+    e.el_head_p1 = 0;
+    if (!opts_.metadata_in_dram) mirror_vertex(plan[i].vertex);
+  }
+  for (std::uint64_t s = begin_seg; s < end_seg; ++s) {
+    tree_->set_count(s, 0);
+    sections_[s].elog_raw = 0;
+    sections_[s].elog_live = 0;
+  }
+  for (const auto& p : plan) {
+    std::uint64_t pos = p.new_start;
+    std::uint64_t left = p.count;
+    while (left > 0) {
+      const std::uint64_t seg = sec_of(pos);
+      const std::uint64_t in_seg =
+          std::min(left, (seg + 1) * seg_slots_ - pos);
+      tree_->add(seg, static_cast<std::int64_t>(in_seg));
+      if (!opts_.metadata_in_dram) mirror_segment(seg);
+      pos += in_seg;
+      left -= in_seg;
+    }
+  }
+  ++stats_.rebalances;
+}
+
+// ---------------------------------------------------------------------------
+// Resize (grow the whole array; crash-safe via copy-then-flip)
+// ---------------------------------------------------------------------------
+
+void DgapStore::resize_and_rebuild(std::uint64_t extra_slots) {
+  // Quiesce everyone: writers via global exclusive, analysis readers by
+  // taking every (old) section lock exclusively — readers always hold a
+  // shared section lock while touching the arrays, and re-validate their
+  // view after reacquiring. rebalance_mu_ (held by the caller) excludes
+  // other structural operations. NOTE: the reader *gate* must not be used
+  // here — long-lived snapshots hold it, and they are exactly the readers
+  // that must be able to continue across a resize.
+  global_mu_.lock();
+  const std::uint64_t old_segments = num_segments_;
+  lock_sections_upto(old_segments);
+
+  const DgapLayout old = *pool_.at<DgapLayout>(root_->layout_off);
+  const std::vector<GatheredRun> runs = gather_runs(0, capacity_);
+
+  std::uint64_t needed = extra_slots;
+  for (const auto& r : runs) needed += 1 + r.arr_count + r.el_count;
+  std::uint64_t new_cap =
+      ceil_pow2(std::max<std::uint64_t>(capacity_ * 2, needed * 2));
+  const std::uint64_t new_segs = new_cap / seg_slots_;
+
+  auto& alloc = pool_.allocator();
+  DgapLayout nl{};
+  nl.capacity_slots = new_cap;
+  nl.num_segments = new_segs;
+  nl.segment_slots = seg_slots_;
+  nl.elog_entries = elog_entries_;
+  nl.edge_array_off = alloc.alloc(new_cap * sizeof(Slot), 4096);
+  nl.elog_region_off =
+      alloc.alloc(new_segs * elog_entries_ * sizeof(ElogEntry), 4096);
+
+  // Build the new image: weighted layout over the whole new array, edge
+  // logs drained into the runs, fresh (zero) logs.
+  Slot* nslots = pool_.at<Slot>(nl.edge_array_off);
+  std::memset(nslots, 0, new_cap * sizeof(Slot));
+  std::vector<pma::VertexRun> vr;
+  vr.reserve(runs.size());
+  for (const auto& r : runs)
+    vr.push_back({r.vertex, r.old_start,
+                  std::uint64_t{1} + r.arr_count + r.el_count});
+  const auto plan = opts_.vcsr_weighted_gaps
+                        ? pma::plan_weighted(vr, 0, new_cap)
+                        : pma::plan_even(vr, 0, new_cap);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const auto& r = runs[i];
+    Slot* out = nslots + plan[i].new_start;
+    out[0] = encode_pivot(r.vertex);
+    std::memcpy(out + 1, slots_ + r.old_start + 1,
+                r.arr_count * sizeof(Slot));
+    if (r.el_count > 0) {
+      std::vector<Slot> spliced;
+      collect_elog_slots(r.vertex, spliced);
+      std::copy(spliced.begin(), spliced.end(), out + 1 + r.arr_count);
+    }
+  }
+  pool_.persist(nslots, new_cap * sizeof(Slot));
+
+  ElogEntry* nelog = pool_.at<ElogEntry>(nl.elog_region_off);
+  std::memset(nelog, 0, new_segs * elog_entries_ * sizeof(ElogEntry));
+  pool_.persist(nelog, new_segs * elog_entries_ * sizeof(ElogEntry));
+
+  const std::uint64_t nl_off = alloc.alloc(sizeof(DgapLayout));
+  *pool_.at<DgapLayout>(nl_off) = nl;
+  pool_.persist(pool_.at<DgapLayout>(nl_off), sizeof(DgapLayout));
+
+  // The atomic flip: crash lands entirely before or entirely after.
+  pool_.store_persist(&root_->layout_off, nl_off);
+
+  adopt_layout(nl);
+  tree_ = std::make_unique<pma::SegmentTree>(num_segments_, seg_slots_,
+                                             opts_.density);
+  for (std::uint64_t s = 0; s < num_segments_; ++s) {
+    sections_[s].elog_raw = 0;
+    sections_[s].elog_live = 0;
+  }
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    VertexEntry& e = entries_[plan[i].vertex];
+    e.start = plan[i].new_start;
+    e.arr_count = runs[i].arr_count + runs[i].el_count;
+    e.el_count = 0;
+    e.el_head_p1 = 0;
+    std::uint64_t pos = plan[i].new_start;
+    std::uint64_t left = plan[i].count;
+    while (left > 0) {
+      const std::uint64_t seg = sec_of(pos);
+      const std::uint64_t in_seg =
+          std::min(left, (seg + 1) * seg_slots_ - pos);
+      tree_->add(seg, static_cast<std::int64_t>(in_seg));
+      pos += in_seg;
+      left -= in_seg;
+    }
+  }
+
+  alloc.free(old.edge_array_off, old.capacity_slots * sizeof(Slot));
+  alloc.free(old.elog_region_off,
+             old.num_segments * old.elog_entries * sizeof(ElogEntry));
+  ++stats_.resizes;
+
+  unlock_sections_upto(old_segments);
+  global_mu_.unlock();
+}
+
+}  // namespace dgap::core

@@ -1,0 +1,62 @@
+// SectionTable: a growable, pointer-stable, read-race-free array of
+// per-section metadata (locks + edge-log cursors).
+//
+// Readers index it concurrently with growth, so neither std::vector
+// (relocation) nor std::deque (internal block-map reallocation) is safe.
+// Instead: a fixed array of chunk pointers, each chunk holding 1024
+// sections. Growth allocates whole chunks and publishes their pointers
+// with release stores; readers load with acquire. Existing elements never
+// move. Capacity: 2^14 chunks x 1024 sections = 16M sections (with 512
+// slots each, a 64-billion-slot edge array — far past any pool here).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+namespace dgap::core {
+
+template <typename T>
+class SectionTable {
+ public:
+  static constexpr std::size_t kChunkBits = 10;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << 14;
+
+  SectionTable() = default;
+  ~SectionTable() {
+    for (auto& c : chunks_) delete[] c.load(std::memory_order_relaxed);
+  }
+  SectionTable(const SectionTable&) = delete;
+  SectionTable& operator=(const SectionTable&) = delete;
+
+  T& operator[](std::size_t i) const {
+    return chunks_[i >> kChunkBits].load(std::memory_order_acquire)
+        [i & (kChunkSize - 1)];
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  // Grow to at least `n` elements (single structural writer at a time; in
+  // DgapStore that is guaranteed by rebalance_mu_ / initialization).
+  void ensure(std::size_t n) {
+    const std::size_t chunks_needed = (n + kChunkSize - 1) >> kChunkBits;
+    for (std::size_t c = 0; c < chunks_needed; ++c) {
+      if (chunks_[c].load(std::memory_order_acquire) == nullptr)
+        chunks_[c].store(new T[kChunkSize](), std::memory_order_release);
+    }
+    std::size_t cur = size_.load(std::memory_order_relaxed);
+    while (cur < n &&
+           !size_.compare_exchange_weak(cur, n, std::memory_order_release)) {
+    }
+  }
+
+ private:
+  std::array<std::atomic<T*>, kMaxChunks> chunks_{};
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace dgap::core

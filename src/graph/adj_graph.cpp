@@ -1,0 +1,31 @@
+#include "src/graph/adj_graph.hpp"
+
+#include <algorithm>
+
+namespace dgap {
+
+AdjGraph::AdjGraph(const EdgeStream& stream) : adj_(stream.num_vertices()) {
+  for (const Edge& e : stream.edges()) add_edge(e.src, e.dst);
+}
+
+bool AdjGraph::remove_edge(NodeId src, NodeId dst) {
+  auto& list = adj_[src];
+  const auto it = std::find(list.begin(), list.end(), dst);
+  if (it == list.end()) return false;
+  list.erase(it);
+  return true;
+}
+
+std::uint64_t AdjGraph::num_edges() const {
+  std::uint64_t n = 0;
+  for (const auto& list : adj_) n += list.size();
+  return n;
+}
+
+std::vector<NodeId> AdjGraph::sorted_neigh(NodeId v) const {
+  std::vector<NodeId> out = adj_[v];
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dgap

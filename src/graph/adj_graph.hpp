@@ -1,0 +1,56 @@
+// AdjGraph: a plain in-DRAM adjacency oracle.
+//
+// Not a contender in any benchmark — this is the *reference* structure unit
+// and integration tests compare every store against (same insertion stream
+// in, same neighbor multisets out), and the substrate examples use to
+// sanity-check analysis results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/edge_stream.hpp"
+#include "src/graph/types.hpp"
+
+namespace dgap {
+
+class AdjGraph {
+ public:
+  explicit AdjGraph(NodeId num_vertices) : adj_(num_vertices) {}
+  explicit AdjGraph(const EdgeStream& stream);
+
+  void add_edge(NodeId src, NodeId dst) { adj_[src].push_back(dst); }
+
+  // Remove the first occurrence of dst in src's list (tombstone semantics
+  // mirror: one delete cancels one insert).
+  bool remove_edge(NodeId src, NodeId dst);
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(adj_.size());
+  }
+  [[nodiscard]] std::uint64_t num_edges() const;
+
+  [[nodiscard]] std::int64_t out_degree(NodeId v) const {
+    return static_cast<std::int64_t>(adj_[v].size());
+  }
+  [[nodiscard]] std::span<const NodeId> out_neigh(NodeId v) const {
+    return adj_[v];
+  }
+
+  // GraphView conformance: the oracle can run the same kernels the stores
+  // run, which is how kernel outputs are cross-validated.
+  template <typename F>
+  void for_each_out(NodeId v, F&& fn) const {
+    for (const NodeId d : adj_[v])
+      if (emit_stop(fn, d)) return;
+  }
+
+  // Neighbors of v sorted ascending (for order-insensitive comparisons).
+  [[nodiscard]] std::vector<NodeId> sorted_neigh(NodeId v) const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+};
+
+}  // namespace dgap

@@ -1,0 +1,59 @@
+#include "src/graph/datasets.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/graph/generators.hpp"
+
+namespace dgap {
+
+const std::vector<DatasetSpec>& paper_datasets() {
+  // base_edges counts *directed inserted* edges (post-symmetrization), so
+  // generators below emit base_edges/2 undirected pairs.
+  static const std::vector<DatasetSpec> kSpecs = {
+      {"orkut", "social (RMAT stand-in)", 30727, 2343702, true, 0.57, 101},
+      {"livejournal", "social (RMAT stand-in)", 48476, 857024, true, 0.57,
+       102},
+      {"citpatents", "citation (uniform stand-in)", 60096, 330378, false, 0.0,
+       103},
+      {"twitter", "social (RMAT stand-in, heavy skew)", 61579, 2405026, true,
+       0.62, 104},
+      {"friendster", "social (RMAT stand-in)", 124837, 3612134, true, 0.57,
+       105},
+      {"protein", "biology (RMAT stand-in, dense)", 8746, 1309240, true, 0.55,
+       106},
+  };
+  return kSpecs;
+}
+
+const DatasetSpec& dataset_spec(const std::string& name) {
+  for (const auto& s : paper_datasets())
+    if (s.name == name) return s;
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+EdgeStream load_dataset(const DatasetSpec& spec, double scale) {
+  const auto vertices = std::max<NodeId>(
+      16, static_cast<NodeId>(static_cast<double>(spec.base_vertices) * scale));
+  const auto undirected = std::max<std::uint64_t>(
+      16,
+      static_cast<std::uint64_t>(static_cast<double>(spec.base_edges) * scale) /
+          2);
+
+  EdgeStream directed =
+      spec.skewed
+          ? generate_rmat(vertices, undirected, spec.seed,
+                          RmatParams{spec.rmat_a, (1.0 - spec.rmat_a) / 3,
+                                     (1.0 - spec.rmat_a) / 3})
+          : generate_uniform(vertices, undirected, spec.seed);
+
+  EdgeStream stream = symmetrize(directed);
+  stream.shuffle(spec.seed * 7919 + 13);
+  return stream;
+}
+
+EdgeStream load_dataset(const std::string& name, double scale) {
+  return load_dataset(dataset_spec(name), scale);
+}
+
+}  // namespace dgap

@@ -1,0 +1,52 @@
+// Dataset registry: scaled-down stand-ins for the paper's SNAP graphs.
+//
+// Table 2 of the paper lists six real-world graphs. We cannot ship them
+// (offline environment, multi-GB downloads), so each entry here preserves
+// the property the evaluation actually depends on — the |E|/|V| ratio and
+// the skew class (RMAT for the social/web graphs, near-uniform for the
+// citation graph) — at ~100-1000x reduced scale so benches finish on a
+// 2-core CI box. The `scale` knob lets benches grow/shrink all datasets
+// together (--scale=4 quadruples edge counts).
+//
+//   paper graph   |V|         |E|            E/V   stand-in (scale=1)
+//   Orkut         3,072,626   234,370,166    76    30,727 V   2,343,702 E
+//   LiveJournal   4,847,570    85,702,474    18    48,476 V     857,024 E
+//   CitPatents    6,009,554    33,037,894     6    60,096 V     330,378 E
+//   Twitter      61,578,414 2,405,026,390    39    61,579 V   2,405,026 E
+//   Friendster  124,836,179 3,612,134,270    29   124,837 V   3,612,134 E
+//   Protein       8,745,543 1,309,240,502   149     8,746 V   1,309,240 E
+//
+// All streams are symmetrized (both directions inserted) and shuffled, as in
+// the paper's insertion methodology.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/edge_stream.hpp"
+
+namespace dgap {
+
+struct DatasetSpec {
+  std::string name;      // registry key, e.g. "orkut"
+  std::string domain;    // provenance note, e.g. "social (RMAT stand-in)"
+  NodeId base_vertices;  // at scale = 1
+  std::uint64_t base_edges;  // directed edges inserted, at scale = 1
+  bool skewed;           // RMAT if true, uniform otherwise
+  double rmat_a;         // skew knob (only for RMAT)
+  std::uint64_t seed;
+};
+
+// All six paper stand-ins, in the paper's order.
+const std::vector<DatasetSpec>& paper_datasets();
+
+// Look up a spec by name ("orkut", "livejournal", "citpatents", "twitter",
+// "friendster", "protein"). Throws std::out_of_range for unknown names.
+const DatasetSpec& dataset_spec(const std::string& name);
+
+// Materialize a dataset: generate, symmetrize, shuffle. `scale` multiplies
+// both |V| and |E| (fractional allowed: 0.25 shrinks 4x).
+EdgeStream load_dataset(const DatasetSpec& spec, double scale = 1.0);
+EdgeStream load_dataset(const std::string& name, double scale = 1.0);
+
+}  // namespace dgap

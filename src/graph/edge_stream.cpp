@@ -1,0 +1,38 @@
+#include "src/graph/edge_stream.hpp"
+
+#include <algorithm>
+
+#include "src/common/rng.hpp"
+
+namespace dgap {
+
+void EdgeStream::shuffle(std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = edges_.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(edges_[i - 1], edges_[j]);
+  }
+}
+
+std::size_t EdgeStream::split_point(double fraction) const {
+  return static_cast<std::size_t>(static_cast<double>(edges_.size()) *
+                                  fraction);
+}
+
+std::span<const Edge> EdgeStream::warmup(double fraction) const {
+  return {edges_.data(), split_point(fraction)};
+}
+
+std::span<const Edge> EdgeStream::body(double fraction) const {
+  const std::size_t split = split_point(fraction);
+  return {edges_.data() + split, edges_.size() - split};
+}
+
+NodeId EdgeStream::max_vertex_bound() const {
+  NodeId bound = 0;
+  for (const Edge& e : edges_)
+    bound = std::max({bound, e.src + 1, e.dst + 1});
+  return bound;
+}
+
+}  // namespace dgap

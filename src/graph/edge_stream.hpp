@@ -1,0 +1,49 @@
+// EdgeStream: the insertion workload fed to every dynamic store.
+//
+// The paper's methodology (§4.1): take a real graph, randomly shuffle all
+// edges into an insertion order, insert the first 10% as warm-up, then time
+// the remaining 90%. EdgeStream captures exactly that: an ordered edge list
+// plus the vertex-count bound, with helpers for shuffling and warm-up split.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/types.hpp"
+
+namespace dgap {
+
+class EdgeStream {
+ public:
+  EdgeStream() = default;
+  EdgeStream(NodeId num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  [[nodiscard]] NodeId num_vertices() const { return num_vertices_; }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] std::vector<Edge>& edges() { return edges_; }
+
+  // Deterministic Fisher-Yates shuffle of the insertion order.
+  void shuffle(std::uint64_t seed);
+
+  // First `fraction` of the stream (the YCSB-style warm-up prefix).
+  [[nodiscard]] std::span<const Edge> warmup(double fraction = 0.10) const;
+  // The remainder of the stream (the timed portion).
+  [[nodiscard]] std::span<const Edge> body(double fraction = 0.10) const;
+
+  [[nodiscard]] std::span<const Edge> all() const { return edges_; }
+
+  // Highest vertex id referenced + 1 (recomputes; used by loaders).
+  [[nodiscard]] NodeId max_vertex_bound() const;
+
+ private:
+  [[nodiscard]] std::size_t split_point(double fraction) const;
+
+  NodeId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace dgap

@@ -1,0 +1,114 @@
+#include "src/graph/generators.hpp"
+
+#include <cmath>
+
+#include "src/common/platform.hpp"
+#include "src/common/rng.hpp"
+
+namespace dgap {
+
+namespace {
+
+// Feistel-style id scrambler: a deterministic permutation of [0, n) without
+// materializing it. Two rounds of multiply-xor hashing, rejection-sampled
+// into range.
+NodeId scramble(NodeId id, NodeId n, std::uint64_t salt) {
+  std::uint64_t x = static_cast<std::uint64_t>(id);
+  // SplitMix-style mix keyed by salt; iterate until the value lands in
+  // range (power-of-two domain rejection). Each round perturbs with a
+  // distinct constant — a fixed perturbation can trap the rejection loop
+  // in a cycle that never enters [0, n).
+  const std::uint64_t domain = ceil_pow2(static_cast<std::uint64_t>(n));
+  std::uint64_t round = 0;
+  do {
+    x ^= salt + (++round) * 0x9e3779b97f4a7c15ULL;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 31;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 29;
+    x &= domain - 1;
+  } while (x >= static_cast<std::uint64_t>(n));
+  return static_cast<NodeId>(x);
+}
+
+}  // namespace
+
+EdgeStream generate_rmat(NodeId num_vertices, std::uint64_t num_edges,
+                         std::uint64_t seed, const RmatParams& params) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+
+  const std::uint64_t levels =
+      static_cast<std::uint64_t>(std::ceil(std::log2(
+          std::max<double>(2.0, static_cast<double>(num_vertices)))));
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+
+  while (edges.size() < num_edges) {
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    for (std::uint64_t l = 0; l < levels; ++l) {
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left quadrant: neither bit set
+      } else if (r < ab) {
+        v |= 1;
+      } else if (r < abc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    NodeId src = scramble(static_cast<NodeId>(
+                              u % static_cast<std::uint64_t>(num_vertices)),
+                          num_vertices, seed * 2 + 1);
+    NodeId dst = scramble(static_cast<NodeId>(
+                              v % static_cast<std::uint64_t>(num_vertices)),
+                          num_vertices, seed * 2 + 1);
+    if (src == dst) continue;  // re-draw self-loops
+    edges.push_back({src, dst});
+  }
+  return {num_vertices, std::move(edges)};
+}
+
+EdgeStream generate_uniform(NodeId num_vertices, std::uint64_t num_edges,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  while (edges.size() < num_edges) {
+    const auto src = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(num_vertices)));
+    const auto dst = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(num_vertices)));
+    if (src == dst) continue;
+    edges.push_back({src, dst});
+  }
+  return {num_vertices, std::move(edges)};
+}
+
+EdgeStream symmetrize(const EdgeStream& in) {
+  std::vector<Edge> edges;
+  edges.reserve(in.num_edges() * 2);
+  for (const Edge& e : in.edges()) {
+    edges.push_back(e);
+    edges.push_back({e.dst, e.src});
+  }
+  return {in.num_vertices(), std::move(edges)};
+}
+
+EdgeStream tiny_fixture_graph() {
+  // Component A: "kite" 0-1-2-3 fully connected except 0-3, plus tail
+  // 3-4-5. Component B: 6-7. Vertex 8 is isolated.
+  std::vector<Edge> undirected = {
+      {0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}, {6, 7},
+  };
+  EdgeStream directed(9, std::move(undirected));
+  return symmetrize(directed);
+}
+
+}  // namespace dgap

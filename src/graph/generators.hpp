@@ -1,0 +1,41 @@
+// Synthetic graph generators.
+//
+// We have no network access to the SNAP datasets the paper uses, so the
+// dataset registry (datasets.hpp) builds scaled-down stand-ins from these
+// generators: R-MAT for the skewed social/web graphs and a uniform
+// (Erdős–Rényi-style) generator for the milder citation graph. Both are
+// fully deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/edge_stream.hpp"
+
+namespace dgap {
+
+struct RmatParams {
+  double a = 0.57;  // GAPBS/Graph500 defaults: skewed, social-network-like
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+};
+
+// Generate `num_edges` directed edges over `num_vertices` vertices with the
+// recursive-matrix distribution. Vertex ids are scrambled so high-degree
+// vertices are not clustered at low ids. Self-loops are re-drawn.
+EdgeStream generate_rmat(NodeId num_vertices, std::uint64_t num_edges,
+                         std::uint64_t seed, const RmatParams& params = {});
+
+// Uniformly random directed edges (no self-loops).
+EdgeStream generate_uniform(NodeId num_vertices, std::uint64_t num_edges,
+                            std::uint64_t seed);
+
+// Turn a directed stream into a symmetric one: for every (u,v) also emit
+// (v,u). The result has 2x the edges, interleaved so both directions of one
+// undirected edge are adjacent before shuffling.
+EdgeStream symmetrize(const EdgeStream& in);
+
+// A small deterministic "kite + tail" fixture graph used by unit tests:
+// known degrees, known BFS distances, two components.
+EdgeStream tiny_fixture_graph();
+
+}  // namespace dgap

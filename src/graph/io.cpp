@@ -1,0 +1,80 @@
+#include "src/graph/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dgap {
+
+namespace {
+constexpr std::uint64_t kBinMagic = 0x4447'4150'4544'4745ULL;  // "DGAPEDGE"
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+}  // namespace
+
+EdgeStream read_edge_list_text(const std::string& path,
+                               NodeId num_vertices_hint) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open edge list", path);
+  std::vector<Edge> edges;
+  NodeId bound = num_vertices_hint;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    NodeId u = kInvalidNode;
+    NodeId v = kInvalidNode;
+    ls >> u >> v;
+    if (u < 0 || v < 0) fail("malformed edge line '" + line + "'", path);
+    edges.push_back({u, v});
+    bound = std::max({bound, u + 1, v + 1});
+  }
+  return {bound, std::move(edges)};
+}
+
+void write_edge_list_text(const EdgeStream& stream, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot create edge list", path);
+  out << "# dgap edge list: " << stream.num_vertices() << " vertices, "
+      << stream.num_edges() << " edges\n";
+  for (const Edge& e : stream.edges()) out << e.src << ' ' << e.dst << '\n';
+  if (!out) fail("write failed", path);
+}
+
+EdgeStream read_edge_list_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open binary edge list", path);
+  std::uint64_t magic = 0;
+  std::int64_t vertices = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&vertices), sizeof(vertices));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kBinMagic) fail("bad binary edge list header", path);
+  std::vector<Edge> edges(count);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(count * sizeof(Edge)));
+  if (!in) fail("truncated binary edge list", path);
+  return {vertices, std::move(edges)};
+}
+
+void write_edge_list_binary(const EdgeStream& stream,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot create binary edge list", path);
+  const std::uint64_t magic = kBinMagic;
+  const std::int64_t vertices = stream.num_vertices();
+  const std::uint64_t count = stream.num_edges();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&vertices), sizeof(vertices));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(stream.edges().data()),
+            static_cast<std::streamsize>(count * sizeof(Edge)));
+  if (!out) fail("write failed", path);
+}
+
+}  // namespace dgap

@@ -1,0 +1,22 @@
+// Edge-list file I/O: text ("u v" per line, '#' comments, SNAP format) and a
+// compact binary format for round-tripping generated datasets.
+#pragma once
+
+#include <string>
+
+#include "src/graph/edge_stream.hpp"
+
+namespace dgap {
+
+// SNAP-style whitespace-separated text edge list. Vertex count is inferred
+// as max id + 1 unless `num_vertices_hint` > 0.
+EdgeStream read_edge_list_text(const std::string& path,
+                               NodeId num_vertices_hint = 0);
+void write_edge_list_text(const EdgeStream& stream, const std::string& path);
+
+// Binary format: header (magic, vertex count, edge count) + packed
+// int64 pairs. Byte-for-byte reproducible.
+EdgeStream read_edge_list_binary(const std::string& path);
+void write_edge_list_binary(const EdgeStream& stream, const std::string& path);
+
+}  // namespace dgap

@@ -1,0 +1,86 @@
+#include "src/pma/layout.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace dgap::pma {
+
+namespace {
+
+// Shared skeleton: `gap_for(i)` yields the trailing gap of run i; the final
+// run absorbs rounding remainder so the window is exactly filled.
+template <typename GapFn>
+std::vector<PlannedRun> plan_impl(std::span<const VertexRun> runs,
+                                  std::uint64_t window_base,
+                                  [[maybe_unused]] std::uint64_t window_slots,
+                                  GapFn gap_for) {
+  std::vector<PlannedRun> out;
+  out.reserve(runs.size());
+  std::uint64_t cursor = window_base;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out.push_back({runs[i].vertex, runs[i].old_start, cursor, runs[i].count});
+    cursor += runs[i].count + gap_for(i);
+  }
+  assert(cursor <= window_base + window_slots);
+  return out;
+}
+
+}  // namespace
+
+std::vector<PlannedRun> plan_even(std::span<const VertexRun> runs,
+                                  std::uint64_t window_base,
+                                  std::uint64_t window_slots) {
+  if (runs.empty()) return {};
+  std::uint64_t used = 0;
+  for (const auto& r : runs) used += r.count;
+  assert(used <= window_slots);
+  const std::uint64_t gaps = window_slots - used;
+  const std::uint64_t per_run = gaps / runs.size();
+  const std::uint64_t remainder = gaps % runs.size();
+  // First `remainder` runs get one extra slot so every gap is materialized.
+  return plan_impl(runs, window_base, window_slots,
+                   [&](std::size_t i) { return per_run + (i < remainder); });
+}
+
+std::vector<PlannedRun> plan_weighted(std::span<const VertexRun> runs,
+                                      std::uint64_t window_base,
+                                      std::uint64_t window_slots) {
+  if (runs.empty()) return {};
+  std::uint64_t used = 0;
+  for (const auto& r : runs) used += r.count;
+  assert(used <= window_slots);
+  std::uint64_t gaps = window_slots - used;
+
+  // Every run gets at least one trailing gap slot when supply allows —
+  // without this floor, light vertices at the array tail would trigger a
+  // rebalance (or resize) on every single insert.
+  std::vector<std::uint64_t> gap(runs.size(), 0);
+  std::uint64_t assigned = 0;
+  if (gaps >= runs.size()) {
+    gap.assign(runs.size(), 1);
+    assigned = runs.size();
+  }
+
+  // Remaining gap proportional to run size (VCSR's degree-aware headroom).
+  // Integer largest-remainder rounding keeps the total exact.
+  const std::uint64_t proportional = gaps - assigned;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const std::uint64_t extra = proportional * runs[i].count / used;
+    gap[i] += extra;
+    assigned += extra;
+  }
+  // Spread the rounding remainder from the tail backwards: new vertices are
+  // appended after the last run, so tail headroom directly amortizes
+  // vertex-append rebalances (a VCSR-style "historical workload" bias).
+  std::uint64_t remainder = gaps - assigned;
+  while (remainder > 0) {
+    for (std::size_t k = runs.size(); k-- > 0 && remainder > 0;) {
+      gap[k] += 1;
+      --remainder;
+    }
+  }
+  return plan_impl(runs, window_base, window_slots,
+                   [&](std::size_t i) { return gap[i]; });
+}
+
+}  // namespace dgap::pma

@@ -1,0 +1,49 @@
+// Rebalance layout planning.
+//
+// A rebalance takes the vertex runs inside a window (each run = pivot +
+// edges of one vertex, in vertex-id order) and assigns new start slots so
+// that free gaps are redistributed. Two strategies:
+//
+//   * `plan_even`:     classic PMA — gaps split evenly across runs;
+//   * `plan_weighted`: VCSR (paper [24]) — each run's trailing gap is
+//     proportional to its current size, so heavy vertices (which will
+//     likely keep growing in skewed graphs) receive more headroom.
+//
+// Planning is pure and deterministic: given the same runs and window it
+// always produces the same layout, which the DGAP crash-recovery path
+// relies on when it re-issues an interrupted rebalance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/types.hpp"
+
+namespace dgap::pma {
+
+struct VertexRun {
+  NodeId vertex = kInvalidNode;
+  std::uint64_t old_start = 0;  // slot of the pivot before the rebalance
+  std::uint64_t count = 0;      // slots used: pivot + edges (+ tombstones)
+};
+
+struct PlannedRun {
+  NodeId vertex = kInvalidNode;
+  std::uint64_t old_start = 0;
+  std::uint64_t new_start = 0;
+  std::uint64_t count = 0;
+};
+
+// Assign new starts inside [window_base, window_base + window_slots).
+// Preconditions: sum(count) <= window_slots; runs ordered by old_start.
+// Postconditions: new starts ordered, non-overlapping, inside the window.
+std::vector<PlannedRun> plan_even(std::span<const VertexRun> runs,
+                                  std::uint64_t window_base,
+                                  std::uint64_t window_slots);
+
+std::vector<PlannedRun> plan_weighted(std::span<const VertexRun> runs,
+                                      std::uint64_t window_base,
+                                      std::uint64_t window_slots);
+
+}  // namespace dgap::pma

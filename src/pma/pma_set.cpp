@@ -1,0 +1,215 @@
+#include "src/pma/pma_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace dgap::pma {
+
+PmaSet::PmaSet(const Config& cfg)
+    : cfg_(cfg),
+      tree_(cfg.initial_segments, cfg.segment_slots, cfg.density),
+      slots_(cfg.initial_segments * cfg.segment_slots, kEmpty) {}
+
+std::uint64_t PmaSet::seg_of_key(std::uint64_t key) const {
+  // Binary search over segment minima. Segments are left-packed, so the
+  // minimum of a non-empty segment sits at its first slot. Empty segments
+  // inherit the search position of their left neighbor.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = tree_.num_segments();  // first seg whose min > key
+  while (lo < hi) {
+    const std::uint64_t mid = (lo + hi) / 2;
+    // Find the closest non-empty segment at or before mid.
+    std::uint64_t probe = mid;
+    while (probe > lo && tree_.count(probe) == 0) --probe;
+    if (tree_.count(probe) == 0) {
+      // Everything in [lo, mid] empty: key belongs at or after mid only if
+      // some later segment has a smaller min; move right conservatively.
+      lo = mid + 1;
+      continue;
+    }
+    if (slots_[seg_begin(probe)] <= key) {
+      lo = (probe == mid) ? mid + 1 : probe + 1;
+    } else {
+      hi = probe;
+    }
+  }
+  return lo == 0 ? 0 : lo - 1;
+}
+
+void PmaSet::insert_into_segment(std::uint64_t seg, std::uint64_t key) {
+  const std::uint64_t base = seg_begin(seg);
+  const std::uint64_t cnt = tree_.count(seg);
+  assert(cnt < tree_.segment_slots());
+  // Find insertion point within the packed prefix.
+  std::uint64_t pos = 0;
+  while (pos < cnt && slots_[base + pos] < key) ++pos;
+  for (std::uint64_t i = cnt; i > pos; --i)
+    slots_[base + i] = slots_[base + i - 1];
+  slots_[base + pos] = key;
+  tree_.add(seg, +1);
+}
+
+bool PmaSet::insert(std::uint64_t key) {
+  assert(key != kEmpty);
+  if (contains(key)) return false;
+
+  std::uint64_t seg = seg_of_key(key);
+  if (tree_.count(seg) == tree_.segment_slots() || tree_.leaf_overflow(seg)) {
+    const auto win = tree_.find_rebalance_window(seg, /*extra=*/1);
+    if (!win.within_tau) {
+      resize();
+      seg = seg_of_key(key);
+      if (tree_.count(seg) == tree_.segment_slots()) {
+        const auto win2 = tree_.find_rebalance_window(seg, 1);
+        rebalance(win2.begin_seg, win2.end_seg);
+        seg = seg_of_key(key);
+      }
+    } else {
+      rebalance(win.begin_seg, win.end_seg);
+      seg = seg_of_key(key);
+    }
+  }
+  insert_into_segment(seg, key);
+  ++size_;
+  return true;
+}
+
+bool PmaSet::contains(std::uint64_t key) const {
+  const std::uint64_t seg = seg_of_key(key);
+  const std::uint64_t base = seg_begin(seg);
+  const std::uint64_t cnt = tree_.count(seg);
+  return std::binary_search(slots_.begin() + static_cast<std::ptrdiff_t>(base),
+                            slots_.begin() +
+                                static_cast<std::ptrdiff_t>(base + cnt),
+                            key);
+}
+
+bool PmaSet::erase(std::uint64_t key) {
+  const std::uint64_t seg = seg_of_key(key);
+  const std::uint64_t base = seg_begin(seg);
+  const std::uint64_t cnt = tree_.count(seg);
+  const auto first = slots_.begin() + static_cast<std::ptrdiff_t>(base);
+  const auto last = first + static_cast<std::ptrdiff_t>(cnt);
+  const auto it = std::lower_bound(first, last, key);
+  if (it == last || *it != key) return false;
+  std::move(it + 1, last, it);
+  *(last - 1) = kEmpty;
+  tree_.add(seg, -1);
+  --size_;
+
+  // Shrink-side rebalance keeps scans efficient after heavy deletion.
+  const double leaf_density = static_cast<double>(tree_.count(seg)) /
+                              static_cast<double>(tree_.segment_slots());
+  if (leaf_density < tree_.bounds().rho(0)) {
+    std::uint64_t window = 1;
+    for (int level = 0; level <= tree_.height(); ++level, window <<= 1) {
+      const std::uint64_t begin = (seg / window) * window;
+      const std::uint64_t end =
+          std::min<std::uint64_t>(begin + window, tree_.num_segments());
+      if (tree_.density(begin, end) >= tree_.bounds().rho(level) ||
+          level == tree_.height()) {
+        if (end - begin > 1) rebalance(begin, end);
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+void PmaSet::rebalance(std::uint64_t begin_seg, std::uint64_t end_seg) {
+  ++rebalances_;
+  std::vector<std::uint64_t> buf;
+  for (std::uint64_t s = begin_seg; s < end_seg; ++s) {
+    const std::uint64_t base = seg_begin(s);
+    for (std::uint64_t i = 0; i < tree_.count(s); ++i)
+      buf.push_back(slots_[base + i]);
+  }
+  // Even redistribution across the window, left-packed per segment.
+  const std::uint64_t segs = end_seg - begin_seg;
+  const std::uint64_t per = buf.size() / segs;
+  std::uint64_t extra = buf.size() % segs;
+  std::size_t next = 0;
+  for (std::uint64_t s = begin_seg; s < end_seg; ++s) {
+    const std::uint64_t take = per + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    const std::uint64_t base = seg_begin(s);
+    for (std::uint64_t i = 0; i < tree_.segment_slots(); ++i)
+      slots_[base + i] = (i < take) ? buf[next + i] : kEmpty;
+    next += take;
+    tree_.set_count(s, take);
+  }
+  assert(next == buf.size());
+}
+
+void PmaSet::resize() {
+  ++resizes_;
+  std::vector<std::uint64_t> buf;
+  buf.reserve(size_);
+  for (std::uint64_t s = 0; s < tree_.num_segments(); ++s) {
+    const std::uint64_t base = seg_begin(s);
+    for (std::uint64_t i = 0; i < tree_.count(s); ++i)
+      buf.push_back(slots_[base + i]);
+  }
+  const std::uint64_t new_segments = tree_.num_segments() * 2;
+  tree_ = SegmentTree(new_segments, cfg_.segment_slots, cfg_.density);
+  slots_.assign(new_segments * cfg_.segment_slots, kEmpty);
+
+  const std::uint64_t per = buf.size() / new_segments;
+  std::uint64_t extra = buf.size() % new_segments;
+  std::size_t next = 0;
+  for (std::uint64_t s = 0; s < new_segments; ++s) {
+    const std::uint64_t take = per + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    const std::uint64_t base = seg_begin(s);
+    for (std::uint64_t i = 0; i < take; ++i) slots_[base + i] = buf[next + i];
+    next += take;
+    tree_.set_count(s, take);
+  }
+}
+
+std::vector<std::uint64_t> PmaSet::to_vector() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(size_);
+  for (std::uint64_t s = 0; s < tree_.num_segments(); ++s) {
+    const std::uint64_t base = seg_begin(s);
+    for (std::uint64_t i = 0; i < tree_.count(s); ++i)
+      out.push_back(slots_[base + i]);
+  }
+  return out;
+}
+
+bool PmaSet::check_invariants(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  std::uint64_t total = 0;
+  std::uint64_t prev = 0;
+  bool have_prev = false;
+  for (std::uint64_t s = 0; s < tree_.num_segments(); ++s) {
+    const std::uint64_t base = seg_begin(s);
+    const std::uint64_t cnt = tree_.count(s);
+    if (cnt > tree_.segment_slots()) return fail("segment count overflow");
+    for (std::uint64_t i = 0; i < tree_.segment_slots(); ++i) {
+      const std::uint64_t v = slots_[base + i];
+      if (i < cnt) {
+        if (v == kEmpty) return fail("hole inside packed prefix");
+        if (have_prev && v <= prev) {
+          std::ostringstream os;
+          os << "order violation at seg " << s << " idx " << i;
+          return fail(os.str());
+        }
+        prev = v;
+        have_prev = true;
+      } else if (v != kEmpty) {
+        return fail("stale value past packed prefix");
+      }
+    }
+    total += cnt;
+  }
+  if (total != size_) return fail("size mismatch");
+  return true;
+}
+
+}  // namespace dgap::pma

@@ -1,0 +1,70 @@
+// PmaSet: a self-contained, volatile Packed Memory Array keeping a sorted
+// set of uint64 keys.
+//
+// This is not on DGAP's hot path — the edge array in src/core embeds its
+// own PMA specialized for vertex runs and persistence. PmaSet exists to (a)
+// validate the shared threshold / segment-tree / window logic with intense
+// property tests, and (b) serve as an executable reference for classic PMA
+// semantics (amortized O(log^2 N) inserts, density invariants).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/pma/segment_tree.hpp"
+
+namespace dgap::pma {
+
+class PmaSet {
+ public:
+  struct Config {
+    std::uint64_t initial_segments = 4;  // power of two
+    std::uint64_t segment_slots = 32;
+    DensityConfig density;
+  };
+
+  PmaSet() : PmaSet(Config{}) {}
+  explicit PmaSet(const Config& cfg);
+
+  // Returns false if the key is already present. Key UINT64_MAX is reserved.
+  bool insert(std::uint64_t key);
+  bool erase(std::uint64_t key);
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  [[nodiscard]] std::uint64_t capacity() const { return slots_.size(); }
+
+  // Keys in ascending order.
+  [[nodiscard]] std::vector<std::uint64_t> to_vector() const;
+
+  // Structural audit used by property tests: sortedness, tree counts
+  // matching actual occupancy, density bands at every level.
+  [[nodiscard]] bool check_invariants(std::string* why = nullptr) const;
+
+  [[nodiscard]] std::uint64_t rebalances() const { return rebalances_; }
+  [[nodiscard]] std::uint64_t resizes() const { return resizes_; }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  [[nodiscard]] std::uint64_t seg_of_key(std::uint64_t key) const;
+  [[nodiscard]] std::uint64_t seg_begin(std::uint64_t seg) const {
+    return seg * tree_.segment_slots();
+  }
+  // Insert into a segment keeping it sorted & left-packed. Caller ensured
+  // there is room.
+  void insert_into_segment(std::uint64_t seg, std::uint64_t key);
+  void rebalance(std::uint64_t begin_seg, std::uint64_t end_seg);
+  void resize();
+
+  Config cfg_;
+  SegmentTree tree_;
+  std::vector<std::uint64_t> slots_;  // kEmpty marks gaps; segments are
+                                      // left-packed sorted subarrays
+  std::uint64_t size_ = 0;
+  std::uint64_t rebalances_ = 0;
+  std::uint64_t resizes_ = 0;
+};
+
+}  // namespace dgap::pma

@@ -1,0 +1,70 @@
+#include "src/pma/segment_tree.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/common/platform.hpp"
+
+namespace dgap::pma {
+
+SegmentTree::SegmentTree(std::uint64_t num_segments,
+                         std::uint64_t segment_slots,
+                         const DensityConfig& cfg)
+    : counts_(num_segments, 0),
+      segment_slots_(segment_slots),
+      bounds_(cfg, log2_floor(num_segments)) {
+  if (!is_pow2(num_segments))
+    throw std::invalid_argument("num_segments must be a power of two");
+  if (segment_slots == 0)
+    throw std::invalid_argument("segment_slots must be positive");
+}
+
+void SegmentTree::set_count(std::uint64_t seg, std::uint64_t count) {
+  counts_[seg] = count;
+}
+
+void SegmentTree::add(std::uint64_t seg, std::int64_t delta) {
+  assert(delta >= 0 ||
+         counts_[seg] >= static_cast<std::uint64_t>(-delta));
+  counts_[seg] = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(counts_[seg]) + delta);
+}
+
+std::uint64_t SegmentTree::total_count() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+double SegmentTree::density(std::uint64_t begin_seg,
+                            std::uint64_t end_seg) const {
+  assert(begin_seg < end_seg && end_seg <= counts_.size());
+  std::uint64_t sum = 0;
+  for (std::uint64_t s = begin_seg; s < end_seg; ++s) sum += counts_[s];
+  return static_cast<double>(sum) /
+         static_cast<double>((end_seg - begin_seg) * segment_slots_);
+}
+
+bool SegmentTree::leaf_overflow(std::uint64_t seg) const {
+  return static_cast<double>(counts_[seg]) /
+             static_cast<double>(segment_slots_) >
+         bounds_.tau(0);
+}
+
+SegmentTree::Window SegmentTree::find_rebalance_window(
+    std::uint64_t seg, std::uint64_t extra) const {
+  assert(seg < counts_.size());
+  std::uint64_t window = 1;
+  for (int level = 0; level <= bounds_.height(); ++level, window <<= 1) {
+    const std::uint64_t begin = round_down(seg, window);
+    const std::uint64_t end = std::min<std::uint64_t>(begin + window,
+                                                      counts_.size());
+    std::uint64_t sum = extra;
+    for (std::uint64_t s = begin; s < end; ++s) sum += counts_[s];
+    const double d = static_cast<double>(sum) /
+                     static_cast<double>((end - begin) * segment_slots_);
+    if (d <= bounds_.tau(level)) return {begin, end, level, true};
+  }
+  return {0, counts_.size(), bounds_.height(), false};
+}
+
+}  // namespace dgap::pma

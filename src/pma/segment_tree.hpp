@@ -1,0 +1,62 @@
+// SegmentTree: the (volatile) PMA tree tracking per-segment element counts
+// and answering "what is the smallest window around segment s that can
+// absorb a rebalance?" (paper §2.3). In DGAP the counts include both edge
+// array occupancy and the per-section edge-log occupancy, since both
+// contribute to section density (paper §3, component 3).
+//
+// Lives in DRAM by design (paper Table 5 "DP" ablation shows why); after a
+// crash it is rebuilt by scanning the persistent edge array.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pma/thresholds.hpp"
+
+namespace dgap::pma {
+
+class SegmentTree {
+ public:
+  // `num_segments` must be a power of two; `segment_slots` is leaf capacity.
+  SegmentTree(std::uint64_t num_segments, std::uint64_t segment_slots,
+              const DensityConfig& cfg = {});
+
+  [[nodiscard]] std::uint64_t num_segments() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t segment_slots() const { return segment_slots_; }
+  [[nodiscard]] int height() const { return bounds_.height(); }
+  [[nodiscard]] const DensityBounds& bounds() const { return bounds_; }
+
+  void set_count(std::uint64_t seg, std::uint64_t count);
+  void add(std::uint64_t seg, std::int64_t delta);
+  [[nodiscard]] std::uint64_t count(std::uint64_t seg) const {
+    return counts_[seg];
+  }
+  [[nodiscard]] std::uint64_t total_count() const;
+
+  [[nodiscard]] double density(std::uint64_t begin_seg,
+                               std::uint64_t end_seg) const;
+
+  // True when `seg` violates its leaf upper bound.
+  [[nodiscard]] bool leaf_overflow(std::uint64_t seg) const;
+
+  struct Window {
+    std::uint64_t begin_seg;  // inclusive
+    std::uint64_t end_seg;    // exclusive
+    int level;
+    bool within_tau;  // false => even the root is too dense: resize needed
+  };
+
+  // Smallest aligned window containing `seg` whose density (optionally with
+  // `extra` elements about to be added) satisfies tau(level). Walks from the
+  // leaf to the root; returns within_tau=false at the root when the whole
+  // array is too dense.
+  [[nodiscard]] Window find_rebalance_window(std::uint64_t seg,
+                                             std::uint64_t extra = 0) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t segment_slots_;
+  DensityBounds bounds_;
+};
+
+}  // namespace dgap::pma

@@ -1,0 +1,27 @@
+#include "src/pma/thresholds.hpp"
+
+#include <cassert>
+
+namespace dgap::pma {
+
+DensityBounds::DensityBounds(const DensityConfig& cfg, int height)
+    : cfg_(cfg), height_(height) {
+  assert(height >= 0);
+  assert(cfg.rho_leaf <= cfg.rho_root);
+  assert(cfg.tau_root <= cfg.tau_leaf);
+  assert(cfg.rho_root < cfg.tau_root);
+}
+
+double DensityBounds::tau(int level) const {
+  if (height_ == 0) return cfg_.tau_leaf;
+  const double t = static_cast<double>(level) / static_cast<double>(height_);
+  return cfg_.tau_leaf + (cfg_.tau_root - cfg_.tau_leaf) * t;
+}
+
+double DensityBounds::rho(int level) const {
+  if (height_ == 0) return cfg_.rho_leaf;
+  const double t = static_cast<double>(level) / static_cast<double>(height_);
+  return cfg_.rho_leaf + (cfg_.rho_root - cfg_.rho_leaf) * t;
+}
+
+}  // namespace dgap::pma

@@ -1,0 +1,40 @@
+// Adaptive PMA density thresholds (Bender & Hu, TODS'07).
+//
+// A PMA keeps every window of the array within a density band. Leaves (a
+// single segment) get the loosest band, the root (whole array) the
+// tightest; bounds interpolate linearly with tree level:
+//
+//   level 0 (leaf):  [rho_leaf, tau_leaf]   e.g. [0.08, 0.92]
+//   level h (root):  [rho_root, tau_root]   e.g. [0.30, 0.75]
+//
+// An insertion that pushes a window past tau at every level forces a
+// resize; deletions dropping below rho trigger shrink-side rebalancing
+// (rare in DGAP: deletes are tombstone *insertions*).
+#pragma once
+
+namespace dgap::pma {
+
+struct DensityConfig {
+  double tau_leaf = 0.92;
+  double tau_root = 0.75;
+  double rho_leaf = 0.08;
+  double rho_root = 0.30;
+};
+
+class DensityBounds {
+ public:
+  DensityBounds(const DensityConfig& cfg, int height);
+
+  // Upper density bound for a window at `level` (0 = leaf, height() = root).
+  [[nodiscard]] double tau(int level) const;
+  // Lower density bound.
+  [[nodiscard]] double rho(int level) const;
+
+  [[nodiscard]] int height() const { return height_; }
+
+ private:
+  DensityConfig cfg_;
+  int height_;
+};
+
+}  // namespace dgap::pma

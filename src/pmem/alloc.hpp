@@ -1,0 +1,57 @@
+// Pool-internal allocator.
+//
+// Persistent state is a single bump offset stored in the pool header; free
+// lists are *volatile* (segregated by power-of-two size class) and vanish on
+// restart. That trade-off matches how DGAP uses persistent memory: the big
+// regions (edge array, logs) are allocated once and resized rarely, so
+// cross-restart reuse of freed blocks is not worth persistent allocator
+// metadata (whose journaling cost is exactly what the paper's per-thread
+// undo log avoids). Memory freed in a previous run is simply not reused —
+// documented leak-on-restart semantics, same as PMDK's transactional-free
+// caveat when used without transactions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/platform.hpp"
+#include "src/common/spinlock.hpp"
+
+namespace dgap::pmem {
+
+class PmemPool;
+
+class PmemAllocator {
+ public:
+  explicit PmemAllocator(PmemPool& pool);
+
+  // Allocate `size` bytes aligned to `align` (power of two, >= 8).
+  // Returns the pool offset. Throws std::bad_alloc when the pool is full.
+  std::uint64_t alloc(std::uint64_t size, std::uint64_t align = kCacheLineSize);
+
+  // Return a block to the volatile free list. `size` must be the size passed
+  // to alloc().
+  void free(std::uint64_t off, std::uint64_t size);
+
+  // Bytes consumed from the arena so far (high-water mark).
+  [[nodiscard]] std::uint64_t used_bytes() const;
+  // Bytes still available from the bump arena.
+  [[nodiscard]] std::uint64_t available_bytes() const;
+
+ private:
+  static constexpr int kMinClassLog = 6;   // 64 B
+  static constexpr int kMaxClassLog = 26;  // 64 MB
+  static constexpr int kNumClasses = kMaxClassLog - kMinClassLog + 1;
+
+  static int class_of(std::uint64_t size);
+  static std::uint64_t class_size(int cls) {
+    return 1ull << (cls + kMinClassLog);
+  }
+
+  PmemPool& pool_;
+  SpinLock mu_;
+  std::array<std::vector<std::uint64_t>, kNumClasses> free_lists_;
+};
+
+}  // namespace dgap::pmem

@@ -1,0 +1,62 @@
+#include "src/pmem/latency_model.hpp"
+
+#include "src/common/timer.hpp"
+#include "src/pmem/stats.hpp"
+
+namespace dgap::pmem {
+
+namespace {
+// Previous XPLine touched by this thread's flushes; models the sequential
+// write-combining behaviour of the on-DIMM buffer.
+thread_local std::uintptr_t t_last_xpline = ~std::uintptr_t{0};
+}  // namespace
+
+void LatencyModel::on_flush(const void* addr, std::uint64_t lines) {
+  std::uintptr_t line = line_of(addr);
+  const std::uint64_t now = fast_now_ns();
+  std::uint64_t delay = 0;
+  std::uint64_t xp_misses = 0;
+  std::uint64_t inplace = 0;
+
+  for (std::uint64_t i = 0; i < lines; ++i, line += kCacheLineSize) {
+    const std::uintptr_t xpline = round_down(line, kXPLineSize);
+    if (xpline != t_last_xpline) {
+      ++xp_misses;
+      t_last_xpline = xpline;
+    }
+    Slot& slot = recency_[(line / kCacheLineSize) & (kRecencySlots - 1)];
+    const std::uintptr_t prev_line = slot.line.load(std::memory_order_relaxed);
+    const std::uint64_t prev_time =
+        slot.time_ns.load(std::memory_order_relaxed);
+    if (prev_line == line && now - prev_time < cfg_.recency_window_ns) {
+      ++inplace;
+    }
+    slot.line.store(line, std::memory_order_relaxed);
+    slot.time_ns.store(now, std::memory_order_relaxed);
+  }
+
+  stats().on_xpline_miss(xp_misses);
+  stats().on_inplace_flush(inplace);
+
+  if (!cfg_.enabled) return;
+  delay = lines * cfg_.flush_ns_per_line + xp_misses * cfg_.xpline_miss_ns +
+          inplace * cfg_.inplace_flush_ns;
+  spin_wait_ns(delay);
+}
+
+void LatencyModel::on_fence() {
+  if (cfg_.enabled && cfg_.fence_ns > 0) spin_wait_ns(cfg_.fence_ns);
+}
+
+void LatencyModel::on_read(const void* addr, std::uint64_t lines) {
+  (void)addr;
+  if (cfg_.enabled && cfg_.read_ns_per_line > 0)
+    spin_wait_ns(lines * cfg_.read_ns_per_line);
+}
+
+LatencyModel& latency_model() {
+  static LatencyModel m;
+  return m;
+}
+
+}  // namespace dgap::pmem

@@ -1,0 +1,10 @@
+#include "src/pmem/stats.hpp"
+
+namespace dgap::pmem {
+
+PmemStats& stats() {
+  static PmemStats s;
+  return s;
+}
+
+}  // namespace dgap::pmem

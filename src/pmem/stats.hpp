@@ -1,0 +1,88 @@
+// Global persistent-memory traffic counters.
+//
+// Every flush/fence issued through PmemPool is tallied here. The counters
+// are the measurement backbone of the paper reproduction: write
+// amplification (Fig 1a) is `media_bytes_written() / payload`, and the
+// ablation tables compare flush/fence counts across DGAP variants.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/platform.hpp"
+
+namespace dgap::pmem {
+
+struct StatsSnapshot {
+  std::uint64_t flush_calls = 0;    // number of flush()/persist() calls
+  std::uint64_t lines_flushed = 0;  // cache lines written to media
+  std::uint64_t bytes_requested = 0;  // payload bytes covered by flush calls
+  std::uint64_t fences = 0;
+  std::uint64_t xpline_misses = 0;   // flushes landing on a new 256B XPLine
+  std::uint64_t inplace_flushes = 0;  // re-flush of a recently flushed line
+
+  // Bytes actually written to the emulated media (line granularity).
+  [[nodiscard]] std::uint64_t media_bytes_written() const {
+    return lines_flushed * kCacheLineSize;
+  }
+
+  StatsSnapshot operator-(const StatsSnapshot& rhs) const {
+    StatsSnapshot d;
+    d.flush_calls = flush_calls - rhs.flush_calls;
+    d.lines_flushed = lines_flushed - rhs.lines_flushed;
+    d.bytes_requested = bytes_requested - rhs.bytes_requested;
+    d.fences = fences - rhs.fences;
+    d.xpline_misses = xpline_misses - rhs.xpline_misses;
+    d.inplace_flushes = inplace_flushes - rhs.inplace_flushes;
+    return d;
+  }
+};
+
+class PmemStats {
+ public:
+  void on_flush(std::uint64_t lines, std::uint64_t bytes) {
+    flush_calls_.fetch_add(1, std::memory_order_relaxed);
+    lines_flushed_.fetch_add(lines, std::memory_order_relaxed);
+    bytes_requested_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void on_fence() { fences_.fetch_add(1, std::memory_order_relaxed); }
+  void on_xpline_miss(std::uint64_t n) {
+    xpline_misses_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_inplace_flush(std::uint64_t n) {
+    inplace_flushes_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] StatsSnapshot snapshot() const {
+    StatsSnapshot s;
+    s.flush_calls = flush_calls_.load(std::memory_order_relaxed);
+    s.lines_flushed = lines_flushed_.load(std::memory_order_relaxed);
+    s.bytes_requested = bytes_requested_.load(std::memory_order_relaxed);
+    s.fences = fences_.load(std::memory_order_relaxed);
+    s.xpline_misses = xpline_misses_.load(std::memory_order_relaxed);
+    s.inplace_flushes = inplace_flushes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() {
+    flush_calls_ = 0;
+    lines_flushed_ = 0;
+    bytes_requested_ = 0;
+    fences_ = 0;
+    xpline_misses_ = 0;
+    inplace_flushes_ = 0;
+  }
+
+ private:
+  std::atomic<std::uint64_t> flush_calls_{0};
+  std::atomic<std::uint64_t> lines_flushed_{0};
+  std::atomic<std::uint64_t> bytes_requested_{0};
+  std::atomic<std::uint64_t> fences_{0};
+  std::atomic<std::uint64_t> xpline_misses_{0};
+  std::atomic<std::uint64_t> inplace_flushes_{0};
+};
+
+// Process-wide counters (all pools share them, like a machine's DIMMs).
+PmemStats& stats();
+
+}  // namespace dgap::pmem

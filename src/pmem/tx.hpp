@@ -1,0 +1,86 @@
+// Undo-log transactions in the style of PMDK's libpmemobj.
+//
+// This is the stand-in for "PMDK transactions" that the paper's ablation
+// (Table 5, variant "No EL&UL") and motivation microbench (Fig 1b, "PMs-TX")
+// compare against. It deliberately reproduces the two costs the paper calls
+// out (§2.4.2): a journal allocation per transaction and extra
+// flush/fence ordering per snapshotted range.
+//
+// Usage:
+//   uint64_t anchor = TxJournal::create(pool);      // once, store the offset
+//   TxJournal journal(pool, anchor);
+//   {
+//     PmemTx tx(pool, journal);
+//     tx.add_range(p, len);   // BEFORE mutating [p, p+len)
+//     ... mutate ...
+//     tx.commit();            // otherwise ~PmemTx rolls back
+//   }
+//
+// After a crash, `journal.needs_recovery()` / `journal.recover()` restore
+// the pre-transaction images.
+#pragma once
+
+#include <cstdint>
+
+namespace dgap::pmem {
+
+class PmemPool;
+
+class TxJournal {
+ public:
+  // Allocate a journal anchor in the pool; returns its offset. The caller
+  // persists this offset somewhere reachable from its root object.
+  static std::uint64_t create(PmemPool& pool);
+
+  TxJournal(PmemPool& pool, std::uint64_t anchor_off);
+
+  // True when a crash interrupted a transaction on this journal.
+  [[nodiscard]] bool needs_recovery() const;
+  // Roll the interrupted transaction back (no-op when not needed).
+  void recover();
+
+  [[nodiscard]] std::uint64_t anchor_offset() const { return anchor_off_; }
+
+ private:
+  friend class PmemTx;
+  struct Anchor {
+    std::uint64_t active;    // 1 while a tx is open
+    std::uint64_t data_off;  // journal data block
+    std::uint64_t capacity;  // bytes in the data block
+    std::uint64_t len;       // bytes of entries written
+  };
+  Anchor* anchor() const;
+
+  PmemPool& pool_;
+  std::uint64_t anchor_off_;
+};
+
+class PmemTx {
+ public:
+  // Opens a transaction: allocates a fresh journal data block (the PMDK
+  // per-tx journal-allocation cost) and marks the journal active.
+  PmemTx(PmemPool& pool, TxJournal& journal,
+         std::uint64_t capacity = 64 * 1024);
+  // Roll back unless committed.
+  ~PmemTx();
+  PmemTx(const PmemTx&) = delete;
+  PmemTx& operator=(const PmemTx&) = delete;
+
+  // Snapshot [addr, addr+len) so it can be undone. Must be called before the
+  // range is mutated. Throws std::length_error if the journal overflows.
+  void add_range(const void* addr, std::uint64_t len);
+
+  // Make all mutations durable and retire the journal.
+  void commit();
+
+  [[nodiscard]] bool committed() const { return committed_; }
+
+ private:
+  void rollback();
+
+  PmemPool& pool_;
+  TxJournal& journal_;
+  bool committed_ = false;
+};
+
+}  // namespace dgap::pmem

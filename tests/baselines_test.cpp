@@ -1,0 +1,238 @@
+// Tests for the five baseline stores: correctness against the AdjGraph
+// oracle and the behavioural properties the paper attributes to each.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/baselines/bal_store.hpp"
+#include "src/baselines/graphone_store.hpp"
+#include "src/baselines/llama_store.hpp"
+#include "src/baselines/pmem_csr.hpp"
+#include "src/baselines/xpgraph_store.hpp"
+#include "src/graph/adj_graph.hpp"
+#include "src/graph/generators.hpp"
+#include "src/pmem/stats.hpp"
+
+namespace dgap::baselines {
+namespace {
+
+using pmem::PmemPool;
+
+std::unique_ptr<PmemPool> make_pool(std::uint64_t mb = 64) {
+  return PmemPool::create({.path = "", .size = mb << 20});
+}
+
+template <typename Store>
+void expect_matches_oracle(const Store& store, const AdjGraph& oracle,
+                           const std::string& tag) {
+  ASSERT_GE(store.num_nodes(), oracle.num_nodes()) << tag;
+  for (NodeId v = 0; v < oracle.num_nodes(); ++v) {
+    std::vector<NodeId> got;
+    store.for_each_out(v, [&](NodeId d) { got.push_back(d); });
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, oracle.sorted_neigh(v)) << tag << " vertex " << v;
+  }
+}
+
+EdgeStream test_stream() { return symmetrize(generate_rmat(150, 4000, 21)); }
+
+TEST(PmemCsr, BuildsAndIterates) {
+  auto pool = make_pool();
+  const auto stream = test_stream();
+  AdjGraph oracle(stream);
+  auto csr = PmemCsr::build(*pool, stream);
+  EXPECT_EQ(csr->num_nodes(), stream.num_vertices());
+  EXPECT_EQ(csr->num_edges_directed(), stream.num_edges());
+  expect_matches_oracle(*csr, oracle, "csr");
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < csr->num_nodes(); ++v)
+    total += static_cast<std::uint64_t>(csr->out_degree(v));
+  EXPECT_EQ(total, stream.num_edges());
+}
+
+TEST(PmemCsr, EmptyGraph) {
+  auto pool = make_pool(8);
+  EdgeStream empty(10, {});
+  auto csr = PmemCsr::build(*pool, empty);
+  EXPECT_EQ(csr->num_nodes(), 10);
+  EXPECT_EQ(csr->out_degree(3), 0);
+}
+
+TEST(BalStore, InsertAndIterate) {
+  auto pool = make_pool();
+  const auto stream = test_stream();
+  AdjGraph oracle(stream);
+  auto bal = BalStore::create(*pool, stream.num_vertices());
+  for (const Edge& e : stream.edges()) bal->insert_edge(e.src, e.dst);
+  expect_matches_oracle(*bal, oracle, "bal");
+  EXPECT_EQ(bal->num_edges_directed(), stream.num_edges());
+}
+
+TEST(BalStore, ChainsAcrossBlocks) {
+  auto pool = make_pool(8);
+  auto bal = BalStore::create(*pool, 4, /*block_edges=*/4);
+  for (int i = 0; i < 50; ++i) bal->insert_edge(1, i % 10);
+  EXPECT_EQ(bal->out_degree(1), 50);
+  std::vector<NodeId> got;
+  bal->for_each_out(1, [&](NodeId d) { got.push_back(d); });
+  ASSERT_EQ(got.size(), 50u);
+  // Blocked appends preserve insertion order.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[i], i % 10);
+}
+
+TEST(BalStore, VertexGrowth) {
+  auto pool = make_pool(8);
+  auto bal = BalStore::create(*pool, 2);
+  bal->insert_edge(100, 5);
+  EXPECT_GE(bal->num_nodes(), 101);
+  EXPECT_EQ(bal->out_degree(100), 1);
+}
+
+TEST(LlamaStore, SnapshotsFreezeData) {
+  auto pool = make_pool();
+  auto llama = LlamaStore::create(*pool, 16, /*batch_edges=*/0);
+  llama->insert_edge(1, 2);
+  llama->insert_edge(1, 3);
+  // Unsnapshotted edges are invisible — the LLAMA limitation the paper
+  // calls out ("graph analysis ... can not read the latest graph").
+  EXPECT_EQ(llama->out_degree(1), 0);
+  EXPECT_EQ(llama->pending_edges(), 2u);
+  llama->snapshot();
+  EXPECT_EQ(llama->out_degree(1), 2);
+  EXPECT_EQ(llama->pending_edges(), 0u);
+  EXPECT_EQ(llama->num_levels(), 1u);
+}
+
+TEST(LlamaStore, AutoSnapshotEveryBatch) {
+  auto pool = make_pool();
+  auto llama = LlamaStore::create(*pool, 64, /*batch_edges=*/100);
+  const auto stream = generate_uniform(64, 1000, 3);
+  for (const Edge& e : stream.edges()) llama->insert_edge(e.src, e.dst);
+  EXPECT_EQ(llama->num_levels(), 10u);
+  EXPECT_EQ(llama->num_edges_directed(), 1000u);
+}
+
+TEST(LlamaStore, MultiLevelReadsMatchOracle) {
+  auto pool = make_pool();
+  const auto stream = test_stream();
+  AdjGraph oracle(stream);
+  auto llama = LlamaStore::create(*pool, stream.num_vertices(), 500);
+  for (const Edge& e : stream.edges()) llama->insert_edge(e.src, e.dst);
+  llama->snapshot();  // freeze the tail
+  expect_matches_oracle(*llama, oracle, "llama");
+}
+
+TEST(GraphOneStore, DurableFlushBatches) {
+  auto pool = make_pool();
+  const auto before = pmem::stats().snapshot();
+  auto go = GraphOneStore::create(*pool, 64, /*flush_every=*/256,
+                                  /*archive_every=*/128);
+  const auto stream = generate_uniform(64, 1000, 9);
+  for (const Edge& e : stream.edges()) go->insert_edge(e.src, e.dst);
+  // Un-archived + un-flushed edges form the data-loss window the paper
+  // criticizes; the periodic flush keeps it bounded.
+  EXPECT_GT(go->unflushed_edges(), 0u);
+  EXPECT_LT(go->unflushed_edges(), 256u + 128u);
+  go->flush_durable();
+  EXPECT_EQ(go->unflushed_edges(), 0u);
+  const auto delta = pmem::stats().snapshot() - before;
+  EXPECT_GT(delta.lines_flushed, 0u);
+}
+
+TEST(GraphOneStore, ArchiveMakesEdgesVisible) {
+  auto pool = make_pool(8);
+  auto go = GraphOneStore::create(*pool, 8, /*flush_every=*/1 << 16,
+                                  /*archive_every=*/4);
+  go->insert_edge(1, 2);
+  go->insert_edge(1, 3);
+  go->insert_edge(1, 4);
+  EXPECT_EQ(go->out_degree(1), 0);  // still staged in the edge list
+  go->insert_edge(1, 5);            // 4th insert triggers the archive
+  EXPECT_EQ(go->out_degree(1), 4);
+  std::vector<NodeId> got;
+  go->for_each_out(1, [&](NodeId d) { got.push_back(d); });
+  EXPECT_EQ(got, (std::vector<NodeId>{2, 3, 4, 5}));  // insertion order
+}
+
+TEST(GraphOneStore, ReadsMatchOracle) {
+  auto pool = make_pool();
+  const auto stream = test_stream();
+  AdjGraph oracle(stream);
+  auto go = GraphOneStore::create(*pool, stream.num_vertices());
+  for (const Edge& e : stream.edges()) go->insert_edge(e.src, e.dst);
+  go->flush_durable();  // archive + persist everything
+  expect_matches_oracle(*go, oracle, "graphone");
+}
+
+TEST(GraphOneStore, BlockChainsSpanManyBlocks) {
+  auto pool = make_pool(8);
+  auto go = GraphOneStore::create(*pool, 4, 1 << 16, /*archive_every=*/1);
+  for (int i = 0; i < 100; ++i) go->insert_edge(0, i % 4);
+  EXPECT_EQ(go->out_degree(0), 100);
+  int n = 0;
+  go->for_each_out(0, [&](NodeId) { ++n; });
+  EXPECT_EQ(n, 100);
+}
+
+TEST(XpGraphStore, ArchiveVisibility) {
+  auto pool = make_pool();
+  XpGraphStore::Options o;
+  o.init_vertices = 16;
+  o.archive_threshold = 8;
+  o.log_capacity_edges = 32;  // tiny: force archiving pressure
+  auto xp = XpGraphStore::create(*pool, o);
+  for (int i = 0; i < 100; ++i) xp->insert_edge(1, i % 16);
+  xp->archive_now();
+  EXPECT_EQ(xp->pending_edges(), 0u);
+  EXPECT_EQ(xp->out_degree(1), 100);
+}
+
+TEST(XpGraphStore, BigLogNeverArchives) {
+  auto pool = make_pool();
+  XpGraphStore::Options o;
+  o.init_vertices = 64;
+  o.archive_threshold = 4;
+  o.log_capacity_edges = 1 << 20;  // fits everything: Table 3 small-graph case
+  auto xp = XpGraphStore::create(*pool, o);
+  const auto stream = generate_uniform(64, 2000, 4);
+  for (const Edge& e : stream.edges()) xp->insert_edge(e.src, e.dst);
+  EXPECT_EQ(xp->pending_edges(), 2000u);  // archiving never kicked in
+}
+
+TEST(XpGraphStore, ReadsMatchOracleAfterArchive) {
+  auto pool = make_pool();
+  const auto stream = test_stream();
+  AdjGraph oracle(stream);
+  XpGraphStore::Options o;
+  o.init_vertices = stream.num_vertices();
+  o.archive_threshold = 64;
+  o.log_capacity_edges = 512;
+  auto xp = XpGraphStore::create(*pool, o);
+  for (const Edge& e : stream.edges()) xp->insert_edge(e.src, e.dst);
+  xp->archive_now();
+  expect_matches_oracle(*xp, oracle, "xpgraph");
+}
+
+TEST(XpGraphStore, SmallerThresholdMoreArchiveFlushes) {
+  // The Fig 5 mechanism: smaller archiving thresholds produce more PM
+  // traffic for the same insert workload.
+  auto measure = [&](std::uint64_t threshold) {
+    auto pool = make_pool();
+    XpGraphStore::Options o;
+    o.init_vertices = 64;
+    o.archive_threshold = threshold;
+    o.log_capacity_edges = 64;  // constant pressure
+    auto xp = XpGraphStore::create(*pool, o);
+    const auto before = pmem::stats().snapshot();
+    const auto stream = generate_uniform(64, 4000, 6);
+    for (const Edge& e : stream.edges()) xp->insert_edge(e.src, e.dst);
+    return (pmem::stats().snapshot() - before).flush_calls;
+  };
+  const auto small = measure(2);
+  const auto large = measure(64);
+  EXPECT_GT(small, large);
+}
+
+}  // namespace
+}  // namespace dgap::baselines

@@ -1,0 +1,257 @@
+// Unit tests for src/common: platform math, RNG determinism, bitmap
+// atomicity, sliding queue semantics, CLI parsing, table formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "src/common/bitmap.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/platform.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/sliding_queue.hpp"
+#include "src/common/spinlock.hpp"
+#include "src/common/table.hpp"
+#include "src/common/timer.hpp"
+
+namespace dgap {
+namespace {
+
+TEST(Platform, RoundUpDown) {
+  EXPECT_EQ(round_up(0, 64), 0u);
+  EXPECT_EQ(round_up(1, 64), 64u);
+  EXPECT_EQ(round_up(64, 64), 64u);
+  EXPECT_EQ(round_up(65, 64), 128u);
+  EXPECT_EQ(round_down(63, 64), 0u);
+  EXPECT_EQ(round_down(64, 64), 64u);
+  EXPECT_EQ(round_down(127, 64), 64u);
+}
+
+TEST(Platform, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(4), 4u);
+  EXPECT_EQ(ceil_pow2(1025), 2048u);
+  EXPECT_EQ(log2_floor(1), 0);
+  EXPECT_EQ(log2_floor(2), 1);
+  EXPECT_EQ(log2_floor(1023), 9);
+  EXPECT_EQ(log2_floor(1024), 10);
+}
+
+TEST(Platform, LinesSpanned) {
+  alignas(64) char buf[256];
+  EXPECT_EQ(lines_spanned(buf, 0), 0u);
+  EXPECT_EQ(lines_spanned(buf, 1), 1u);
+  EXPECT_EQ(lines_spanned(buf, 64), 1u);
+  EXPECT_EQ(lines_spanned(buf, 65), 2u);
+  EXPECT_EQ(lines_spanned(buf + 63, 2), 2u);
+  EXPECT_EQ(lines_spanned(buf + 60, 4), 1u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+  EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Bitmap, SetAndGet) {
+  Bitmap bm(200);
+  EXPECT_FALSE(bm.get_bit(0));
+  bm.set_bit(0);
+  bm.set_bit(63);
+  bm.set_bit(64);
+  bm.set_bit(199);
+  EXPECT_TRUE(bm.get_bit(0));
+  EXPECT_TRUE(bm.get_bit(63));
+  EXPECT_TRUE(bm.get_bit(64));
+  EXPECT_TRUE(bm.get_bit(199));
+  EXPECT_FALSE(bm.get_bit(1));
+  EXPECT_EQ(bm.count(), 4u);
+  bm.reset();
+  EXPECT_EQ(bm.count(), 0u);
+}
+
+TEST(Bitmap, AtomicSetReportsTransition) {
+  Bitmap bm(64);
+  EXPECT_TRUE(bm.set_bit_atomic(5));
+  EXPECT_FALSE(bm.set_bit_atomic(5));
+}
+
+TEST(Bitmap, ConcurrentSetsCountOnce) {
+  Bitmap bm(1 << 16);
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < bm.size(); ++i)
+        if (bm.set_bit_atomic(i)) winners.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(winners.load(), 1 << 16);
+  EXPECT_EQ(bm.count(), static_cast<std::size_t>(1 << 16));
+}
+
+TEST(SlidingQueue, WindowSemantics) {
+  SlidingQueue<int> q(100);
+  EXPECT_TRUE(q.empty());
+  q.push_back(1);
+  q.push_back(2);
+  EXPECT_TRUE(q.empty());  // not visible until slide
+  q.slide_window();
+  EXPECT_EQ(q.size(), 2u);
+  q.push_back(3);
+  q.slide_window();
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(*q.begin(), 3);
+}
+
+TEST(SlidingQueue, BufferedPushesFlush) {
+  SlidingQueue<int> q(100000);
+  {
+    QueueBuffer<int> buf(q, 16);
+    for (int i = 0; i < 100; ++i) buf.push_back(i);
+    buf.flush();
+  }
+  q.slide_window();
+  EXPECT_EQ(q.size(), 100u);
+  std::set<int> seen(q.begin(), q.end());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(SpinLock, MutualExclusion) {
+  SpinLock mu;
+  std::int64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        mu.lock();
+        ++counter;
+        mu.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 80000);
+}
+
+TEST(RWSpinLock, WritersExcludeEachOther) {
+  RWSpinLock mu;
+  std::int64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        mu.lock();
+        ++counter;
+        mu.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(RWSpinLock, ReadersSeeConsistentPairs) {
+  RWSpinLock mu;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread writer([&] {
+    for (int i = 1; i <= 30000; ++i) {
+      mu.lock();
+      a = i;
+      b = -i;
+      mu.unlock();
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      while (!stop) {
+        mu.lock_shared();
+        if (a != -b) torn.fetch_add(1);
+        mu.unlock_shared();
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TEST(Cli, ParsesAllForms) {
+  // Note: `--flag value` would bind value to flag (the `--key value` form),
+  // so the bare flag is placed before another --option.
+  const char* argv[] = {"prog",   "--alpha=3",   "--beta",      "7",
+                        "positional", "--flag",  "--gamma=x y", "--ratio=0.25"};
+  Cli cli(8, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get_int("beta", 0), 7);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_FALSE(cli.get_bool("missing", false));
+  EXPECT_EQ(cli.get("gamma"), "x y");
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0), 0.25);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(Cli, SplitCsv) {
+  EXPECT_TRUE(split_csv("").empty());
+  const auto v = split_csv("a,b,c");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "c");
+  const auto single = split_csv("solo");
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], "solo");
+}
+
+TEST(Table, AlignedOutput) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", TablePrinter::fmt(1.2345, 2)});
+  t.add_row({"longer-name", "42"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  spin_wait_ns(2'000'000);  // 2 ms
+  EXPECT_GE(t.millis(), 1.0);
+}
+
+}  // namespace
+}  // namespace dgap

@@ -1,0 +1,204 @@
+// Tests for the graph substrate: generators, datasets, streams, oracle, I/O.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <set>
+
+#include "src/graph/adj_graph.hpp"
+#include "src/graph/datasets.hpp"
+#include "src/graph/edge_stream.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/io.hpp"
+
+namespace dgap {
+namespace {
+
+TEST(Generators, RmatDeterministic) {
+  const auto a = generate_rmat(1024, 10000, 7);
+  const auto b = generate_rmat(1024, 10000, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(std::equal(a.edges().begin(), a.edges().end(),
+                         b.edges().begin()));
+}
+
+TEST(Generators, RmatRespectsBoundsAndNoSelfLoops) {
+  const auto g = generate_rmat(500, 5000, 11);
+  EXPECT_EQ(g.num_vertices(), 500);
+  EXPECT_EQ(g.num_edges(), 5000u);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.src, 0);
+    EXPECT_LT(e.src, 500);
+    EXPECT_GE(e.dst, 0);
+    EXPECT_LT(e.dst, 500);
+    EXPECT_NE(e.src, e.dst);
+  }
+}
+
+TEST(Generators, RmatIsSkewed) {
+  // RMAT with a=0.57 must concentrate far more mass on its hottest vertices
+  // than a uniform graph does.
+  const NodeId n = 4096;
+  const std::uint64_t m = 100000;
+  auto degree_top1pct = [&](const EdgeStream& s) {
+    std::vector<std::uint64_t> deg(n, 0);
+    for (const Edge& e : s.edges()) ++deg[e.src];
+    std::sort(deg.rbegin(), deg.rend());
+    return std::accumulate(deg.begin(), deg.begin() + n / 100,
+                           std::uint64_t{0});
+  };
+  const auto top_rmat = degree_top1pct(generate_rmat(n, m, 3));
+  const auto top_unif = degree_top1pct(generate_uniform(n, m, 3));
+  EXPECT_GT(top_rmat, top_unif * 3);
+}
+
+TEST(Generators, UniformCoversVertices) {
+  const auto g = generate_uniform(64, 10000, 5);
+  std::set<NodeId> touched;
+  for (const Edge& e : g.edges()) {
+    touched.insert(e.src);
+    touched.insert(e.dst);
+  }
+  EXPECT_EQ(touched.size(), 64u);
+}
+
+TEST(Generators, SymmetrizeDoublesAndMirrors) {
+  const auto g = generate_uniform(128, 500, 9);
+  const auto s = symmetrize(g);
+  EXPECT_EQ(s.num_edges(), 1000u);
+  for (std::size_t i = 0; i < s.num_edges(); i += 2) {
+    EXPECT_EQ(s.edges()[i].src, s.edges()[i + 1].dst);
+    EXPECT_EQ(s.edges()[i].dst, s.edges()[i + 1].src);
+  }
+}
+
+TEST(EdgeStream, ShuffleIsPermutationAndDeterministic) {
+  auto a = generate_uniform(256, 4000, 1);
+  auto b = a;
+  const auto sorted_key = [](const EdgeStream& s) {
+    std::vector<std::pair<NodeId, NodeId>> v;
+    for (const Edge& e : s.edges()) v.emplace_back(e.src, e.dst);
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  const auto before = sorted_key(a);
+  a.shuffle(99);
+  b.shuffle(99);
+  EXPECT_TRUE(std::equal(a.edges().begin(), a.edges().end(),
+                         b.edges().begin()));
+  EXPECT_EQ(sorted_key(a), before);  // same multiset
+}
+
+TEST(EdgeStream, WarmupSplit) {
+  EdgeStream s(10, std::vector<Edge>(1000, Edge{1, 2}));
+  EXPECT_EQ(s.warmup(0.10).size(), 100u);
+  EXPECT_EQ(s.body(0.10).size(), 900u);
+  EXPECT_EQ(s.warmup(0.0).size(), 0u);
+  EXPECT_EQ(s.body(0.0).size(), 1000u);
+}
+
+TEST(Datasets, RegistryHasAllSixPaperGraphs) {
+  const auto& specs = paper_datasets();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "orkut");
+  EXPECT_EQ(specs[5].name, "protein");
+  EXPECT_THROW(dataset_spec("nope"), std::out_of_range);
+}
+
+TEST(Datasets, RatiosMatchPaper) {
+  // |E|/|V| ratios from paper Table 2: 76, 18, 6 (here ~5.5), 39, 29, 149.
+  const double expected[] = {76, 18, 5.5, 39, 29, 149};
+  int i = 0;
+  for (const auto& spec : paper_datasets()) {
+    const double ratio = static_cast<double>(spec.base_edges) /
+                         static_cast<double>(spec.base_vertices);
+    EXPECT_NEAR(ratio, expected[i], expected[i] * 0.1) << spec.name;
+    ++i;
+  }
+}
+
+TEST(Datasets, LoadScalesEdgeCount) {
+  const auto small = load_dataset("citpatents", 0.01);
+  const auto& spec = dataset_spec("citpatents");
+  const auto expected =
+      (static_cast<std::uint64_t>(spec.base_edges * 0.01) / 2) * 2;
+  EXPECT_EQ(small.num_edges(), expected);
+  EXPECT_LE(small.max_vertex_bound(), small.num_vertices());
+}
+
+TEST(AdjGraph, BuildsFromStream) {
+  const auto fixture = tiny_fixture_graph();
+  AdjGraph g(fixture);
+  EXPECT_EQ(g.num_nodes(), 9);
+  EXPECT_EQ(g.num_edges(), fixture.num_edges());
+  EXPECT_EQ(g.out_degree(3), 3);  // neighbors 1, 2, 4
+  EXPECT_EQ(g.out_degree(8), 0);
+  const auto n3 = g.sorted_neigh(3);
+  EXPECT_EQ(n3, (std::vector<NodeId>{1, 2, 4}));
+}
+
+TEST(AdjGraph, RemoveEdgeFirstOccurrence) {
+  AdjGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.sorted_neigh(0), (std::vector<NodeId>{2}));
+}
+
+class IoRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dgap_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoRoundTrip, TextFormat) {
+  const auto g = generate_uniform(100, 500, 2);
+  const auto path = (dir_ / "g.el").string();
+  write_edge_list_text(g, path);
+  const auto back = read_edge_list_text(path, g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_TRUE(std::equal(g.edges().begin(), g.edges().end(),
+                         back.edges().begin()));
+}
+
+TEST_F(IoRoundTrip, BinaryFormat) {
+  const auto g = generate_rmat(300, 2000, 4);
+  const auto path = (dir_ / "g.bin").string();
+  write_edge_list_binary(g, path);
+  const auto back = read_edge_list_binary(path);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_TRUE(std::equal(g.edges().begin(), g.edges().end(),
+                         back.edges().begin()));
+}
+
+TEST_F(IoRoundTrip, TextRejectsMalformed) {
+  const auto path = (dir_ / "bad.el").string();
+  {
+    std::ofstream out(path);
+    out << "# ok\n1 2\nnot numbers\n";
+  }
+  EXPECT_THROW(read_edge_list_text(path), std::runtime_error);
+}
+
+TEST_F(IoRoundTrip, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_text((dir_ / "missing.el").string()),
+               std::runtime_error);
+  EXPECT_THROW(read_edge_list_binary((dir_ / "missing.bin").string()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dgap

@@ -1,0 +1,96 @@
+// Tests for the Optane latency model: pattern counters (XPLine misses,
+// in-place flushes) and the delay ordering that reproduces Fig 1(c).
+#include <gtest/gtest.h>
+
+#include "src/common/timer.hpp"
+#include "src/pmem/latency_model.hpp"
+#include "src/pmem/pool.hpp"
+#include "src/pmem/stats.hpp"
+
+namespace dgap::pmem {
+namespace {
+
+struct LatencyFixture : ::testing::Test {
+  void SetUp() override {
+    pool = PmemPool::create({.path = "", .size = 4 << 20});
+    base = pool->at<char>(PmemPool::kHeaderSize);
+  }
+  void TearDown() override {
+    latency_model().configure(LatencyConfig{});  // always restore
+  }
+  std::unique_ptr<PmemPool> pool;
+  char* base = nullptr;
+};
+
+TEST_F(LatencyFixture, SequentialFlushesShareXPLines) {
+  const auto before = stats().snapshot();
+  // 16 sequential cache lines = 4 XPLines (256 B each).
+  for (int i = 0; i < 16; ++i) pool->flush(base + i * 64, 8);
+  const auto d = stats().snapshot() - before;
+  EXPECT_EQ(d.lines_flushed, 16u);
+  EXPECT_LE(d.xpline_misses, 5u);  // ~4 + possible boundary
+}
+
+TEST_F(LatencyFixture, StridedFlushesMissEveryXPLine) {
+  const auto before = stats().snapshot();
+  for (int i = 0; i < 16; ++i) pool->flush(base + i * 512, 8);
+  const auto d = stats().snapshot() - before;
+  EXPECT_EQ(d.xpline_misses, 16u);
+}
+
+TEST_F(LatencyFixture, RepeatedSameLineCountsInPlace) {
+  const auto before = stats().snapshot();
+  for (int i = 0; i < 10; ++i) pool->flush(base, 8);
+  const auto d = stats().snapshot() - before;
+  EXPECT_GE(d.inplace_flushes, 9u);  // every re-flush within the window
+}
+
+TEST_F(LatencyFixture, DistinctLinesNoInPlace) {
+  const auto before = stats().snapshot();
+  for (int i = 0; i < 32; ++i) pool->flush(base + i * 64, 8);
+  const auto d = stats().snapshot() - before;
+  EXPECT_EQ(d.inplace_flushes, 0u);
+}
+
+TEST_F(LatencyFixture, DelayOrderingSeqRndInplace) {
+  // The Fig 1(c) property: in-place persistent writes must be the slowest
+  // pattern, random slower than sequential.
+  // Large margins: measured times include spin-wait and cache overheads of
+  // a few hundred ns per op, so the injected deltas must dominate them.
+  LatencyConfig cfg;
+  cfg.enabled = true;
+  cfg.flush_ns_per_line = 50;
+  cfg.xpline_miss_ns = 200;
+  cfg.inplace_flush_ns = 3000;
+  cfg.fence_ns = 10;
+  cfg.recency_window_ns = 100000;
+  latency_model().configure(cfg);
+
+  const int kOps = 2000;
+  auto time_pattern = [&](auto&& offset_of) {
+    Timer t;
+    for (int i = 0; i < kOps; ++i) {
+      char* p = base + offset_of(i);
+      *reinterpret_cast<std::uint64_t*>(p) = static_cast<std::uint64_t>(i);
+      pool->persist(p, 8);
+    }
+    return t.seconds();
+  };
+  const double seq = time_pattern([](int i) { return i * 64 % (1 << 20); });
+  const double rnd = time_pattern(
+      [](int i) { return (i * 7919) % (1 << 20) / 64 * 64; });
+  const double inplace = time_pattern([](int) { return 0; });
+
+  EXPECT_LT(seq, rnd);
+  EXPECT_LT(rnd, inplace);
+  EXPECT_GT(inplace / seq, 2.0);  // clearly separated, as in the paper
+}
+
+TEST_F(LatencyFixture, DisabledModelAddsNoDelay) {
+  Timer t;
+  for (int i = 0; i < 10000; ++i) pool->persist(base + (i % 64) * 64, 8);
+  EXPECT_LT(t.millis(), 100.0);  // no injected stalls
+}
+
+}  // namespace
+}  // namespace dgap::pmem

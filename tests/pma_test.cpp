@@ -1,0 +1,263 @@
+// PMA core tests: threshold schedule, segment tree window search, layout
+// planning, and heavy property tests on the reference PmaSet.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/rng.hpp"
+#include "src/pma/layout.hpp"
+#include "src/pma/pma_set.hpp"
+#include "src/pma/segment_tree.hpp"
+#include "src/pma/thresholds.hpp"
+
+namespace dgap::pma {
+namespace {
+
+TEST(Thresholds, InterpolationEndsAtConfiguredBounds) {
+  DensityConfig cfg;
+  DensityBounds b(cfg, 4);
+  EXPECT_DOUBLE_EQ(b.tau(0), cfg.tau_leaf);
+  EXPECT_DOUBLE_EQ(b.tau(4), cfg.tau_root);
+  EXPECT_DOUBLE_EQ(b.rho(0), cfg.rho_leaf);
+  EXPECT_DOUBLE_EQ(b.rho(4), cfg.rho_root);
+}
+
+TEST(Thresholds, MonotoneAcrossLevels) {
+  DensityBounds b(DensityConfig{}, 8);
+  for (int l = 0; l < 8; ++l) {
+    EXPECT_GE(b.tau(l), b.tau(l + 1));  // tau shrinks toward the root
+    EXPECT_LE(b.rho(l), b.rho(l + 1));  // rho grows toward the root
+    EXPECT_LT(b.rho(l), b.tau(l));
+  }
+}
+
+TEST(Thresholds, HeightZeroDegenerate) {
+  DensityBounds b(DensityConfig{}, 0);
+  EXPECT_DOUBLE_EQ(b.tau(0), DensityConfig{}.tau_leaf);
+}
+
+TEST(SegmentTree, CountsAndDensity) {
+  SegmentTree t(8, 100);
+  t.set_count(0, 50);
+  t.set_count(1, 100);
+  EXPECT_DOUBLE_EQ(t.density(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(t.density(0, 2), 0.75);
+  EXPECT_DOUBLE_EQ(t.density(0, 8), 150.0 / 800.0);
+  t.add(0, 25);
+  EXPECT_EQ(t.count(0), 75u);
+  t.add(0, -75);
+  EXPECT_EQ(t.count(0), 0u);
+  EXPECT_EQ(t.total_count(), 100u);
+}
+
+TEST(SegmentTree, RejectsNonPow2) {
+  EXPECT_THROW(SegmentTree(6, 100), std::invalid_argument);
+  EXPECT_THROW(SegmentTree(8, 0), std::invalid_argument);
+}
+
+TEST(SegmentTree, WindowGrowsUntilDensityFits) {
+  SegmentTree t(8, 100);
+  // Segment 3 is packed; its neighbors are empty.
+  t.set_count(3, 100);
+  const auto w = t.find_rebalance_window(3, /*extra=*/1);
+  EXPECT_TRUE(w.within_tau);
+  EXPECT_GT(w.end_seg - w.begin_seg, 1u);  // leaf alone cannot fit
+  EXPECT_LE(t.density(w.begin_seg, w.end_seg),
+            t.bounds().tau(w.level));
+  // Window must be aligned to its size.
+  EXPECT_EQ(w.begin_seg % (w.end_seg - w.begin_seg), 0u);
+}
+
+TEST(SegmentTree, RootOverflowSignalsResize) {
+  SegmentTree t(4, 10);
+  for (std::uint64_t s = 0; s < 4; ++s) t.set_count(s, 10);
+  const auto w = t.find_rebalance_window(2, 1);
+  EXPECT_FALSE(w.within_tau);
+  EXPECT_EQ(w.begin_seg, 0u);
+  EXPECT_EQ(w.end_seg, 4u);
+}
+
+TEST(SegmentTree, SingleSegmentTree) {
+  SegmentTree t(1, 64);
+  t.set_count(0, 32);
+  const auto w = t.find_rebalance_window(0);
+  EXPECT_TRUE(w.within_tau);
+  EXPECT_EQ(w.begin_seg, 0u);
+  EXPECT_EQ(w.end_seg, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Layout planning
+// ---------------------------------------------------------------------------
+
+void check_plan(const std::vector<PlannedRun>& plan, std::uint64_t base,
+                std::uint64_t slots, std::span<const VertexRun> runs) {
+  ASSERT_EQ(plan.size(), runs.size());
+  std::uint64_t prev_end = base;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].vertex, runs[i].vertex);
+    EXPECT_EQ(plan[i].count, runs[i].count);
+    EXPECT_GE(plan[i].new_start, prev_end) << "overlap at run " << i;
+    prev_end = plan[i].new_start + plan[i].count;
+  }
+  EXPECT_LE(prev_end, base + slots);
+}
+
+TEST(Layout, EvenPlanSpreadsGaps) {
+  std::vector<VertexRun> runs = {{1, 0, 10}, {2, 10, 10}, {3, 20, 10}};
+  const auto plan = plan_even(runs, 0, 60);
+  check_plan(plan, 0, 60, runs);
+  // 30 gaps over 3 runs: each run gets 10 trailing slots.
+  EXPECT_EQ(plan[0].new_start, 0u);
+  EXPECT_EQ(plan[1].new_start, 20u);
+  EXPECT_EQ(plan[2].new_start, 40u);
+}
+
+TEST(Layout, WeightedPlanFavorsHeavyRuns) {
+  std::vector<VertexRun> runs = {{1, 0, 90}, {2, 90, 10}};
+  const auto plan = plan_weighted(runs, 0, 200);
+  check_plan(plan, 0, 200, runs);
+  const std::uint64_t gap1 = plan[1].new_start - plan[0].count;
+  // Run 1 holds 90% of the data: it gets ~90% of the 100 gap slots.
+  EXPECT_GE(gap1, 85u);
+}
+
+TEST(Layout, PlansAreExhaustiveOverWindow) {
+  Rng rng(17);
+  for (int round = 0; round < 200; ++round) {
+    const std::uint64_t base = rng.next_below(1000);
+    std::vector<VertexRun> runs;
+    std::uint64_t used = 0;
+    const int n = 1 + static_cast<int>(rng.next_below(20));
+    std::uint64_t pos = base;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t c = 1 + rng.next_below(50);
+      runs.push_back({static_cast<NodeId>(i), pos, c});
+      pos += c;
+      used += c;
+    }
+    const std::uint64_t slots = used + rng.next_below(200);
+    const auto even = plan_even(runs, base, slots);
+    check_plan(even, base, slots, runs);
+    const auto weighted = plan_weighted(runs, base, slots);
+    check_plan(weighted, base, slots, runs);
+  }
+}
+
+TEST(Layout, EmptyRunsGiveEmptyPlan) {
+  EXPECT_TRUE(plan_even({}, 0, 100).empty());
+  EXPECT_TRUE(plan_weighted({}, 0, 100).empty());
+}
+
+TEST(Layout, ZeroGapWindowPacksRuns) {
+  std::vector<VertexRun> runs = {{1, 5, 7}, {2, 12, 3}};
+  const auto plan = plan_weighted(runs, 100, 10);
+  check_plan(plan, 100, 10, runs);
+  EXPECT_EQ(plan[0].new_start, 100u);
+  EXPECT_EQ(plan[1].new_start, 107u);
+}
+
+// ---------------------------------------------------------------------------
+// PmaSet property tests
+// ---------------------------------------------------------------------------
+
+TEST(PmaSet, InsertLookupSmall) {
+  PmaSet pma;
+  EXPECT_TRUE(pma.insert(5));
+  EXPECT_TRUE(pma.insert(3));
+  EXPECT_TRUE(pma.insert(9));
+  EXPECT_FALSE(pma.insert(5));
+  EXPECT_TRUE(pma.contains(3));
+  EXPECT_FALSE(pma.contains(4));
+  EXPECT_EQ(pma.size(), 3u);
+  EXPECT_EQ(pma.to_vector(), (std::vector<std::uint64_t>{3, 5, 9}));
+}
+
+TEST(PmaSet, EraseMaintainsInvariants) {
+  PmaSet pma;
+  for (std::uint64_t i = 0; i < 500; ++i) pma.insert(i * 3);
+  for (std::uint64_t i = 0; i < 500; i += 2) EXPECT_TRUE(pma.erase(i * 3));
+  EXPECT_FALSE(pma.erase(1));  // never inserted
+  std::string why;
+  EXPECT_TRUE(pma.check_invariants(&why)) << why;
+  EXPECT_EQ(pma.size(), 250u);
+  for (std::uint64_t i = 0; i < 500; ++i)
+    EXPECT_EQ(pma.contains(i * 3), i % 2 == 1) << i;
+}
+
+struct PmaSweepParam {
+  std::uint64_t segment_slots;
+  int order;  // 0 = ascending, 1 = descending, 2 = random
+};
+
+class PmaSetSweep : public ::testing::TestWithParam<PmaSweepParam> {};
+
+TEST_P(PmaSetSweep, MatchesStdSetUnderLoad) {
+  const auto param = GetParam();
+  PmaSet::Config cfg;
+  cfg.segment_slots = param.segment_slots;
+  PmaSet pma(cfg);
+  std::set<std::uint64_t> oracle;
+  Rng rng(1234 + param.order);
+
+  const int kOps = 4000;
+  for (int i = 0; i < kOps; ++i) {
+    std::uint64_t key = 0;
+    switch (param.order) {
+      case 0:
+        key = static_cast<std::uint64_t>(i) * 2;
+        break;
+      case 1:
+        key = static_cast<std::uint64_t>(kOps - i) * 2;
+        break;
+      default:
+        key = rng.next_below(1 << 20);
+    }
+    EXPECT_EQ(pma.insert(key), oracle.insert(key).second);
+    if (param.order == 2 && i % 3 == 0) {
+      const std::uint64_t victim = rng.next_below(1 << 20);
+      EXPECT_EQ(pma.erase(victim), oracle.erase(victim) > 0);
+    }
+    if (i % 512 == 0) {
+      std::string why;
+      ASSERT_TRUE(pma.check_invariants(&why)) << why << " at op " << i;
+    }
+  }
+  std::string why;
+  ASSERT_TRUE(pma.check_invariants(&why)) << why;
+  EXPECT_EQ(pma.size(), oracle.size());
+  const auto v = pma.to_vector();
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), oracle.begin(), oracle.end()));
+  EXPECT_GT(pma.rebalances() + pma.resizes(), 0u);
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<PmaSweepParam>& info) {
+  static const char* const kNames[] = {"Asc", "Desc", "Rand"};
+  return "Slots" + std::to_string(info.param.segment_slots) +
+         kNames[info.param.order];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, PmaSetSweep,
+    ::testing::Values(PmaSweepParam{8, 0}, PmaSweepParam{8, 1},
+                      PmaSweepParam{8, 2}, PmaSweepParam{32, 0},
+                      PmaSweepParam{32, 1}, PmaSweepParam{32, 2},
+                      PmaSweepParam{128, 2}),
+    sweep_name);
+
+TEST(PmaSet, DensityInvariantHoldsAfterGrowth) {
+  PmaSet::Config cfg;
+  cfg.segment_slots = 16;
+  PmaSet pma(cfg);
+  for (std::uint64_t i = 0; i < 10000; ++i) pma.insert(i);
+  std::string why;
+  ASSERT_TRUE(pma.check_invariants(&why)) << why;
+  EXPECT_GE(pma.capacity(), pma.size());
+  EXPECT_GT(pma.resizes(), 0u);
+  // Amortized growth keeps capacity within a small factor of size.
+  EXPECT_LE(pma.capacity(), pma.size() * 16);
+}
+
+}  // namespace
+}  // namespace dgap::pma
