@@ -35,49 +35,66 @@ int main(int argc, char** argv) {
       thread_counts.push_back(std::stoi(t));
   }
 
-  for (const int threads : thread_counts) {
-    std::cout << "\n--- T" << threads << " ---\n";
-    TablePrinter table(
-        {"Graph", "DGAP", "BAL", "LLAMA", "GO-FD", "XPGrp"});
-    for (const auto& name : cfg.datasets) {
-      EdgeStream stream = load_dataset(name, cfg.scale);
-      std::vector<std::string> row = {name};
-      for (const auto& sys : kDynamicSystems) {
-        if (!cfg.only_system.empty() && sys != cfg.only_system) {
-          row.push_back("-");
-          continue;
+  for (const std::size_t batch : cfg.batches) {
+    for (const int threads : thread_counts) {
+      std::cout << "\n--- T" << threads;
+      if (cfg.batches.size() > 1 || batch > 1) std::cout << " batch=" << batch;
+      std::cout << " ---\n";
+      TablePrinter table(
+          {"Graph", "DGAP", "BAL", "LLAMA", "GO-FD", "XPGrp"});
+      for (const auto& name : cfg.datasets) {
+        EdgeStream stream = load_dataset(name, cfg.scale);
+        std::vector<std::string> row = {name};
+        for (const auto& sys : kDynamicSystems) {
+          if (!cfg.only_system.empty() && sys != cfg.only_system) {
+            row.push_back("-");
+            continue;
+          }
+          auto pool = fresh_pool(cfg.pool_mb);
+          auto store = make_store(sys, *pool, stream.num_vertices(),
+                                  stream.num_edges(), threads);
+          // LLAMA, GraphOne and our XPGraph model serialize internal batch
+          // conversion; their stores are not thread-safe for concurrent
+          // writers (the paper drives them through their own ingest
+          // threads). We serialize their inserts with a lock, which matches
+          // their single-ingest design; DGAP/BAL take concurrent writers
+          // directly.
+          const bool single_ingest =
+              sys == "llama" || sys == "graphone" || sys == "xpgraph";
+          InsertResult r;
+          if (batch <= 1) {
+            if (single_ingest) {
+              SpinLock mu;
+              r = time_inserts_mt(stream, threads, [&](NodeId u, NodeId v) {
+                std::lock_guard<SpinLock> g(mu);
+                store->insert(u, v);
+              });
+            } else {
+              r = time_inserts_mt(stream, threads, [&](NodeId u, NodeId v) {
+                store->insert(u, v);
+              });
+            }
+          } else {
+            if (single_ingest) {
+              SpinLock mu;
+              r = time_inserts_mt_batched(
+                  stream, threads, batch, [&](std::span<const Edge> part) {
+                    std::lock_guard<SpinLock> g(mu);
+                    store->insert_batch(part);
+                  });
+            } else {
+              r = time_inserts_mt_batched(
+                  stream, threads, batch, [&](std::span<const Edge> part) {
+                    store->insert_batch(part);
+                  });
+            }
+          }
+          row.push_back(TablePrinter::fmt(r.meps));
         }
-        auto pool = fresh_pool(cfg.pool_mb);
-        auto store = make_store(sys, *pool, stream.num_vertices(),
-                                stream.num_edges(), threads);
-        // LLAMA and GraphOne serialize internal batch conversion; their
-        // stores are not thread-safe for concurrent writers (the paper
-        // drives them through their own ingest threads). We serialize
-        // their inserts with a lock, which matches their single-ingest
-        // design; DGAP/BAL/XPGraph take concurrent writers directly.
-        InsertResult r;
-        if (sys == "llama" || sys == "graphone") {
-          SpinLock mu;
-          r = time_inserts_mt(stream, threads, [&](NodeId u, NodeId v) {
-            std::lock_guard<SpinLock> g(mu);
-            store->insert(u, v);
-          });
-        } else if (sys == "xpgraph") {
-          SpinLock mu;  // our XPGraph model is likewise single-ingest
-          r = time_inserts_mt(stream, threads, [&](NodeId u, NodeId v) {
-            std::lock_guard<SpinLock> g(mu);
-            store->insert(u, v);
-          });
-        } else {
-          r = time_inserts_mt(stream, threads, [&](NodeId u, NodeId v) {
-            store->insert(u, v);
-          });
-        }
-        row.push_back(TablePrinter::fmt(r.meps));
+        table.add_row(std::move(row));
       }
-      table.add_row(std::move(row));
+      table.print(std::cout);
     }
-    table.print(std::cout);
   }
   return 0;
 }

@@ -34,7 +34,10 @@ int main(int argc, char** argv) {
   // like a live stream would).
   EdgeStream stream = symmetrize(generate_rmat(1000, 5000, /*seed=*/7));
   stream.shuffle(42);
-  for (const Edge& e : stream.edges()) graph->insert_edge(e.src, e.dst);
+  // Batched ingestion: one call absorbs the whole span with per-section
+  // lock acquisition and coalesced flush epochs (equivalent to inserting
+  // each edge in order, just faster).
+  graph->insert_batch(stream.edges());
 
   graph->insert_edge(0, 999);  // single-edge API
   graph->delete_edge(0, 999);  // deletion = tombstone re-insert
@@ -44,20 +47,23 @@ int main(int argc, char** argv) {
 
   // --- 3. consistent analysis -------------------------------------------------
   // A snapshot freezes every vertex's degree; concurrent writers do not
-  // disturb it (paper §3.1.3).
-  const core::Snapshot snap = graph->consistent_view();
-  graph->insert_edge(1, 2);  // happens after the snapshot: invisible to it
+  // disturb it (paper §3.1.3). NOTE the scope: a Snapshot pins the store's
+  // vertex table and must be destroyed before the store is.
+  {
+    const core::Snapshot snap = graph->consistent_view();
+    graph->insert_edge(1, 2);  // happens after the snapshot: invisible to it
 
-  const auto scores = algorithms::pagerank(snap);
-  NodeId top = 0;
-  for (NodeId v = 1; v < snap.num_nodes(); ++v)
-    if (scores[v] > scores[top]) top = v;
-  std::cout << "highest PageRank vertex: " << top << " (score "
-            << scores[top] << ")\n";
+    const auto scores = algorithms::pagerank(snap);
+    NodeId top = 0;
+    for (NodeId v = 1; v < snap.num_nodes(); ++v)
+      if (scores[v] > scores[top]) top = v;
+    std::cout << "highest PageRank vertex: " << top << " (score "
+              << scores[top] << ")\n";
 
-  std::cout << "vertex 0 neighbors via snapshot:";
-  snap.for_each_out(0, [](NodeId d) { std::cout << ' ' << d; });
-  std::cout << "\n";
+    std::cout << "vertex 0 neighbors via snapshot:";
+    snap.for_each_out(0, [](NodeId d) { std::cout << ' ' << d; });
+    std::cout << "\n";
+  }
 
   // --- 4. shutdown + reopen ---------------------------------------------------
   graph->shutdown();

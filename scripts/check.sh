@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verify sequence (see ROADMAP.md) plus an examples sanity run.
+# Usage: scripts/check.sh [extra ctest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"
+
+# Smoke-run the quickstart example end to end (pool create -> batch insert
+# -> snapshot analysis -> shutdown -> reopen).
+./build/quickstart --pool /tmp/dgap_check_quickstart.pool
+
+echo "check.sh: all good"

@@ -1,7 +1,9 @@
 #include "src/baselines/bal_store.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <mutex>
+#include <numeric>
 #include <stdexcept>
 
 #include "src/pmem/alloc.hpp"
@@ -80,6 +82,66 @@ void BalStore::insert_edge(NodeId src, NodeId dst) {
   }
   h.tail_off = off;
   degree_[src].fetch_add(1, std::memory_order_acq_rel);
+}
+
+void BalStore::insert_batch(std::span<const Edge> edges) {
+  if (edges.empty()) return;
+  NodeId max_id = -1;
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.dst < 0)
+      throw std::invalid_argument("negative vertex id");
+    max_id = std::max({max_id, e.src, e.dst});
+  }
+  insert_vertex(max_id);
+
+  // Group by source, preserving per-source insertion order.
+  std::vector<std::uint32_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (edges[a].src != edges[b].src) return edges[a].src < edges[b].src;
+    return a < b;
+  });
+
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const NodeId src = edges[order[i]].src;
+    std::size_t j = i;
+    while (j < order.size() && edges[order[j]].src == src) ++j;
+
+    std::lock_guard<SpinLock> g(locks_[src]);
+    VertexHead& h = heads_[src];
+    std::size_t k = i;
+    while (k < j) {
+      Block* tail = h.tail_off != 0 ? pool_.at<Block>(h.tail_off) : nullptr;
+      if (tail == nullptr || tail->count == block_edges_) {
+        const std::uint64_t off = alloc_block();
+        auto* b = pool_.at<Block>(off);
+        if (tail == nullptr) {
+          h.head_off = off;
+        } else {
+          tail->next_off = off;
+          pool_.persist(&tail->next_off, sizeof(tail->next_off));
+        }
+        h.tail_off = off;
+        tail = b;
+      }
+      // Fill as much of the tail block as the group allows, then persist the
+      // written span (values + count) once.
+      const std::uint64_t room = block_edges_ - tail->count;
+      const std::uint64_t take =
+          std::min<std::uint64_t>(room, static_cast<std::uint64_t>(j - k));
+      for (std::uint64_t n = 0; n < take; ++n)
+        tail->dst[tail->count + n] = edges[order[k + n]].dst;
+      pool_.flush(&tail->dst[tail->count], take * sizeof(NodeId));
+      tail->count += take;
+      pool_.flush(&tail->count, sizeof(tail->count));
+      pool_.fence();
+      k += take;
+    }
+    degree_[src].fetch_add(static_cast<std::int64_t>(j - i),
+                           std::memory_order_acq_rel);
+    i = j;
+  }
 }
 
 std::uint64_t BalStore::num_edges_directed() const {

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/common/spinlock.hpp"
@@ -29,6 +30,10 @@ class BalStore {
 
   void insert_edge(NodeId src, NodeId dst);
   void insert_vertex(NodeId v);
+  // Batched ingestion: groups the batch by source so each vertex takes its
+  // lock once and each touched tail block is persisted once (K same-vertex
+  // edges cost one block persist, not K).
+  void insert_batch(std::span<const Edge> edges);
 
   [[nodiscard]] NodeId num_nodes() const {
     return static_cast<NodeId>(heads_.size());

@@ -1,5 +1,6 @@
 #include "src/baselines/graphone_store.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -58,6 +59,20 @@ void GraphOneStore::insert_edge(NodeId src, NodeId dst) {
   // Hot path: append-only DRAM edge list (GraphOne's level-0 structure).
   staged_.push_back({src, dst});
   ++total_edges_;
+  if (staged_.size() >= archive_every_) archive_batch();
+}
+
+void GraphOneStore::insert_batch(std::span<const Edge> edges) {
+  if (edges.empty()) return;
+  NodeId max_id = -1;
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.dst < 0)
+      throw std::invalid_argument("negative vertex id");
+    max_id = std::max({max_id, e.src, e.dst});
+  }
+  insert_vertex(max_id);
+  staged_.insert(staged_.end(), edges.begin(), edges.end());
+  total_edges_ += edges.size();
   if (staged_.size() >= archive_every_) archive_batch();
 }
 

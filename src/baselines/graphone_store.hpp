@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/graph/types.hpp"
@@ -39,6 +40,10 @@ class GraphOneStore {
 
   void insert_edge(NodeId src, NodeId dst);
   void insert_vertex(NodeId v);
+  // Batched ingestion: one bulk append into the DRAM edge list (GraphOne's
+  // level-0 structure is exactly an edge-list buffer, so a batch is its
+  // native unit) with a single vertex-bound check for the whole batch.
+  void insert_batch(std::span<const Edge> edges);
   // Archive all staged edges into the adjacency list and flush the durable
   // PM edge log (call before analysis / shutdown).
   void flush_durable();

@@ -29,6 +29,19 @@ void LlamaStore::insert_edge(NodeId src, NodeId dst) {
   if (batch_edges_ != 0 && buffer_.size() >= batch_edges_) snapshot();
 }
 
+void LlamaStore::insert_batch(std::span<const Edge> edges) {
+  if (edges.empty()) return;
+  NodeId max_id = -1;
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.dst < 0)
+      throw std::invalid_argument("negative vertex id");
+    max_id = std::max({max_id, e.src, e.dst});
+  }
+  insert_vertex(max_id);
+  buffer_.insert(buffer_.end(), edges.begin(), edges.end());
+  if (batch_edges_ != 0 && buffer_.size() >= batch_edges_) snapshot();
+}
+
 void LlamaStore::snapshot() {
   if (buffer_.empty()) return;
   Level level;

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/graph/types.hpp"
@@ -29,6 +30,9 @@ class LlamaStore {
 
   void insert_edge(NodeId src, NodeId dst);
   void insert_vertex(NodeId v);
+  // Batched ingestion: one bulk append into the DRAM delta map with a single
+  // vertex-bound check; at most one snapshot conversion per call.
+  void insert_batch(std::span<const Edge> edges);
   // Freeze the current delta buffer into an immutable level.
   void snapshot();
 

@@ -56,6 +56,43 @@ void XpGraphStore::insert_edge(NodeId src, NodeId dst) {
     archive_batch(opts_.archive_threshold);
 }
 
+void XpGraphStore::insert_batch(std::span<const Edge> edges) {
+  if (edges.empty()) return;
+  NodeId max_id = -1;
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.dst < 0)
+      throw std::invalid_argument("negative vertex id");
+    max_id = std::max({max_id, e.src, e.dst});
+  }
+  insert_vertex(max_id);
+
+  // Bulk sequential log append: one persist per contiguous chunk (wrapping
+  // at the circular-log end) instead of one per edge.
+  Edge* log = pool_.at<Edge>(log_off_);
+  std::size_t i = 0;
+  while (i < edges.size()) {
+    const std::uint64_t room = opts_.log_capacity_edges - log_head_;
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(room, edges.size() - i));
+    std::memcpy(log + log_head_, edges.data() + i, take * sizeof(Edge));
+    pool_.persist(log + log_head_, take * sizeof(Edge));
+    log_head_ += take;
+    if (log_head_ == opts_.log_capacity_edges) {
+      log_head_ = 0;
+      log_wrapped_ = true;
+    }
+    i += take;
+  }
+  pending_.insert(pending_.end(), edges.begin(), edges.end());
+  total_edges_ += edges.size();
+
+  const bool pressure =
+      log_wrapped_ || pending_edges() >= opts_.log_capacity_edges / 2;
+  if (pressure)
+    while (pending_edges() >= opts_.archive_threshold)
+      archive_batch(opts_.archive_threshold);
+}
+
 void XpGraphStore::archive_now() { archive_batch(pending_edges()); }
 
 void XpGraphStore::archive_batch(std::size_t count) {

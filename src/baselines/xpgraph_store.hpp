@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/graph/types.hpp"
@@ -42,6 +43,10 @@ class XpGraphStore {
 
   void insert_edge(NodeId src, NodeId dst);
   void insert_vertex(NodeId v);
+  // Batched ingestion: the batch is written to the circular log as large
+  // contiguous persists (the write pattern XPGraph's XPLine-aligned log is
+  // built for) and the archive pressure check runs once per batch.
+  void insert_batch(std::span<const Edge> edges);
   // Archive all pending log edges into the adjacency list.
   void archive_now();
 

@@ -30,6 +30,22 @@ BenchConfig parse_common(const Cli& cli, double default_scale,
   cfg.only_system = cli.get("system", "");
   const std::string ds = cli.get("datasets", "");
   cfg.datasets = ds.empty() ? std::move(default_datasets) : split_csv(ds);
+  const std::string batches = cli.get("batch", "");
+  if (!batches.empty()) {
+    cfg.batches.clear();
+    for (const auto& b : split_csv(batches)) {
+      // stoull silently wraps negatives; reject them explicitly.
+      if (b.empty() || b.find('-') != std::string::npos)
+        throw std::invalid_argument("--batch expects positive integers, got '" +
+                                    b + "'");
+      try {
+        cfg.batches.push_back(std::max<std::size_t>(std::stoull(b), 1));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("--batch expects positive integers, got '" +
+                                    b + "'");
+      }
+    }
+  }
   return cfg;
 }
 
@@ -49,28 +65,6 @@ void print_banner(const std::string& title, const BenchConfig& cfg) {
             << (cfg.latency ? "on" : "off")
             << " hw_threads=" << std::thread::hardware_concurrency()
             << "\n";
-}
-
-InsertResult time_inserts_mt(
-    const EdgeStream& stream, int threads,
-    const std::function<void(NodeId, NodeId)>& insert, double warmup_frac) {
-  for (const Edge& e : stream.warmup(warmup_frac)) insert(e.src, e.dst);
-  const auto body = stream.body(warmup_frac);
-  Timer t;
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(threads));
-  for (int w = 0; w < threads; ++w) {
-    workers.emplace_back([&, w] {
-      for (std::size_t i = static_cast<std::size_t>(w); i < body.size();
-           i += static_cast<std::size_t>(threads))
-        insert(body[i].src, body[i].dst);
-    });
-  }
-  for (auto& th : workers) th.join();
-  InsertResult r;
-  r.seconds = t.seconds();
-  r.meps = static_cast<double>(body.size()) / r.seconds / 1e6;
-  return r;
 }
 
 namespace {
@@ -121,6 +115,9 @@ class DgapModel final : public IStore {
     store_ = core::DgapStore::create(pool, o);
   }
   void insert(NodeId s, NodeId d) override { store_->insert_edge(s, d); }
+  void insert_batch(std::span<const Edge> edges) override {
+    store_->insert_batch(edges);
+  }
   [[nodiscard]] std::uint64_t num_edges() const override {
     return store_->num_edge_slots();
   }
@@ -155,6 +152,9 @@ class BaselineModel final : public IStore {
   explicit BaselineModel(std::unique_ptr<Store> store)
       : store_(std::move(store)) {}
   void insert(NodeId s, NodeId d) override { store_->insert_edge(s, d); }
+  void insert_batch(std::span<const Edge> edges) override {
+    store_->insert_batch(edges);
+  }
   void finalize() override {
     if constexpr (std::is_same_v<Store, baselines::LlamaStore>)
       store_->snapshot();

@@ -4,9 +4,11 @@
 // (CSR, DGAP, BAL, LLAMA, GraphOne-FD, XPGraph) through identical code.
 #pragma once
 
-#include <functional>
+#include <algorithm>
 #include <memory>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/cli.hpp"
@@ -23,9 +25,12 @@ struct BenchConfig {
   bool latency = true;  // inject Optane-like delays
   std::uint64_t pool_mb = 1024;
   std::string only_system;  // run a single system when non-empty
+  // Ingestion batch sizes to sweep; 1 = the per-edge path.
+  std::vector<std::size_t> batches = {1};
 };
 
-// Parse --scale, --datasets=a,b,c, --latency, --pool-mb, --system.
+// Parse --scale, --datasets=a,b,c, --latency, --pool-mb, --system,
+// --batch=a,b,c.
 BenchConfig parse_common(const Cli& cli, double default_scale,
                          std::vector<std::string> default_datasets);
 
@@ -60,11 +65,85 @@ InsertResult time_inserts(const EdgeStream& stream, InsertFn&& insert,
   return r;
 }
 
-// Multi-writer variant: the body is striped across `threads` writers.
-InsertResult time_inserts_mt(
-    const EdgeStream& stream, int threads,
-    const std::function<void(NodeId, NodeId)>& insert,
-    double warmup_frac = 0.10);
+// Multi-writer variant: the body is striped across `threads` writers. The
+// callable is a template parameter (not std::function) so multi-writer
+// numbers measure the store, not per-edge indirect-call dispatch.
+template <typename InsertFn>
+InsertResult time_inserts_mt(const EdgeStream& stream, int threads,
+                             InsertFn&& insert, double warmup_frac = 0.10) {
+  for (const Edge& e : stream.warmup(warmup_frac)) insert(e.src, e.dst);
+  const auto body = stream.body(warmup_frac);
+  Timer t;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      for (std::size_t i = static_cast<std::size_t>(w); i < body.size();
+           i += static_cast<std::size_t>(threads))
+        insert(body[i].src, body[i].dst);
+    });
+  }
+  for (auto& th : workers) th.join();
+  InsertResult r;
+  r.seconds = t.seconds();
+  r.meps = static_cast<double>(body.size()) / r.seconds / 1e6;
+  return r;
+}
+
+// Batched single-writer driver: feeds `insert_range` chronological chunks of
+// `batch` edges (warm-up untimed, body timed). batch <= 1 degrades to
+// per-edge-sized spans so one code path serves both modes.
+template <typename InsertRangeFn>
+InsertResult time_inserts_batched(const EdgeStream& stream, std::size_t batch,
+                                  InsertRangeFn&& insert_range,
+                                  double warmup_frac = 0.10) {
+  batch = std::max<std::size_t>(batch, 1);
+  const auto feed = [&](std::span<const Edge> part) {
+    for (std::size_t i = 0; i < part.size(); i += batch)
+      insert_range(part.subspan(i, std::min(batch, part.size() - i)));
+  };
+  feed(stream.warmup(warmup_frac));
+  const auto body = stream.body(warmup_frac);
+  Timer t;
+  feed(body);
+  InsertResult r;
+  r.seconds = t.seconds();
+  r.meps = static_cast<double>(body.size()) / r.seconds / 1e6;
+  return r;
+}
+
+// Batched multi-writer driver: the body is cut into chronological chunks of
+// `batch` edges and the chunks are striped across `threads` writers.
+template <typename InsertRangeFn>
+InsertResult time_inserts_mt_batched(const EdgeStream& stream, int threads,
+                                     std::size_t batch,
+                                     InsertRangeFn&& insert_range,
+                                     double warmup_frac = 0.10) {
+  batch = std::max<std::size_t>(batch, 1);
+  const auto warm = stream.warmup(warmup_frac);
+  for (std::size_t i = 0; i < warm.size(); i += batch)
+    insert_range(warm.subspan(i, std::min(batch, warm.size() - i)));
+  const auto body = stream.body(warmup_frac);
+  const std::size_t chunks = (body.size() + batch - 1) / batch;
+  Timer t;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      for (std::size_t c = static_cast<std::size_t>(w); c < chunks;
+           c += static_cast<std::size_t>(threads)) {
+        const std::size_t begin = c * batch;
+        insert_range(body.subspan(begin,
+                                  std::min(batch, body.size() - begin)));
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  InsertResult r;
+  r.seconds = t.seconds();
+  r.meps = static_cast<double>(body.size()) / r.seconds / 1e6;
+  return r;
+}
 
 // --- type-erased store ------------------------------------------------------
 
@@ -75,6 +154,12 @@ class IStore {
  public:
   virtual ~IStore() = default;
   virtual void insert(NodeId src, NodeId dst) = 0;
+  // Batched ingestion; systems with native batching (DGAP insert_batch,
+  // GraphOne edge-list appends, LLAMA delta map, XPGraph log/archive, BAL
+  // block fills) override this. The default preserves per-edge semantics.
+  virtual void insert_batch(std::span<const Edge> edges) {
+    for (const Edge& e : edges) insert(e.src, e.dst);
+  }
   // Make all inserted edges analysis-visible (snapshot/flush/archive).
   virtual void finalize() {}
   [[nodiscard]] virtual std::uint64_t num_edges() const = 0;

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,13 @@ struct DgapStats {
   std::uint64_t resizes = 0;
   std::uint64_t merges = 0;            // sections drained during rebalances
   double merge_fill_sum = 0;           // sum of elog fill fractions at drain
+
+  // Batched-ingestion accounting (insert_batch/delete_batch path).
+  std::uint64_t batch_inserts = 0;  // edges absorbed through the batch path
+  std::uint64_t locks_saved = 0;    // section-lock acquisitions avoided vs
+                                    // driving the same edges one at a time
+  std::uint64_t flush_epochs = 0;   // flush+fence epochs the batch path
+                                    // issued (vs one fence per edge)
 };
 
 class DgapStore {
@@ -124,6 +132,17 @@ class DgapStore {
   void delete_edge(NodeId src, NodeId dst);
   // Ensure vertex ids [0, v] exist (pivot appended for each new vertex).
   void insert_vertex(NodeId v);
+
+  // Batched ingestion (batch_insert.cpp): absorb a whole batch with one
+  // section-lock acquisition and one flush-fence epoch per touched section
+  // group instead of per edge, and with rebalance triggers coalesced to at
+  // most one per touched window. Equivalent to calling insert_edge /
+  // delete_edge once per element in order; durability is acknowledged for
+  // the batch as a whole (a crash mid-batch may keep any chronological
+  // per-vertex prefix of the un-acknowledged batch, never a torn edge).
+  // Thread-safe against concurrent insert/delete/batch/readers.
+  void insert_batch(std::span<const Edge> edges);
+  void delete_batch(std::span<const Edge> edges);
 
   // --- analysis (paper §3.1.3) ----------------------------------------------
   [[nodiscard]] Snapshot consistent_view() const;
@@ -208,6 +227,7 @@ class DgapStore {
 
   // --- insert path ----------------------------------------------------------
   void insert_internal(NodeId src, NodeId dst, bool tombstone);
+  void update_batch_internal(std::span<const Edge> edges, bool tombstone);
   void ensure_vertices(NodeId max_id);
   void append_vertex_locked(NodeId v);
 

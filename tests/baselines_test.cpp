@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "src/baselines/bal_store.hpp"
@@ -36,6 +37,15 @@ void expect_matches_oracle(const Store& store, const AdjGraph& oracle,
 }
 
 EdgeStream test_stream() { return symmetrize(generate_rmat(150, 4000, 21)); }
+
+// Drive a store with insert_batch in `batch`-sized chunks.
+template <typename Store>
+void feed_batched(Store& store, const EdgeStream& stream, std::size_t batch) {
+  const auto& edges = stream.edges();
+  for (std::size_t i = 0; i < edges.size(); i += batch)
+    store.insert_batch(std::span<const Edge>(
+        edges.data() + i, std::min(batch, edges.size() - i)));
+}
 
 TEST(PmemCsr, BuildsAndIterates) {
   auto pool = make_pool();
@@ -232,6 +242,82 @@ TEST(XpGraphStore, SmallerThresholdMoreArchiveFlushes) {
   const auto small = measure(2);
   const auto large = measure(64);
   EXPECT_GT(small, large);
+}
+
+// --- native batch ingestion -------------------------------------------------
+
+TEST(BalStore, BatchMatchesPerEdge) {
+  auto pool = make_pool();
+  const auto stream = test_stream();
+  AdjGraph oracle(stream);
+  auto bal = BalStore::create(*pool, 4);  // batch implies vertex growth
+  feed_batched(*bal, stream, 97);
+  expect_matches_oracle(*bal, oracle, "bal-batch");
+  EXPECT_EQ(bal->num_edges_directed(), stream.num_edges());
+  // Per-source grouping must persist fewer times than per-edge appends.
+  auto pool2 = make_pool();
+  auto bal2 = BalStore::create(*pool2, stream.num_vertices());
+  const auto before = pmem::stats().snapshot();
+  for (const Edge& e : stream.edges()) bal2->insert_edge(e.src, e.dst);
+  const auto per_edge = (pmem::stats().snapshot() - before).flush_calls;
+  auto pool3 = make_pool();
+  auto bal3 = BalStore::create(*pool3, stream.num_vertices());
+  const auto before3 = pmem::stats().snapshot();
+  feed_batched(*bal3, stream, 256);
+  const auto batched = (pmem::stats().snapshot() - before3).flush_calls;
+  EXPECT_LT(batched, per_edge);
+}
+
+TEST(GraphOneStore, BatchMatchesPerEdge) {
+  auto pool = make_pool();
+  const auto stream = test_stream();
+  AdjGraph oracle(stream);
+  auto go = GraphOneStore::create(*pool, 4);
+  feed_batched(*go, stream, 113);
+  go->flush_durable();
+  expect_matches_oracle(*go, oracle, "graphone-batch");
+  EXPECT_EQ(go->num_edges_directed(), stream.num_edges());
+}
+
+TEST(LlamaStore, BatchMatchesPerEdge) {
+  auto pool = make_pool();
+  const auto stream = test_stream();
+  AdjGraph oracle(stream);
+  auto llama = LlamaStore::create(*pool, 4, /*batch_edges=*/500);
+  feed_batched(*llama, stream, 73);
+  llama->snapshot();
+  expect_matches_oracle(*llama, oracle, "llama-batch");
+}
+
+TEST(XpGraphStore, BatchMatchesPerEdge) {
+  auto pool = make_pool();
+  const auto stream = test_stream();
+  AdjGraph oracle(stream);
+  XpGraphStore::Options o;
+  o.init_vertices = 4;
+  o.archive_threshold = 64;
+  o.log_capacity_edges = 512;  // force archiving pressure mid-batch
+  auto xp = XpGraphStore::create(*pool, o);
+  feed_batched(*xp, stream, 200);
+  xp->archive_now();
+  expect_matches_oracle(*xp, oracle, "xpgraph-batch");
+  EXPECT_EQ(xp->num_edges_directed(), stream.num_edges());
+}
+
+TEST(XpGraphStore, BatchLogAppendsAreSequentialChunks) {
+  // A batch must hit the circular log with few large persists, not one per
+  // edge.
+  auto pool = make_pool();
+  XpGraphStore::Options o;
+  o.init_vertices = 64;
+  o.archive_threshold = 1 << 10;
+  o.log_capacity_edges = 1 << 20;  // no archive pressure: log traffic only
+  auto xp = XpGraphStore::create(*pool, o);
+  const auto stream = generate_uniform(64, 4096, 8);
+  const auto before = pmem::stats().snapshot();
+  feed_batched(*xp, stream, 512);
+  const auto delta = pmem::stats().snapshot() - before;
+  EXPECT_LE(delta.flush_calls, 4096u / 512 + 8);
 }
 
 }  // namespace

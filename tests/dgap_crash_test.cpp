@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 
 #include "src/core/dgap_store.hpp"
 #include "src/graph/adj_graph.hpp"
@@ -277,6 +278,87 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<AblationCrashParam>& info) {
       return info.param.name;
     });
+
+// --- batched ingestion crash consistency ------------------------------------
+//
+// Durability of insert_batch is acknowledged per batch: after the call
+// returns every edge in it must survive a crash; a crash mid-batch may keep
+// any subset of the in-flight batch (each vertex keeps a chronological
+// prefix of its share), never a torn edge and never a duplicate.
+class BatchCrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchCrashSweep, RecoversToAcknowledgedBatches) {
+  const int band = GetParam();
+  constexpr std::size_t kBatch = 64;
+  const auto stream = symmetrize(generate_rmat(48, 1500, 4321));
+  const auto& edges = stream.edges();
+
+  for (int offset = 0; offset < 6; ++offset) {
+    const std::uint64_t crash_at =
+        static_cast<std::uint64_t>(band) * 1200 + offset * 151;
+    auto pool =
+        PmemPool::create({.path = "", .size = 8 << 20, .shadow = true});
+    auto store = DgapStore::create(*pool, crash_opts());
+    pool->arm_crash_after(crash_at);
+
+    std::size_t acked = 0;  // edges in fully acknowledged batches
+    std::size_t inflight_begin = 0;
+    std::size_t inflight_end = 0;
+    bool crashed = false;
+    try {
+      for (std::size_t i = 0; i < edges.size(); i += kBatch) {
+        const std::size_t n = std::min(kBatch, edges.size() - i);
+        inflight_begin = i;
+        inflight_end = i + n;
+        store->insert_batch(std::span<const Edge>(edges.data() + i, n));
+        acked = i + n;
+      }
+    } catch (const PmemPool::CrashInjected&) {
+      crashed = true;
+    }
+    pool->disarm_crash();
+    if (!crashed) {
+      std::string why;
+      ASSERT_TRUE(store->check_invariants(&why)) << why;
+      return;  // later bands would not crash either
+    }
+
+    AdjGraph oracle(stream.num_vertices());
+    for (std::size_t i = 0; i < acked; ++i)
+      oracle.add_edge(edges[i].src, edges[i].dst);
+    // Multiset of the in-flight batch: the only edges allowed to be extra.
+    std::map<std::pair<NodeId, NodeId>, int> inflight;
+    for (std::size_t i = inflight_begin; i < inflight_end; ++i)
+      inflight[{edges[i].src, edges[i].dst}] += 1;
+
+    store.reset();
+    pool->simulate_crash();
+    auto recovered = DgapStore::open(*pool, crash_opts());
+
+    std::string why;
+    ASSERT_TRUE(recovered->check_invariants(&why))
+        << why << " (crash_at=" << crash_at << ")";
+    const auto extra = multiset_extra(*recovered, oracle);
+    for (const auto& [edge, count] : extra) {
+      ASSERT_GT(count, 0) << "lost acknowledged edge " << edge.first << "->"
+                          << edge.second << " (crash_at=" << crash_at << ")";
+      const auto it = inflight.find(edge);
+      ASSERT_TRUE(it != inflight.end() && count <= it->second)
+          << "extra edge " << edge.first << "->" << edge.second
+          << " x" << count << " not from the in-flight batch (crash_at="
+          << crash_at << ")";
+    }
+
+    // The recovered store must keep working, batched included.
+    recovered->insert_batch(std::span<const Edge>(edges.data(), 32));
+    ASSERT_TRUE(recovered->check_invariants(&why)) << why;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, BatchCrashSweep, ::testing::Range(0, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Band" + std::to_string(info.param);
+                         });
 
 TEST(DgapCrash, CrashImmediatelyAfterCreate) {
   auto pool =

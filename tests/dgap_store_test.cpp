@@ -319,6 +319,194 @@ TEST(DgapStore, ReopenWithoutShutdownTakesScanPath) {
   std::filesystem::remove(path);
 }
 
+// --- batched ingestion (insert_batch / delete_batch) ------------------------
+
+TEST(DgapStore, BatchEquivalentToPerEdge) {
+  // The same stream driven per-edge and in batches (sizes straddling
+  // section boundaries and rebalance/resize triggers) must produce
+  // identical graphs.
+  const auto stream = symmetrize(generate_rmat(200, 6000, 42));
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : stream.edges()) oracle.add_edge(e.src, e.dst);
+
+  for (const std::size_t batch :
+       {std::size_t{3}, std::size_t{64}, std::size_t{257},
+        std::size_t{5000}}) {
+    auto pool = make_pool(128);
+    DgapOptions o = small_opts();
+    o.init_vertices = 200;
+    auto store = DgapStore::create(*pool, o);
+    const auto& edges = stream.edges();
+    for (std::size_t i = 0; i < edges.size(); i += batch)
+      store->insert_batch(std::span<const Edge>(
+          edges.data() + i, std::min(batch, edges.size() - i)));
+    std::string why;
+    ASSERT_TRUE(store->check_invariants(&why))
+        << "batch=" << batch << ": " << why;
+    expect_matches_oracle(*store, oracle,
+                          "batch=" + std::to_string(batch));
+    // The small store must have grown: batches straddled resize triggers.
+    EXPECT_GT(store->stats().resizes, 0u) << "batch=" << batch;
+    EXPECT_GT(store->stats().rebalances, 0u) << "batch=" << batch;
+    EXPECT_GT(store->stats().batch_inserts, 0u) << "batch=" << batch;
+  }
+}
+
+TEST(DgapStore, BatchMixedNewVertexDuplicateTombstone) {
+  auto pool = make_pool(64);
+  DgapOptions o = small_opts();
+  o.init_vertices = 8;  // most batch vertices are brand-new
+  auto store = DgapStore::create(*pool, o);
+  AdjGraph oracle(300);
+  store->insert_vertex(299);  // ids the stream may not reference
+
+  const auto stream = symmetrize(generate_rmat(300, 3000, 7));
+  const auto& edges = stream.edges();
+  std::vector<Edge> dels;
+  for (std::size_t i = 0; i < edges.size(); i += 100) {
+    const std::span<const Edge> chunk(edges.data() + i,
+                                      std::min<std::size_t>(100, edges.size() - i));
+    store->insert_batch(chunk);
+    for (const Edge& e : chunk) oracle.add_edge(e.src, e.dst);
+    // Delete every 5th edge of the chunk (duplicates included) in a batch.
+    dels.clear();
+    for (std::size_t k = 0; k < chunk.size(); k += 5) dels.push_back(chunk[k]);
+    store->delete_batch(dels);
+    for (const Edge& e : dels) oracle.remove_edge(e.src, e.dst);
+    std::string why;
+    ASSERT_TRUE(store->check_invariants(&why)) << "chunk " << i << ": " << why;
+  }
+  expect_matches_oracle(*store, oracle, "mixed-batch");
+}
+
+TEST(DgapStore, BatchCountersRecorded) {
+  auto pool = make_pool(64);
+  auto store = DgapStore::create(*pool, small_opts());
+  const auto stream = generate_uniform(64, 4000, 11);
+  const auto& edges = stream.edges();
+  for (std::size_t i = 0; i < edges.size(); i += 256)
+    store->insert_batch(std::span<const Edge>(
+        edges.data() + i, std::min<std::size_t>(256, edges.size() - i)));
+  const DgapStats& st = store->stats();
+  EXPECT_EQ(st.batch_inserts, edges.size());
+  EXPECT_GT(st.flush_epochs, 0u);
+  // 64 vertices inside batches of 256 guarantee shared-section groups.
+  EXPECT_GT(st.locks_saved, 0u);
+  // The batch path still uses the normal absorption machinery.
+  EXPECT_EQ(st.array_inserts + st.elog_inserts, edges.size());
+}
+
+TEST(DgapStore, BatchNoElogAblationFallsBack) {
+  auto pool = make_pool(64);
+  DgapOptions o = small_opts();
+  o.use_elog = false;
+  auto store = DgapStore::create(*pool, o);
+  const auto stream = generate_uniform(64, 2000, 13);
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : stream.edges()) oracle.add_edge(e.src, e.dst);
+  store->insert_batch(stream.edges());
+  std::string why;
+  ASSERT_TRUE(store->check_invariants(&why)) << why;
+  expect_matches_oracle(*store, oracle, "no-elog-batch");
+}
+
+TEST(DgapStore, BatchRejectsNegativeIds) {
+  auto pool = make_pool(8);
+  auto store = DgapStore::create(*pool, small_opts());
+  const std::vector<Edge> bad = {{1, 2}, {-1, 3}};
+  EXPECT_THROW(store->insert_batch(bad), std::invalid_argument);
+  store->insert_batch(std::span<const Edge>{});  // empty batch: no-op
+  EXPECT_EQ(store->num_edge_slots(), 0u);
+}
+
+TEST(DgapStore, MultiThreadedBatchWritersMatchOracle) {
+  auto pool = make_pool(128);
+  DgapOptions o = small_opts();
+  o.init_vertices = 400;
+  o.max_writer_threads = 8;
+  auto store = DgapStore::create(*pool, o);
+
+  const auto stream = symmetrize(generate_rmat(400, 8000, 19));
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : stream.edges()) oracle.add_edge(e.src, e.dst);
+
+  constexpr int kThreads = 4;
+  constexpr std::size_t kBatch = 128;
+  const auto& edges = stream.edges();
+  const std::size_t chunks = (edges.size() + kBatch - 1) / kBatch;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t c = static_cast<std::size_t>(t); c < chunks;
+           c += kThreads) {
+        const std::size_t begin = c * kBatch;
+        store->insert_batch(std::span<const Edge>(
+            edges.data() + begin,
+            std::min(kBatch, edges.size() - begin)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::string why;
+  ASSERT_TRUE(store->check_invariants(&why)) << why;
+  expect_matches_oracle(*store, oracle, "mt-batch");
+}
+
+TEST(DgapStore, MixedBatchAndPerEdgeWriters) {
+  // Batch and per-edge writers racing on the same store must still land
+  // every edge exactly once.
+  auto pool = make_pool(128);
+  DgapOptions o = small_opts();
+  o.init_vertices = 300;
+  o.max_writer_threads = 8;
+  auto store = DgapStore::create(*pool, o);
+
+  const auto stream = symmetrize(generate_rmat(300, 6000, 23));
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : stream.edges()) oracle.add_edge(e.src, e.dst);
+  const auto& edges = stream.edges();
+  const std::size_t half = edges.size() / 2;
+
+  std::thread batcher([&] {
+    for (std::size_t i = 0; i < half; i += 64)
+      store->insert_batch(std::span<const Edge>(
+          edges.data() + i, std::min<std::size_t>(64, half - i)));
+  });
+  for (std::size_t i = half; i < edges.size(); ++i)
+    store->insert_edge(edges[i].src, edges[i].dst);
+  batcher.join();
+
+  std::string why;
+  ASSERT_TRUE(store->check_invariants(&why)) << why;
+  expect_matches_oracle(*store, oracle, "mixed-writers");
+}
+
+TEST(DgapStore, BatchSurvivesShutdownReopen) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("dgap_batch_reopen_" + std::to_string(::getpid()) + ".pool"))
+          .string();
+  std::filesystem::remove(path);
+  const auto stream = generate_uniform(64, 3000, 29);
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : stream.edges()) oracle.add_edge(e.src, e.dst);
+  {
+    auto pool = PmemPool::create({.path = path, .size = 64 << 20});
+    auto store = DgapStore::create(*pool, small_opts());
+    store->insert_batch(stream.edges());
+    store->shutdown();
+  }
+  {
+    auto pool = PmemPool::open({.path = path});
+    auto store = DgapStore::open(*pool, small_opts());
+    std::string why;
+    ASSERT_TRUE(store->check_invariants(&why)) << why;
+    expect_matches_oracle(*store, oracle, "batch-reopen");
+  }
+  std::filesystem::remove(path);
+}
+
 TEST(DgapStore, MultiThreadedWritersMatchOracle) {
   auto pool = make_pool(128);
   DgapOptions o = small_opts();
@@ -359,7 +547,9 @@ TEST(DgapStore, ConcurrentReadersDuringWrites) {
   // inserts or how many rebalances move the data.
   const Snapshot snap = store->consistent_view();
   std::thread reader([&] {
-    while (!stop) {
+    // Keep sweeping until the writer is done AND at least one full sweep
+    // completed (on oversubscribed hosts the writer can finish first).
+    while (!stop || reads.load() == 0) {
       for (NodeId v = 0; v < 128; ++v) {
         std::uint64_t n = 0;
         NodeId got = kInvalidNode;
