@@ -14,6 +14,15 @@
 // gains grow with batch size as more of a batch shares a home section —
 // the batch path collapses per-edge section locking and per-edge
 // flush+fence epochs into per-group ones.
+//
+// --async-writers=a,b sweeps the asynchronous ingestion subsystem
+// (src/ingest): one producer submits chunks to per-section-group staging
+// queues, K background absorbers drain them through insert_batch, and the
+// timed body includes the final drain (equal total work vs sync). The
+// absorbers coalesce staged submissions into larger absorption batches, so
+// async end-to-end throughput should meet or beat the synchronous
+// insert_batch path at the same submit-chunk size; the producer-side
+// (submit-only) throughput is reported separately.
 #include <iostream>
 #include <map>
 
@@ -26,10 +35,16 @@ using namespace dgap::bench;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const BenchConfig cfg = parse_common(
-      cli, /*default_scale=*/0.2,
-      {"orkut", "livejournal", "citpatents", "twitter", "friendster",
-       "protein"});
+  BenchConfig cfg;
+  try {
+    cfg = parse_common(
+        cli, /*default_scale=*/0.2,
+        {"orkut", "livejournal", "citpatents", "twitter", "friendster",
+         "protein"});
+  } catch (const std::exception& ex) {
+    std::cerr << cli.program() << ": " << ex.what() << "\n";
+    return 2;
+  }
   configure_latency(cfg.latency);
   print_banner("Figure 6: insertion throughput (MEPS), 1 writer thread",
                cfg);
@@ -39,6 +54,10 @@ int main(int argc, char** argv) {
   if (std::find(batches.begin(), batches.end(), std::size_t{1}) ==
       batches.end())
     batches.insert(batches.begin(), 1);
+  // The async sweep compares against the synchronous batch path at the same
+  // submit-chunk size, so make sure at least one batched size is measured.
+  if (!cfg.async_writers.empty() && batches.size() == 1)
+    batches.push_back(256);
 
   // Load each dataset once; the batch sweep reuses the same stream.
   std::map<std::string, EdgeStream> streams;
@@ -97,6 +116,60 @@ int main(int argc, char** argv) {
       speedup.add_row(std::move(row));
     }
     speedup.print(std::cout);
+  }
+
+  // --- asynchronous ingestion sweep (--async-writers=a,b) -------------------
+  std::vector<std::size_t> async_batches;
+  for (const std::size_t b : batches)
+    if (b > 1) async_batches.push_back(b);
+  for (const int absorbers : cfg.async_writers) {
+    for (const std::size_t batch : async_batches) {
+      std::cout << "\n--- async: absorbers=" << absorbers
+                << " submit-batch=" << batch << " (end-to-end MEPS) ---\n";
+      TablePrinter table(
+          {"Graph", "DGAP", "BAL", "LLAMA", "GraphOne-FD", "XPGraph"});
+      std::map<std::string, AsyncInsertResult> dgap_async;
+      for (const auto& name : cfg.datasets) {
+        const EdgeStream& stream = streams.at(name);
+        std::vector<std::string> row = {name};
+        for (const auto& sys : kDynamicSystems) {
+          if (!cfg.only_system.empty() && sys != cfg.only_system) {
+            row.push_back("-");
+            continue;
+          }
+          auto pool = fresh_pool(cfg.pool_mb);
+          // writer_threads = absorber count: the absorbers are the only
+          // threads that touch the store.
+          auto store = make_store(sys, *pool, stream.num_vertices(),
+                                  stream.num_edges(), absorbers);
+          ingest::AsyncIngestor::Options o;
+          o.absorbers = static_cast<std::size_t>(absorbers);
+          auto ingestor = store->make_async(o);
+          const AsyncInsertResult r =
+              time_inserts_async(stream, /*producers=*/1, batch, *ingestor);
+          if (sys == "dgap") dgap_async[name] = r;
+          row.push_back(TablePrinter::fmt(r.meps));
+        }
+        table.add_row(std::move(row));
+      }
+      table.print(std::cout);
+
+      if (cfg.only_system.empty() || cfg.only_system == "dgap") {
+        std::cout << "\n--- DGAP async (absorbers=" << absorbers
+                  << ") vs sync insert_batch, batch=" << batch << " ---\n";
+        TablePrinter cmp({"Graph", "sync MEPS", "async MEPS", "speedup",
+                          "submit-side MEPS"});
+        for (const auto& name : cfg.datasets) {
+          const double sync = dgap_meps[{name, batch}];
+          const AsyncInsertResult& r = dgap_async[name];
+          cmp.add_row({name, TablePrinter::fmt(sync),
+                       TablePrinter::fmt(r.meps),
+                       sync > 0 ? TablePrinter::fmt(r.meps / sync) : "-",
+                       TablePrinter::fmt(r.submit_meps)});
+        }
+        cmp.print(std::cout);
+      }
+    }
   }
   return 0;
 }

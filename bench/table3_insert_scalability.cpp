@@ -7,7 +7,12 @@
 // NOTE: this container exposes 2 hardware threads — counts above that
 // oversubscribe, so absolute scaling tops out early (recorded in
 // EXPERIMENTS.md).
+//
+// --async-writers=a,b adds an async-ingestion sweep: the T thread counts
+// become producer counts submitting to the staging queues while K
+// background absorbers drain into each store (src/ingest).
 #include <iostream>
+#include <map>
 #include <mutex>
 
 #include "src/bench_common/harness.hpp"
@@ -20,10 +25,16 @@ using namespace dgap::bench;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const BenchConfig cfg = parse_common(
-      cli, /*default_scale=*/0.1,
-      {"orkut", "livejournal", "citpatents", "twitter", "friendster",
-       "protein"});
+  BenchConfig cfg;
+  try {
+    cfg = parse_common(
+        cli, /*default_scale=*/0.1,
+        {"orkut", "livejournal", "citpatents", "twitter", "friendster",
+         "protein"});
+  } catch (const std::exception& ex) {
+    std::cerr << cli.program() << ": " << ex.what() << "\n";
+    return 2;
+  }
   configure_latency(cfg.latency);
   print_banner("Table 3: insert scalability (MEPS) across writer threads",
                cfg);
@@ -35,6 +46,11 @@ int main(int argc, char** argv) {
       thread_counts.push_back(std::stoi(t));
   }
 
+  // Load each dataset once; the batch/thread/async sweeps reuse the stream.
+  std::map<std::string, EdgeStream> streams;
+  for (const auto& name : cfg.datasets)
+    streams.emplace(name, load_dataset(name, cfg.scale));
+
   for (const std::size_t batch : cfg.batches) {
     for (const int threads : thread_counts) {
       std::cout << "\n--- T" << threads;
@@ -43,7 +59,7 @@ int main(int argc, char** argv) {
       TablePrinter table(
           {"Graph", "DGAP", "BAL", "LLAMA", "GO-FD", "XPGrp"});
       for (const auto& name : cfg.datasets) {
-        EdgeStream stream = load_dataset(name, cfg.scale);
+        const EdgeStream& stream = streams.at(name);
         std::vector<std::string> row = {name};
         for (const auto& sys : kDynamicSystems) {
           if (!cfg.only_system.empty() && sys != cfg.only_system) {
@@ -94,6 +110,53 @@ int main(int argc, char** argv) {
         table.add_row(std::move(row));
       }
       table.print(std::cout);
+    }
+  }
+
+  // --- asynchronous ingestion sweep (--async-writers=a,b) -------------------
+  // Producers (the T counts above) only submit to staging queues; K
+  // background absorbers do the actual store writes, so single-ingest
+  // systems need no caller-side lock here — the ingestor serializes their
+  // sink internally.
+  // Submit chunks below 256 are clamped (per-edge items would measure
+  // queue overhead, not the store); dedup so --batch=64,128 does not run
+  // the same async sweep twice.
+  std::vector<std::size_t> submit_batches;
+  for (const std::size_t batch : cfg.batches)
+    submit_batches.push_back(std::max<std::size_t>(batch, 256));
+  std::sort(submit_batches.begin(), submit_batches.end());
+  submit_batches.erase(
+      std::unique(submit_batches.begin(), submit_batches.end()),
+      submit_batches.end());
+  for (const int absorbers : cfg.async_writers) {
+    for (const std::size_t submit_batch : submit_batches) {
+      for (const int threads : thread_counts) {
+        std::cout << "\n--- async P" << threads << " absorbers=" << absorbers
+                  << " submit-batch=" << submit_batch << " ---\n";
+        TablePrinter table(
+            {"Graph", "DGAP", "BAL", "LLAMA", "GO-FD", "XPGrp"});
+        for (const auto& name : cfg.datasets) {
+          const EdgeStream& stream = streams.at(name);
+          std::vector<std::string> row = {name};
+          for (const auto& sys : kDynamicSystems) {
+            if (!cfg.only_system.empty() && sys != cfg.only_system) {
+              row.push_back("-");
+              continue;
+            }
+            auto pool = fresh_pool(cfg.pool_mb);
+            auto store = make_store(sys, *pool, stream.num_vertices(),
+                                    stream.num_edges(), absorbers);
+            ingest::AsyncIngestor::Options o;
+            o.absorbers = static_cast<std::size_t>(absorbers);
+            auto ingestor = store->make_async(o);
+            const AsyncInsertResult r =
+                time_inserts_async(stream, threads, submit_batch, *ingestor);
+            row.push_back(TablePrinter::fmt(r.meps));
+          }
+          table.add_row(std::move(row));
+        }
+        table.print(std::cout);
+      }
     }
   }
   return 0;

@@ -2,17 +2,24 @@
 // introduction — hotspots must be identified *while* the traffic graph
 // keeps changing.
 //
-// A writer thread ingests a continuous stream of call/handover events; an
-// analysis thread periodically snapshots the graph and reports the current
-// top-k "hotspot" cells by PageRank and the number of connected clusters.
-// The snapshot guarantees each analysis round sees an immutable, consistent
-// graph even though inserts never pause.
+// Ingestion runs through the asynchronous ingestion subsystem
+// (src/ingest/async_ingestor.hpp): P producer threads submit batches of
+// call/handover events to bounded per-section-group staging queues, and K
+// background absorber threads drain them into the store through the batched
+// fast path. Meanwhile the analysis thread periodically snapshots the graph
+// and reports the current top-k "hotspot" cells by PageRank and the number
+// of connected clusters — truly concurrent ingestion and analysis: the
+// producers never block on PM flushes, the absorbers never pause for the
+// analysis, and every snapshot is an immutable consistent view.
 //
 // Run:  ./examples/streaming_analytics [--events 200000] [--rounds 5]
+//                                      [--producers 2] [--async-writers 2]
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -22,52 +29,97 @@
 #include "src/common/timer.hpp"
 #include "src/core/dgap_store.hpp"
 #include "src/graph/generators.hpp"
+#include "src/ingest/async_ingestor.hpp"
 
 using namespace dgap;
+
+namespace {
+
+// Positive-integer CLI argument or exit(2): a streaming daemon fed a
+// nonsensical knob should refuse to start, not misbehave quietly.
+std::int64_t require_positive(const Cli& cli, const std::string& key,
+                              std::int64_t def) {
+  if (!cli.has(key)) return def;
+  try {
+    return parse_positive_int(cli.get(key, ""), "--" + key);
+  } catch (const std::exception& ex) {
+    std::cerr << ex.what() << "\n";
+    std::exit(2);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const auto num_events =
-      static_cast<std::size_t>(cli.get_int("events", 200000));
-  const int rounds = static_cast<int>(cli.get_int("rounds", 5));
+      static_cast<std::size_t>(require_positive(cli, "events", 200000));
+  const int rounds = static_cast<int>(require_positive(cli, "rounds", 5));
+  const int producers =
+      static_cast<int>(require_positive(cli, "producers", 2));
+  const int absorbers =
+      static_cast<int>(require_positive(cli, "async-writers", 2));
   const NodeId cells = 4096;  // cell towers in the region
 
   auto pool = pmem::PmemPool::create({.path = "", .size = 256 << 20});
   core::DgapOptions options;
   options.init_vertices = cells;
   options.init_edges = num_events;
-  options.max_writer_threads = 2;
+  // Only the absorber threads write the store (+1 slack for recovery paths
+  // driven from the main thread).
+  options.max_writer_threads = static_cast<std::uint32_t>(absorbers + 1);
   auto graph = core::DgapStore::create(*pool, options);
+
+  ingest::AsyncIngestor::Options iopts;
+  iopts.absorbers = static_cast<std::size_t>(absorbers);
+  iopts.queues = static_cast<std::size_t>(absorbers) * 2;
+  auto ingestor = ingest::make_dgap_ingestor(*graph, iopts);
 
   // Traffic events: skewed, like real cellular hotspots.
   EdgeStream events = symmetrize(generate_rmat(cells, num_events / 2, 99));
+  const std::span<const Edge> all = events.all();
 
-  std::atomic<std::size_t> ingested{0};
-  std::atomic<bool> done{false};
-  std::thread writer([&] {
-    std::size_t since_pause = 0;
-    for (const Edge& e : events.edges()) {
-      graph->insert_edge(e.src, e.dst);
-      ingested.fetch_add(1, std::memory_order_relaxed);
-      // Pace the stream like a live event feed so the analysis rounds
-      // observe the graph actually growing.
-      if (++since_pause == 1000) {
-        since_pause = 0;
-        spin_wait_ns(3'000'000);  // ~3 ms per 1000 events
+  // P producer front-ends, each pacing its share of the feed like a live
+  // event stream; submit() copies the batch into staging and returns
+  // immediately (or blocks briefly on queue backpressure).
+  constexpr std::size_t kSubmitBatch = 512;
+  std::atomic<int> producers_done{0};
+  std::vector<std::thread> feeds;
+  feeds.reserve(static_cast<std::size_t>(producers));
+  const std::size_t chunks = (all.size() + kSubmitBatch - 1) / kSubmitBatch;
+  for (int p = 0; p < producers; ++p) {
+    feeds.emplace_back([&, p] {
+      for (std::size_t c = static_cast<std::size_t>(p); c < chunks;
+           c += static_cast<std::size_t>(producers)) {
+        const std::size_t begin = c * kSubmitBatch;
+        ingestor->submit(all.subspan(
+            begin, std::min(kSubmitBatch, all.size() - begin)));
+        spin_wait_ns(1'500'000);  // ~1.5 ms pacing per 512 events
       }
-    }
-    done = true;
-  });
+      producers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
 
-  std::cout << "round  ingested   clusters  top hotspots (cell:score)\n";
+  std::cout << "round  absorbed   clusters  top hotspots (cell:score)\n";
   for (int round = 0; round < rounds; ++round) {
-    // Wait for roughly the next chunk of traffic to arrive.
+    // Wait until roughly the next chunk of traffic has been absorbed.
     const std::size_t target =
-        std::min(events.num_edges(),
-                 (round + 1) * events.num_edges() / rounds);
-    while (!done && ingested.load(std::memory_order_relaxed) < target) {
+        std::min(all.size(), (round + 1) * all.size() / rounds);
+    bool ingest_failed = false;
+    for (;;) {
+      const ingest::IngestStats st = ingestor->stats();
+      if (st.failed) {  // an absorber's sink threw: stop waiting for edges
+        ingest_failed = true;
+        break;
+      }
+      if (st.absorbed_edges >= target) break;
+      // Feed exhausted and staging drained: nothing more will arrive.
+      if (producers_done.load(std::memory_order_acquire) == producers &&
+          st.absorbed_edges >= st.submitted_edges)
+        break;
       std::this_thread::yield();
     }
+    if (ingest_failed) break;
 
     const core::Snapshot snap = graph->consistent_view();
     const auto pr = algorithms::pagerank(snap, {.iterations = 10});
@@ -87,14 +139,33 @@ int main(int argc, char** argv) {
     }
 
     std::cout << std::setw(5) << round << "  " << std::setw(8)
-              << ingested.load() << "  " << std::setw(8) << clusters << "  ";
+              << ingestor->stats().absorbed_edges << "  " << std::setw(8)
+              << clusters << "  ";
     for (int k = 0; k < 3; ++k)
       std::cout << order[k] << ":" << std::fixed << std::setprecision(5)
                 << pr[order[k]] << (k < 2 ? ", " : "\n");
   }
 
-  writer.join();
-  std::cout << "stream drained; total edges "
-            << graph->num_edge_slots() << "\n";
+  for (auto& f : feeds) f.join();
+  ingest::Epoch final_epoch = 0;
+  try {
+    final_epoch = ingestor->drain();
+  } catch (const std::exception& ex) {
+    std::cerr << "ingestion failed: " << ex.what() << "\n";
+    return 1;
+  }
+  const ingest::IngestStats is = ingestor->stats();
+  std::cout << "stream drained; total edges " << graph->num_edge_slots()
+            << "\n"
+            << "ingest: submitted=" << is.submitted_edges
+            << " absorbed=" << is.absorbed_edges << " epochs=" << final_epoch
+            << " absorb-batches=" << is.absorb_batches
+            << " stalls=" << is.stalls
+            << " queue-high-watermark=" << is.queue_high_watermark << "\n";
+  if (is.absorbed_edges != all.size()) {
+    std::cerr << "lost events: absorbed " << is.absorbed_edges << " of "
+              << all.size() << "\n";
+    return 1;
+  }
   return 0;
 }

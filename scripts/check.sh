@@ -12,4 +12,30 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"
 # -> snapshot analysis -> shutdown -> reopen).
 ./build/quickstart --pool /tmp/dgap_check_quickstart.pool
 
+# Smoke-run streaming analytics: async ingestion (producers -> staging
+# queues -> absorbers) racing the snapshot-analysis thread.
+./build/streaming_analytics --events 20000 --rounds 2 --producers 2 \
+  --async-writers 2
+
+# The CLIs must refuse nonsensical knob values instead of misbehaving.
+expect_reject() {
+  if "$@" > /dev/null 2>&1; then
+    echo "check.sh: expected rejection: $*" >&2
+    exit 1
+  fi
+}
+expect_reject ./build/streaming_analytics --events=-5
+expect_reject ./build/streaming_analytics --events=0
+expect_reject ./build/streaming_analytics --events=5x
+expect_reject ./build/streaming_analytics --rounds=nope
+expect_reject ./build/streaming_analytics --rounds=0
+expect_reject ./build/streaming_analytics --async-writers=-1
+expect_reject ./build/streaming_analytics --producers=0
+expect_reject ./build/fig6_insert_throughput --async-writers=0
+expect_reject ./build/fig6_insert_throughput --async-writers=nope
+expect_reject ./build/fig6_insert_throughput --batch=-4
+expect_reject ./build/fig6_insert_throughput --batch=0
+expect_reject ./build/fig6_insert_throughput --batch=5x
+expect_reject ./build/table3_insert_scalability --async-writers=-2
+
 echo "check.sh: all good"

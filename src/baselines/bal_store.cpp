@@ -37,7 +37,12 @@ void BalStore::insert_vertex(NodeId v) {
   const auto needed = static_cast<std::size_t>(v) + 1;
   if (needed <= heads_.size()) return;
   // Readers are not expected during growth (bulk-load phase); analysis runs
-  // after loading, matching the paper's methodology.
+  // after loading, matching the paper's methodology. Concurrent *writers*
+  // are excluded via the gate: they hold it shared across their per-vertex
+  // critical sections, so no thread can be holding an old locks_ entry or a
+  // heads_ reference while the arrays are swapped (the fresh all-unlocked
+  // locks_ would otherwise let two writers into one vertex).
+  grow_gate_.lock();
   const std::size_t new_size = std::max(needed, heads_.size() * 2);
   heads_.resize(new_size);
   auto bigger = std::vector<std::atomic<std::int64_t>>(new_size);
@@ -48,40 +53,47 @@ void BalStore::insert_vertex(NodeId v) {
   auto locks = std::make_unique<SpinLock[]>(new_size);
   locks_ = std::move(locks);
   lock_count_ = new_size;
+  grow_gate_.unlock();
 }
 
 void BalStore::insert_edge(NodeId src, NodeId dst) {
   if (src < 0 || dst < 0) throw std::invalid_argument("negative vertex id");
   insert_vertex(std::max(src, dst));
-  std::lock_guard<SpinLock> g(locks_[src]);
-  VertexHead& h = heads_[src];
-  if (h.tail_off != 0) {
-    auto* tail = pool_.at<Block>(h.tail_off);
-    if (tail->count < block_edges_) {
-      tail->dst[tail->count] = dst;
-      // Edge value first, then the count bump that publishes it.
-      pool_.persist(&tail->dst[tail->count], sizeof(NodeId));
-      tail->count += 1;
-      pool_.persist(&tail->count, sizeof(tail->count));
-      degree_[src].fetch_add(1, std::memory_order_acq_rel);
-      return;
+  grow_gate_.lock_shared();
+  {
+    std::lock_guard<SpinLock> g(locks_[src]);
+    VertexHead& h = heads_[src];
+    bool appended = false;
+    if (h.tail_off != 0) {
+      auto* tail = pool_.at<Block>(h.tail_off);
+      if (tail->count < block_edges_) {
+        tail->dst[tail->count] = dst;
+        // Edge value first, then the count bump that publishes it.
+        pool_.persist(&tail->dst[tail->count], sizeof(NodeId));
+        tail->count += 1;
+        pool_.persist(&tail->count, sizeof(tail->count));
+        appended = true;
+      }
     }
+    if (!appended) {
+      // Need a fresh block (first block or tail full).
+      const std::uint64_t off = alloc_block();
+      auto* b = pool_.at<Block>(off);
+      b->dst[0] = dst;
+      b->count = 1;
+      pool_.persist(b, sizeof(Block) + sizeof(NodeId));
+      if (h.tail_off == 0) {
+        h.head_off = off;
+      } else {
+        auto* tail = pool_.at<Block>(h.tail_off);
+        tail->next_off = off;
+        pool_.persist(&tail->next_off, sizeof(tail->next_off));
+      }
+      h.tail_off = off;
+    }
+    degree_[src].fetch_add(1, std::memory_order_acq_rel);
   }
-  // Need a fresh block (first block or tail full).
-  const std::uint64_t off = alloc_block();
-  auto* b = pool_.at<Block>(off);
-  b->dst[0] = dst;
-  b->count = 1;
-  pool_.persist(b, sizeof(Block) + sizeof(NodeId));
-  if (h.tail_off == 0) {
-    h.head_off = off;
-  } else {
-    auto* tail = pool_.at<Block>(h.tail_off);
-    tail->next_off = off;
-    pool_.persist(&tail->next_off, sizeof(tail->next_off));
-  }
-  h.tail_off = off;
-  degree_[src].fetch_add(1, std::memory_order_acq_rel);
+  grow_gate_.unlock_shared();
 }
 
 void BalStore::insert_batch(std::span<const Edge> edges) {
@@ -102,6 +114,7 @@ void BalStore::insert_batch(std::span<const Edge> edges) {
     return a < b;
   });
 
+  grow_gate_.lock_shared();
   std::size_t i = 0;
   while (i < order.size()) {
     const NodeId src = edges[order[i]].src;
@@ -142,6 +155,7 @@ void BalStore::insert_batch(std::span<const Edge> edges) {
                            std::memory_order_acq_rel);
     i = j;
   }
+  grow_gate_.unlock_shared();
 }
 
 std::uint64_t BalStore::num_edges_directed() const {

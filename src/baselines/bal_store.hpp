@@ -79,6 +79,11 @@ class BalStore {
   std::unique_ptr<SpinLock[]> locks_;  // per-vertex (paper §4.2.1)
   std::size_t lock_count_ = 0;
   SpinLock grow_mu_;
+  // Vertex growth swaps locks_ and reallocates heads_/degree_; in-flight
+  // writers hold this shared for the duration of their per-vertex critical
+  // section so a concurrent grower (exclusive) cannot pull those arrays out
+  // from under them.
+  RWSpinLock grow_gate_;
 };
 
 }  // namespace dgap::baselines

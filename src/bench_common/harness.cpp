@@ -33,20 +33,59 @@ BenchConfig parse_common(const Cli& cli, double default_scale,
   const std::string batches = cli.get("batch", "");
   if (!batches.empty()) {
     cfg.batches.clear();
-    for (const auto& b : split_csv(batches)) {
-      // stoull silently wraps negatives; reject them explicitly.
-      if (b.empty() || b.find('-') != std::string::npos)
-        throw std::invalid_argument("--batch expects positive integers, got '" +
-                                    b + "'");
-      try {
-        cfg.batches.push_back(std::max<std::size_t>(std::stoull(b), 1));
-      } catch (const std::exception&) {
-        throw std::invalid_argument("--batch expects positive integers, got '" +
-                                    b + "'");
-      }
+    for (const auto& b : split_csv(batches))
+      cfg.batches.push_back(
+          static_cast<std::size_t>(parse_positive_int(b, "--batch")));
+  }
+  if (cli.has("async-writers")) {
+    const std::string aw = cli.get("async-writers", "");
+    if (aw.empty())
+      throw std::invalid_argument("--async-writers expects positive integers");
+    for (const auto& k : split_csv(aw)) {
+      const std::int64_t v = parse_positive_int(k, "--async-writers");
+      if (v > 1024)
+        throw std::invalid_argument("--async-writers too large: '" + k + "'");
+      cfg.async_writers.push_back(static_cast<int>(v));
     }
   }
   return cfg;
+}
+
+AsyncInsertResult time_inserts_async(const EdgeStream& stream, int producers,
+                                     std::size_t batch,
+                                     ingest::AsyncIngestor& ingestor,
+                                     double warmup_frac) {
+  batch = std::max<std::size_t>(batch, 1);
+  producers = std::max(producers, 1);
+  const auto warm = stream.warmup(warmup_frac);
+  for (std::size_t i = 0; i < warm.size(); i += batch)
+    ingestor.submit(warm.subspan(i, std::min(batch, warm.size() - i)));
+  ingestor.drain();
+
+  const auto body = stream.body(warmup_frac);
+  const std::size_t chunks = (body.size() + batch - 1) / batch;
+  Timer t;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(producers));
+  for (int w = 0; w < producers; ++w) {
+    workers.emplace_back([&, w] {
+      for (std::size_t c = static_cast<std::size_t>(w); c < chunks;
+           c += static_cast<std::size_t>(producers)) {
+        const std::size_t begin = c * batch;
+        ingestor.submit(
+            body.subspan(begin, std::min(batch, body.size() - begin)));
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  AsyncInsertResult r;
+  r.submit_seconds = t.seconds();
+  ingestor.drain();
+  r.total_seconds = t.seconds();
+  r.submit_meps =
+      static_cast<double>(body.size()) / r.submit_seconds / 1e6;
+  r.meps = static_cast<double>(body.size()) / r.total_seconds / 1e6;
+  return r;
 }
 
 void configure_latency(bool enabled) {
@@ -118,6 +157,12 @@ class DgapModel final : public IStore {
   void insert_batch(std::span<const Edge> edges) override {
     store_->insert_batch(edges);
   }
+  std::unique_ptr<ingest::AsyncIngestor> make_async(
+      ingest::AsyncIngestor::Options opts) override {
+    // insert_batch/delete_batch are thread-safe: absorbers run concurrently.
+    return ingest::make_dgap_ingestor(*store_, opts);
+  }
+  [[nodiscard]] bool concurrent_batch_safe() const override { return true; }
   [[nodiscard]] std::uint64_t num_edges() const override {
     return store_->num_edge_slots();
   }
@@ -154,6 +199,11 @@ class BaselineModel final : public IStore {
   void insert(NodeId s, NodeId d) override { store_->insert_edge(s, d); }
   void insert_batch(std::span<const Edge> edges) override {
     store_->insert_batch(edges);
+  }
+  // BAL takes concurrent writers (per-vertex block locks); the other
+  // baselines are single-ingest, so their async sink stays serialized.
+  [[nodiscard]] bool concurrent_batch_safe() const override {
+    return std::is_same_v<Store, baselines::BalStore>;
   }
   void finalize() override {
     if constexpr (std::is_same_v<Store, baselines::LlamaStore>)

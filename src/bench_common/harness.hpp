@@ -15,6 +15,7 @@
 #include "src/common/timer.hpp"
 #include "src/graph/edge_stream.hpp"
 #include "src/graph/types.hpp"
+#include "src/ingest/async_ingestor.hpp"
 #include "src/pmem/pool.hpp"
 
 namespace dgap::bench {
@@ -27,10 +28,14 @@ struct BenchConfig {
   std::string only_system;  // run a single system when non-empty
   // Ingestion batch sizes to sweep; 1 = the per-edge path.
   std::vector<std::size_t> batches = {1};
+  // Async-ingestion absorber-thread counts to sweep (--async-writers=a,b);
+  // empty = no async sweep.
+  std::vector<int> async_writers;
 };
 
 // Parse --scale, --datasets=a,b,c, --latency, --pool-mb, --system,
-// --batch=a,b,c.
+// --batch=a,b,c, --async-writers=a,b,c. Throws std::invalid_argument on
+// non-positive or non-numeric batch / async-writer values.
 BenchConfig parse_common(const Cli& cli, double default_scale,
                          std::vector<std::string> default_datasets);
 
@@ -145,6 +150,24 @@ InsertResult time_inserts_mt_batched(const EdgeStream& stream, int threads,
   return r;
 }
 
+// Async driver: `producers` threads submit chronological chunks of `batch`
+// edges to the ingestor; the timed body ends when everything submitted is
+// absorbed and durable (drain), so async numbers are comparable to the
+// synchronous insert_batch path at equal total work. Producer-side cost
+// (submit calls returning, before absorption completes) is reported
+// separately — that is the latency an event-feed front end actually sees.
+struct AsyncInsertResult {
+  double submit_seconds = 0;  // all producers done submitting
+  double total_seconds = 0;   // ... and the ingestor fully drained
+  double submit_meps = 0;     // producer-side throughput
+  double meps = 0;            // end-to-end throughput (drain included)
+};
+
+AsyncInsertResult time_inserts_async(const EdgeStream& stream, int producers,
+                                     std::size_t batch,
+                                     ingest::AsyncIngestor& ingestor,
+                                     double warmup_frac = 0.10);
+
 // --- type-erased store ------------------------------------------------------
 
 // Uniform handle over every system. Kernel timers run the shared GAPBS-style
@@ -160,6 +183,26 @@ class IStore {
   virtual void insert_batch(std::span<const Edge> edges) {
     for (const Edge& e : edges) insert(e.src, e.dst);
   }
+  // Asynchronous ingestion entry point: staging queues + background
+  // absorbers draining through this store's insert_batch (see
+  // src/ingest/async_ingestor.hpp for the epoch-durability contract). Sink
+  // calls are serialized unless concurrent_batch_safe() says the store
+  // takes concurrent batch writers; DGAP overrides the whole method to add
+  // delete_batch support. The store must outlive the ingestor.
+  virtual std::unique_ptr<ingest::AsyncIngestor> make_async(
+      ingest::AsyncIngestor::Options opts) {
+    opts.serialize_sink = !concurrent_batch_safe();
+    return std::make_unique<ingest::AsyncIngestor>(
+        [this](std::span<const Edge> edges, bool tombstone) {
+          if (tombstone)
+            throw std::logic_error("store has no delete_batch path");
+          insert_batch(edges);
+        },
+        opts);
+  }
+  // Whether insert_batch tolerates concurrent callers (the absorbers).
+  // Most baselines are single-ingest; DGAP and BAL are not.
+  [[nodiscard]] virtual bool concurrent_batch_safe() const { return false; }
   // Make all inserted edges analysis-visible (snapshot/flush/archive).
   virtual void finalize() {}
   [[nodiscard]] virtual std::uint64_t num_edges() const = 0;

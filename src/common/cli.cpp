@@ -51,6 +51,21 @@ bool Cli::get_bool(const std::string& key, bool def) const {
   return v == "1" || v == "true" || v == "yes" || v == "on";
 }
 
+std::int64_t parse_positive_int(const std::string& s,
+                                const std::string& flag) {
+  std::size_t consumed = 0;
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(s, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != s.size() || s.empty() || v <= 0)
+    throw std::invalid_argument(flag + " expects a positive integer, got '" +
+                                s + "'");
+  return v;
+}
+
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
   std::size_t start = 0;

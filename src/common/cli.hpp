@@ -37,4 +37,9 @@ class Cli {
 // Split "a,b,c" into {"a","b","c"}; empty string -> {}.
 std::vector<std::string> split_csv(const std::string& s);
 
+// Strict positive-integer parse: the whole string must be a base-10
+// integer > 0 (no trailing garbage — Cli::get_int tolerates it). Throws
+// std::invalid_argument naming `flag` otherwise.
+std::int64_t parse_positive_int(const std::string& s, const std::string& flag);
+
 }  // namespace dgap

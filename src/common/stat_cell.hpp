@@ -1,0 +1,70 @@
+// Relaxed atomic cells for operation counters that are bumped on hot paths
+// by concurrent writers and read unsynchronized by benches/tests. A StatCell
+// behaves like a plain arithmetic value (++, +=, implicit read) but every
+// access is a relaxed atomic, so stat reads during concurrent ingestion are
+// well-defined without adding fences to the paths being measured.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <type_traits>
+
+namespace dgap {
+
+template <typename T>
+class StatCell {
+  static_assert(std::is_arithmetic_v<T>);
+
+ public:
+  StatCell() = default;
+  StatCell(T v) : v_(v) {}  // NOLINT(google-explicit-constructor)
+  StatCell(const StatCell& other) : v_(other.load()) {}
+  StatCell& operator=(const StatCell& other) {
+    v_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  StatCell& operator=(T v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator T() const { return load(); }  // NOLINT(google-explicit-constructor)
+  [[nodiscard]] T load() const { return v_.load(std::memory_order_relaxed); }
+
+  StatCell& operator++() {
+    add(T{1});
+    return *this;
+  }
+  StatCell& operator+=(T delta) {
+    add(delta);
+    return *this;
+  }
+  void add(T delta) {
+    if constexpr (std::is_integral_v<T>) {
+      v_.fetch_add(delta, std::memory_order_relaxed);
+    } else {
+      // Pre-C++20-hardware-support portable floating-point accumulate.
+      T cur = v_.load(std::memory_order_relaxed);
+      while (!v_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+      }
+    }
+  }
+  // Monotone max update (queue high-watermark style counters).
+  void max_with(T candidate) {
+    T cur = v_.load(std::memory_order_relaxed);
+    while (cur < candidate && !v_.compare_exchange_weak(
+                                  cur, candidate, std::memory_order_relaxed)) {
+    }
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const StatCell& c) {
+    return os << c.load();
+  }
+
+ private:
+  std::atomic<T> v_{};
+};
+
+}  // namespace dgap

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/common/spinlock.hpp"
+#include "src/common/stat_cell.hpp"
 #include "src/core/encoding.hpp"
 #include "src/core/options.hpp"
 #include "src/core/persistent_layout.hpp"
@@ -94,22 +95,26 @@ class Snapshot {
 };
 
 // Operation counters exposed for benches and the ablation analysis.
+// Relaxed atomic cells (StatCell): concurrent writer threads bump them on
+// the hot path while benches/tests read them unsynchronized, so plain
+// integers would be a data race. Relaxed ops keep the increment cost at a
+// single uncontended RMW — no fences added to the measured paths.
 struct DgapStats {
-  std::uint64_t array_inserts = 0;  // edges placed directly in the array
-  std::uint64_t elog_inserts = 0;   // edges absorbed by a per-section log
-  std::uint64_t shift_inserts = 0;  // ablation: nearby shifts performed
-  std::uint64_t shift_slots_moved = 0;
-  std::uint64_t rebalances = 0;
-  std::uint64_t resizes = 0;
-  std::uint64_t merges = 0;            // sections drained during rebalances
-  double merge_fill_sum = 0;           // sum of elog fill fractions at drain
+  StatCell<std::uint64_t> array_inserts;  // edges placed directly in array
+  StatCell<std::uint64_t> elog_inserts;   // edges absorbed by a section log
+  StatCell<std::uint64_t> shift_inserts;  // ablation: nearby shifts done
+  StatCell<std::uint64_t> shift_slots_moved;
+  StatCell<std::uint64_t> rebalances;
+  StatCell<std::uint64_t> resizes;
+  StatCell<std::uint64_t> merges;     // sections drained during rebalances
+  StatCell<double> merge_fill_sum;    // sum of elog fill fractions at drain
 
   // Batched-ingestion accounting (insert_batch/delete_batch path).
-  std::uint64_t batch_inserts = 0;  // edges absorbed through the batch path
-  std::uint64_t locks_saved = 0;    // section-lock acquisitions avoided vs
-                                    // driving the same edges one at a time
-  std::uint64_t flush_epochs = 0;   // flush+fence epochs the batch path
-                                    // issued (vs one fence per edge)
+  StatCell<std::uint64_t> batch_inserts;  // edges absorbed via batch path
+  StatCell<std::uint64_t> locks_saved;  // section-lock acquisitions avoided
+                                        // vs the same edges one at a time
+  StatCell<std::uint64_t> flush_epochs;  // flush+fence epochs the batch
+                                         // path issued (vs one per edge)
 };
 
 class DgapStore {

@@ -1,0 +1,310 @@
+#include "src/ingest/async_ingestor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/dgap_store.hpp"
+
+namespace dgap::ingest {
+
+AsyncIngestor::AsyncIngestor(BatchFn sink)
+    : AsyncIngestor(std::move(sink), Options{}) {}
+
+AsyncIngestor::AsyncIngestor(BatchFn sink, Options opts)
+    : sink_(std::move(sink)), opts_(opts) {
+  if (!sink_) throw std::invalid_argument("AsyncIngestor: null sink");
+  if (opts_.absorbers == 0)
+    throw std::invalid_argument("AsyncIngestor: need at least one absorber");
+  if (opts_.queue_capacity_edges == 0 || opts_.absorb_chunk_edges == 0)
+    throw std::invalid_argument("AsyncIngestor: zero capacity/chunk");
+  opts_.route_block = std::max<std::size_t>(opts_.route_block, 1);
+  const std::size_t nq =
+      opts_.queues == 0 ? opts_.absorbers : opts_.queues;
+  queues_.reserve(nq);
+  for (std::size_t i = 0; i < nq; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  worker_state_.reserve(opts_.absorbers);
+  for (std::size_t i = 0; i < opts_.absorbers; ++i)
+    worker_state_.push_back(std::make_unique<WorkerState>());
+  workers_.reserve(opts_.absorbers);
+  for (std::size_t i = 0; i < opts_.absorbers; ++i)
+    workers_.emplace_back([this, i] { absorber_main(i); });
+}
+
+AsyncIngestor::~AsyncIngestor() {
+  // Destructor-drain guarantee: absorbers keep draining after the stop flag
+  // until their queues are empty, so everything staged before destruction is
+  // absorbed and fenced before the threads exit.
+  stopping_.store(true, std::memory_order_release);
+  for (auto& w : worker_state_) {
+    std::lock_guard<std::mutex> g(w->mu);
+    w->cv.notify_all();
+  }
+  for (auto& q : queues_) {
+    std::lock_guard<std::mutex> g(q->mu);
+    q->not_full.notify_all();  // unblock any straggling submitter
+  }
+  for (auto& t : workers_) t.join();
+  // Final synchronous sweep: a submitter that was blocked on backpressure
+  // when destruction began is unblocked by the notify above and may push
+  // after its absorber's last empty sweep. Absorb those stragglers here so
+  // every edge whose submit() returned a ticket before this point is still
+  // drained durably. (Calling submit concurrently with destruction remains
+  // undefined behavior on the object itself, like any destructor.)
+  for (auto& q : queues_) {
+    for (;;) {
+      std::vector<Item> chunk = pop_chunk(*q);
+      if (chunk.empty()) break;
+      absorb_items(chunk);
+      retire_items(chunk);
+    }
+  }
+}
+
+Epoch AsyncIngestor::submit_internal(std::span<const Edge> edges,
+                                     bool tombstone) {
+  if (edges.empty()) {
+    std::lock_guard<std::mutex> g(epoch_mu_);
+    return last_submitted_;  // nothing to wait for beyond what exists
+  }
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.dst < 0)
+      throw std::invalid_argument("AsyncIngestor: negative vertex id");
+  }
+
+  // Bucket the span by staging queue, splitting any bucket larger than the
+  // queue bound so a single item always fits. The common case (bucket fits
+  // one item) moves the bucket into the item: one copy of each edge total
+  // on the producer-critical path.
+  std::vector<std::pair<std::size_t, Item>> items;  // (queue, item)
+  const auto stage_bucket = [&](std::size_t qi, std::vector<Edge>&& b) {
+    if (b.size() <= opts_.queue_capacity_edges) {
+      Item item;
+      item.tombstone = tombstone;
+      item.edges = std::move(b);
+      items.emplace_back(qi, std::move(item));
+      return;
+    }
+    for (std::size_t off = 0; off < b.size();
+         off += opts_.queue_capacity_edges) {
+      const std::size_t n =
+          std::min(opts_.queue_capacity_edges, b.size() - off);
+      Item item;
+      item.tombstone = tombstone;
+      item.edges.assign(b.begin() + static_cast<std::ptrdiff_t>(off),
+                        b.begin() + static_cast<std::ptrdiff_t>(off + n));
+      items.emplace_back(qi, std::move(item));
+    }
+  };
+  if (queues_.size() == 1) {
+    stage_bucket(0, std::vector<Edge>(edges.begin(), edges.end()));
+  } else {
+    std::vector<std::vector<Edge>> buckets(queues_.size());
+    for (const Edge& e : edges) buckets[route(e.src)].push_back(e);
+    for (std::size_t qi = 0; qi < buckets.size(); ++qi)
+      if (!buckets[qi].empty()) stage_bucket(qi, std::move(buckets[qi]));
+  }
+
+  // Take the ticket and register the item count *before* any item becomes
+  // visible to an absorber: the durable epoch can then never advance past
+  // this submission until every one of its items is absorbed.
+  Epoch ticket;
+  {
+    std::lock_guard<std::mutex> g(epoch_mu_);
+    ticket = ++last_submitted_;
+    open_[ticket] = items.size();
+  }
+  for (auto& [qi, item] : items) {
+    item.epoch = ticket;
+    push_item(qi, std::move(item));
+  }
+  submitted_edges_ += edges.size();
+  ++submit_calls_;
+  return ticket;
+}
+
+void AsyncIngestor::push_item(std::size_t queue_idx, Item item) {
+  Queue& q = *queues_[queue_idx];
+  const std::size_t n = item.edges.size();
+  {
+    std::unique_lock<std::mutex> l(q.mu);
+    if (q.edges != 0 && q.edges + n > opts_.queue_capacity_edges)
+      ++stalls_;  // one stall per blocking episode
+    q.not_full.wait(l, [&] {
+      return q.edges == 0 || q.edges + n <= opts_.queue_capacity_edges ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    q.items.push_back(std::move(item));
+    q.edges += n;
+    queue_high_watermark_.max_with(q.edges);
+  }
+  WorkerState& w = *worker_state_[queue_idx % worker_state_.size()];
+  {
+    std::lock_guard<std::mutex> g(w.mu);
+    ++w.signal;
+  }
+  w.cv.notify_one();
+}
+
+std::vector<AsyncIngestor::Item> AsyncIngestor::pop_chunk(Queue& q) {
+  std::vector<Item> out;
+  std::size_t taken = 0;
+  {
+    std::lock_guard<std::mutex> g(q.mu);
+    while (!q.items.empty() && taken < opts_.absorb_chunk_edges) {
+      taken += q.items.front().edges.size();
+      q.edges -= q.items.front().edges.size();
+      out.push_back(std::move(q.items.front()));
+      q.items.pop_front();
+    }
+  }
+  if (!out.empty()) q.not_full.notify_all();
+  return out;
+}
+
+void AsyncIngestor::absorb_items(std::vector<Item>& items) {
+  // Coalesce consecutive same-mode items into one sink call (normally the
+  // whole chunk: deletes are rare), preserving staged order so a delete
+  // never overtakes the insert it cancels.
+  std::vector<Edge> run;
+  std::size_t i = 0;
+  while (i < items.size()) {
+    const bool tomb = items[i].tombstone;
+    run.clear();
+    while (i < items.size() && items[i].tombstone == tomb) {
+      run.insert(run.end(), items[i].edges.begin(), items[i].edges.end());
+      ++i;
+    }
+    if (run.empty()) continue;
+    try {
+      if (opts_.serialize_sink) {
+        std::lock_guard<std::mutex> g(sink_mu_);
+        sink_(run, tomb);
+      } else {
+        sink_(run, tomb);
+      }
+      absorbed_edges_ += run.size();
+      ++absorb_batches_;
+    } catch (const std::exception& ex) {
+      std::lock_guard<std::mutex> g(epoch_mu_);
+      if (error_.empty()) error_ = ex.what();
+    }
+  }
+}
+
+void AsyncIngestor::retire_items(const std::vector<Item>& items) {
+  std::lock_guard<std::mutex> g(epoch_mu_);
+  for (const Item& item : items) {
+    const auto it = open_.find(item.epoch);
+    if (it != open_.end() && --it->second == 0) open_.erase(it);
+  }
+  if (!error_.empty()) {
+    // A sink call failed: some retired items were dropped, not absorbed.
+    // Freeze the durable epoch at the last fully-successful prefix (it must
+    // not report durability for lost edges) and wake waiters so they can
+    // observe the error.
+    durable_cv_.notify_all();
+    return;
+  }
+  const Epoch now_durable =
+      open_.empty() ? last_submitted_ : open_.begin()->first - 1;
+  if (now_durable > durable_) {
+    durable_ = now_durable;
+    durable_cv_.notify_all();
+  }
+}
+
+void AsyncIngestor::absorber_main(std::size_t worker) {
+  WorkerState& state = *worker_state_[worker];
+  std::uint64_t seen_signal = 0;
+  for (;;) {
+    bool did_work = false;
+    for (std::size_t qi = worker; qi < queues_.size();
+         qi += worker_state_.size()) {
+      std::vector<Item> chunk = pop_chunk(*queues_[qi]);
+      if (chunk.empty()) continue;
+      absorb_items(chunk);
+      retire_items(chunk);
+      did_work = true;
+    }
+    if (did_work) continue;
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Final sweep below the stop flag: queues may have been filled
+      // between our empty sweep and the flag read.
+      bool empty = true;
+      for (std::size_t qi = worker; qi < queues_.size();
+           qi += worker_state_.size()) {
+        std::lock_guard<std::mutex> g(queues_[qi]->mu);
+        empty = empty && queues_[qi]->items.empty();
+      }
+      if (empty) return;
+      continue;
+    }
+    std::unique_lock<std::mutex> l(state.mu);
+    state.cv.wait(l, [&] {
+      return state.signal != seen_signal ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    seen_signal = state.signal;
+  }
+}
+
+void AsyncIngestor::wait_durable(Epoch e) {
+  std::unique_lock<std::mutex> l(epoch_mu_);
+  durable_cv_.wait(l, [&] { return durable_ >= e || !error_.empty(); });
+  if (!error_.empty())
+    throw std::runtime_error("AsyncIngestor sink failed: " + error_);
+}
+
+Epoch AsyncIngestor::drain() {
+  Epoch target;
+  {
+    std::lock_guard<std::mutex> g(epoch_mu_);
+    target = last_submitted_;
+  }
+  wait_durable(target);
+  return target;
+}
+
+Epoch AsyncIngestor::last_submitted() const {
+  std::lock_guard<std::mutex> g(epoch_mu_);
+  return last_submitted_;
+}
+
+Epoch AsyncIngestor::durable_epoch() const {
+  std::lock_guard<std::mutex> g(epoch_mu_);
+  return durable_;
+}
+
+IngestStats AsyncIngestor::stats() const {
+  IngestStats s;
+  s.submitted_edges = submitted_edges_;
+  s.absorbed_edges = absorbed_edges_;
+  s.submit_calls = submit_calls_;
+  s.absorb_batches = absorb_batches_;
+  s.stalls = stalls_;
+  s.queue_high_watermark = queue_high_watermark_;
+  {
+    std::lock_guard<std::mutex> g(epoch_mu_);
+    s.last_submitted = last_submitted_;
+    s.durable = durable_;
+    s.failed = !error_.empty();
+  }
+  return s;
+}
+
+std::unique_ptr<AsyncIngestor> make_dgap_ingestor(
+    core::DgapStore& store, AsyncIngestor::Options opts) {
+  opts.serialize_sink = false;  // DgapStore's batch path is thread-safe
+  return std::make_unique<AsyncIngestor>(
+      [&store](std::span<const Edge> edges, bool tombstone) {
+        if (tombstone)
+          store.delete_batch(edges);
+        else
+          store.insert_batch(edges);
+      },
+      opts);
+}
+
+}  // namespace dgap::ingest

@@ -1,0 +1,205 @@
+// Asynchronous ingestion subsystem: decouples edge producers from section
+// absorption (the ROADMAP's "async writer threads" follow-up to the batched
+// ingestion API, modeled after XPGraph-style buffered per-socket PM logs).
+//
+//   producers ──submit()──▶ per-section-group staging queues ──▶ absorbers
+//                                 (bounded, backpressure)      (M threads)
+//                                                                   │
+//                                            insert_batch/delete_batch fast
+//                                            path, one lock + one fence per
+//                                            section group (batch_insert.cpp)
+//
+// Routing: consecutive blocks of source ids share a queue, so the edges an
+// absorber drains in one pass cluster by home section — preserving the batch
+// path's one-lock/one-fence-per-group savings instead of re-shuffling every
+// edge through a single global queue.
+//
+// Durability contract (epoch-based):
+//   * submit()/submit_deletes() copies the span into staging and returns an
+//     epoch ticket. Returning does NOT mean durable.
+//   * wait_durable(e) blocks until every edge of every submit with ticket
+//     <= e has been absorbed through the sink — which flushes and fences
+//     before returning (DgapStore::insert_batch semantics) — so the data is
+//     on the durable media.
+//   * drain() == wait_durable(last_submitted()).
+//   * The destructor drains: everything submitted before destruction begins
+//     is absorbed and durable before the absorber threads exit — unless a
+//     sink call failed, in which case the drain is best-effort (destructors
+//     cannot throw); call drain() or check stats().failed before
+//     destruction to observe sink failures.
+//
+// Backpressure: each queue is bounded (queue_capacity_edges); submitters
+// block on a full queue (counted in IngestStats::stalls) until an absorber
+// makes room, so an unbounded producer cannot outrun absorption memory.
+//
+// Thread safety: submit/wait_durable/drain/stats may be called from any
+// number of threads. Per-source ordering is preserved for submissions made
+// from one thread (same source => same queue => FIFO absorption); ordering
+// across producer threads is unspecified, exactly like concurrent
+// insert_batch callers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/stat_cell.hpp"
+#include "src/graph/types.hpp"
+
+namespace dgap::core {
+class DgapStore;
+}
+
+namespace dgap::ingest {
+
+// Monotone submission ticket; 0 means "nothing submitted yet".
+using Epoch = std::uint64_t;
+
+// Plain-value snapshot of the ingestor's counters (safe to copy around).
+struct IngestStats {
+  std::uint64_t submitted_edges = 0;  // edges accepted by submit()
+  std::uint64_t absorbed_edges = 0;   // edges pushed through the sink
+  std::uint64_t submit_calls = 0;
+  std::uint64_t absorb_batches = 0;   // sink invocations (drain passes)
+  std::uint64_t stalls = 0;           // submit blocked on a full queue
+  std::uint64_t queue_high_watermark = 0;  // max edges queued in one queue
+  Epoch last_submitted = 0;
+  Epoch durable = 0;  // every epoch <= this is absorbed + fenced
+  // A sink call threw: edges past `durable` may be silently dropped. The
+  // durable epoch freezes at the last fully-absorbed prefix;
+  // wait_durable/drain rethrow the recorded error. Pollers (who never call
+  // wait_durable) must check this instead of comparing absorbed counts.
+  bool failed = false;
+};
+
+class AsyncIngestor {
+ public:
+  // Absorption sink: must make the span durable (flush + fence) before
+  // returning; `tombstone` selects delete semantics. DgapStore's
+  // insert_batch/delete_batch satisfy this contract.
+  using BatchFn = std::function<void(std::span<const Edge>, bool tombstone)>;
+
+  struct Options {
+    std::size_t absorbers = 1;  // background absorber threads (M)
+    // Staging queues (N); 0 => one per absorber. Queue i is drained only by
+    // absorber i % M, so each queue has exactly one consumer.
+    std::size_t queues = 0;
+    std::size_t queue_capacity_edges = 1 << 16;  // backpressure bound
+    std::size_t absorb_chunk_edges = 8192;  // max edges per sink call
+    // Consecutive source ids routed to the same queue; blocks of nearby
+    // sources share home sections, which is what the batch path rewards.
+    std::size_t route_block = 64;
+    // Serialize sink calls across absorbers (for single-ingest stores whose
+    // batch path is not thread-safe: LLAMA/GraphOne/XPGraph models).
+    bool serialize_sink = false;
+  };
+
+  // (Two overloads rather than a default argument: in-class default args
+  // cannot use a nested aggregate's member initializers before the
+  // enclosing class is complete.)
+  AsyncIngestor(BatchFn sink, Options opts);
+  explicit AsyncIngestor(BatchFn sink);
+  ~AsyncIngestor();  // drains, then stops and joins the absorbers
+  AsyncIngestor(const AsyncIngestor&) = delete;
+  AsyncIngestor& operator=(const AsyncIngestor&) = delete;
+
+  // Stage edges for insertion/deletion; returns the submission's epoch
+  // ticket. Throws std::invalid_argument on negative vertex ids (rejected
+  // producer-side so a poisoned batch never reaches an absorber).
+  Epoch submit(std::span<const Edge> edges) {
+    return submit_internal(edges, /*tombstone=*/false);
+  }
+  Epoch submit_deletes(std::span<const Edge> edges) {
+    return submit_internal(edges, /*tombstone=*/true);
+  }
+
+  // Block until every submission with ticket <= e is absorbed and durable.
+  // Rethrows (as std::runtime_error) if an absorber's sink failed.
+  void wait_durable(Epoch e);
+  // Barrier over everything submitted so far; returns the epoch waited for.
+  Epoch drain();
+
+  [[nodiscard]] Epoch last_submitted() const;
+  [[nodiscard]] Epoch durable_epoch() const;
+  [[nodiscard]] IngestStats stats() const;
+  [[nodiscard]] std::size_t num_queues() const { return queues_.size(); }
+  [[nodiscard]] std::size_t num_absorbers() const { return workers_.size(); }
+
+ private:
+  struct Item {
+    Epoch epoch = 0;
+    bool tombstone = false;
+    std::vector<Edge> edges;
+  };
+
+  struct Queue {
+    std::mutex mu;
+    std::condition_variable not_full;
+    std::deque<Item> items;
+    std::size_t edges = 0;  // staged edge count (backpressure unit)
+  };
+
+  // Per-absorber wake channel: submitters bump `signal` after pushing into
+  // any queue the absorber owns.
+  struct WorkerState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t signal = 0;
+  };
+
+  Epoch submit_internal(std::span<const Edge> edges, bool tombstone);
+  void push_item(std::size_t queue_idx, Item item);
+  void absorber_main(std::size_t worker);
+  // Drain up to absorb_chunk_edges from queue q; returns drained items.
+  std::vector<Item> pop_chunk(Queue& q);
+  void absorb_items(std::vector<Item>& items);
+  void retire_items(const std::vector<Item>& items);
+  [[nodiscard]] std::size_t route(NodeId src) const {
+    return (static_cast<std::uint64_t>(src) / opts_.route_block) %
+           queues_.size();
+  }
+
+  BatchFn sink_;
+  Options opts_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::unique_ptr<WorkerState>> worker_state_;
+  std::vector<std::thread> workers_;
+  std::mutex sink_mu_;  // held around sink calls when serialize_sink
+
+  // Epoch ledger: open_[e] counts staged-but-not-yet-durable items of
+  // submission e; the durable epoch is the largest e with no open entry at
+  // or below it. Registration happens before the items become visible to
+  // absorbers, so the durable epoch can never skip an in-flight submission.
+  mutable std::mutex epoch_mu_;
+  std::condition_variable durable_cv_;
+  Epoch last_submitted_ = 0;
+  Epoch durable_ = 0;
+  std::map<Epoch, std::size_t> open_;
+  std::string error_;  // first sink failure, rethrown to waiters
+
+  std::atomic<bool> stopping_{false};
+
+  StatCell<std::uint64_t> submitted_edges_;
+  StatCell<std::uint64_t> absorbed_edges_;
+  StatCell<std::uint64_t> submit_calls_;
+  StatCell<std::uint64_t> absorb_batches_;
+  StatCell<std::uint64_t> stalls_;
+  StatCell<std::uint64_t> queue_high_watermark_;
+};
+
+// Convenience wiring for the paper's store: absorbers feed
+// DgapStore::insert_batch/delete_batch directly (thread-safe, so the sink is
+// not serialized). The store must outlive the returned ingestor, and its
+// DgapOptions::max_writer_threads must cover the absorber count.
+std::unique_ptr<AsyncIngestor> make_dgap_ingestor(
+    core::DgapStore& store, AsyncIngestor::Options opts = {});
+
+}  // namespace dgap::ingest

@@ -8,9 +8,11 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <system_error>
 
+#include "src/common/spinlock.hpp"
 #include "src/pmem/alloc.hpp"
 #include "src/pmem/latency_model.hpp"
 #include "src/pmem/stats.hpp"
@@ -20,6 +22,15 @@ namespace dgap::pmem {
 namespace {
 constexpr std::uint64_t kMagic = 0x4447'4150'504f'4f4cULL;  // "DGAPPOOL"
 constexpr std::uint32_t kVersion = 1;
+
+// Shadow-mode writeback stripes. Real CLWB of one cache line from two cores
+// is serialized by cache coherence; the emulated writeback (a memcpy from
+// the volatile front to the durable image) is not, so two threads flushing
+// structures that share a line (e.g. elog regions of adjacent sections)
+// could let a stale copy overwrite a completed one. Striped locks restore
+// the per-line ordering; only shadow-mode (test) pools pay for them.
+constexpr std::size_t kShadowStripes = 64;
+SpinLock g_shadow_stripes[kShadowStripes];
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::system_error(errno, std::generic_category(), what);
@@ -139,6 +150,8 @@ void PmemPool::flush(const void* addr, std::size_t len) {
       const std::size_t n =
           static_cast<std::size_t>(std::min<std::uint64_t>(kCacheLineSize,
                                                            size_ - off));
+      std::lock_guard<SpinLock> g(
+          g_shadow_stripes[(first / kCacheLineSize) % kShadowStripes]);
       std::memcpy(static_cast<char*>(durable_) + off,
                   static_cast<char*>(front_) + off, n);
     }

@@ -1,0 +1,348 @@
+// Correctness of the asynchronous ingestion subsystem (src/ingest):
+//   * oracle equivalence of async vs synchronous ingestion, single- and
+//     multi-producer,
+//   * per-source ordering (deletes submitted after their inserts from the
+//     same producer are absorbed after them),
+//   * epoch durability: wait_durable(e) implies visibility, drain() implies
+//     everything, the destructor drains,
+//   * backpressure: bounded queues stall producers instead of growing
+//     without bound,
+//   * snapshot consistency: a Snapshot taken mid-stream always sees each
+//     source's chronological prefix, never a torn batch group.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/common/timer.hpp"
+#include "src/core/dgap_store.hpp"
+#include "src/graph/adj_graph.hpp"
+#include "src/graph/generators.hpp"
+#include "src/ingest/async_ingestor.hpp"
+
+namespace dgap::ingest {
+namespace {
+
+using core::DgapOptions;
+using core::DgapStore;
+using core::Snapshot;
+using pmem::PmemPool;
+
+DgapOptions small_opts(std::uint32_t writers) {
+  DgapOptions o;
+  o.init_vertices = 64;
+  o.init_edges = 512;
+  o.segment_slots = 64;
+  o.max_writer_threads = writers + 1;
+  return o;
+}
+
+// Multiset of all (src, dst) pairs visible in a snapshot.
+std::map<std::pair<NodeId, NodeId>, int> snapshot_multiset(
+    const DgapStore& store) {
+  std::map<std::pair<NodeId, NodeId>, int> got;
+  const Snapshot snap = store.consistent_view();
+  for (NodeId v = 0; v < snap.num_nodes(); ++v)
+    for (const NodeId d : snap.neighbors(v)) got[{v, d}] += 1;
+  return got;
+}
+
+std::map<std::pair<NodeId, NodeId>, int> oracle_multiset(
+    const AdjGraph& oracle) {
+  std::map<std::pair<NodeId, NodeId>, int> want;
+  for (NodeId v = 0; v < oracle.num_nodes(); ++v)
+    for (const NodeId d : oracle.out_neigh(v)) want[{v, d}] += 1;
+  return want;
+}
+
+struct AsyncFixture : ::testing::Test {
+  void make_store(std::uint32_t absorbers) {
+    pool = PmemPool::create({.path = "", .size = 64 << 20});
+    store = DgapStore::create(*pool, small_opts(absorbers));
+  }
+  std::unique_ptr<PmemPool> pool;
+  std::unique_ptr<DgapStore> store;
+};
+
+TEST_F(AsyncFixture, SingleProducerOracleEquivalence) {
+  make_store(2);
+  const auto stream = symmetrize(generate_rmat(64, 3000, 42));
+  AsyncIngestor::Options o;
+  o.absorbers = 2;
+  o.queues = 4;
+  auto ing = make_dgap_ingestor(*store, o);
+
+  const auto& edges = stream.edges();
+  constexpr std::size_t kChunk = 97;  // deliberately odd-sized submissions
+  for (std::size_t i = 0; i < edges.size(); i += kChunk)
+    ing->submit(std::span<const Edge>(
+        edges.data() + i, std::min(kChunk, edges.size() - i)));
+  const Epoch final_epoch = ing->drain();
+
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : edges) oracle.add_edge(e.src, e.dst);
+  EXPECT_EQ(snapshot_multiset(*store), oracle_multiset(oracle));
+
+  std::string why;
+  EXPECT_TRUE(store->check_invariants(&why)) << why;
+
+  const IngestStats s = ing->stats();
+  EXPECT_EQ(s.submitted_edges, edges.size());
+  EXPECT_EQ(s.absorbed_edges, edges.size());
+  EXPECT_EQ(s.durable, final_epoch);
+  EXPECT_EQ(s.last_submitted, final_epoch);
+  EXPECT_GT(s.absorb_batches, 0u);
+}
+
+TEST_F(AsyncFixture, MultiProducerOracleEquivalence) {
+  make_store(2);
+  const auto stream = symmetrize(generate_rmat(64, 4000, 7));
+  AsyncIngestor::Options o;
+  o.absorbers = 2;
+  auto ing = make_dgap_ingestor(*store, o);
+
+  const auto& edges = stream.edges();
+  constexpr int kProducers = 4;
+  constexpr std::size_t kChunk = 128;
+  const std::size_t chunks = (edges.size() + kChunk - 1) / kChunk;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t c = static_cast<std::size_t>(p); c < chunks;
+           c += kProducers) {
+        const std::size_t begin = c * kChunk;
+        ing->submit(std::span<const Edge>(
+            edges.data() + begin, std::min(kChunk, edges.size() - begin)));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ing->drain();
+
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : edges) oracle.add_edge(e.src, e.dst);
+  EXPECT_EQ(snapshot_multiset(*store), oracle_multiset(oracle));
+  std::string why;
+  EXPECT_TRUE(store->check_invariants(&why)) << why;
+}
+
+TEST_F(AsyncFixture, DeletesFollowInsertsFromSameProducer) {
+  make_store(2);
+  AsyncIngestor::Options o;
+  o.absorbers = 2;
+  o.queues = 4;
+  auto ing = make_dgap_ingestor(*store, o);
+
+  const auto stream = symmetrize(generate_rmat(64, 2000, 11));
+  const auto& edges = stream.edges();
+  AdjGraph oracle(stream.num_vertices());
+  // One producer alternates inserts with deletions of every 5th prior edge;
+  // same source => same staging queue => FIFO absorption, so the delete can
+  // never overtake its insert.
+  std::vector<Edge> dels;
+  constexpr std::size_t kChunk = 64;
+  for (std::size_t i = 0; i < edges.size(); i += kChunk) {
+    const std::span<const Edge> part(edges.data() + i,
+                                     std::min(kChunk, edges.size() - i));
+    ing->submit(part);
+    for (const Edge& e : part) oracle.add_edge(e.src, e.dst);
+    dels.clear();
+    for (std::size_t j = 0; j < part.size(); j += 5) dels.push_back(part[j]);
+    ing->submit_deletes(dels);
+    for (const Edge& e : dels) oracle.remove_edge(e.src, e.dst);
+  }
+  ing->drain();
+  EXPECT_EQ(snapshot_multiset(*store), oracle_multiset(oracle));
+  std::string why;
+  EXPECT_TRUE(store->check_invariants(&why)) << why;
+}
+
+TEST_F(AsyncFixture, WaitDurableImpliesVisibility) {
+  make_store(1);
+  AsyncIngestor::Options o;
+  o.absorbers = 1;
+  auto ing = make_dgap_ingestor(*store, o);
+
+  const auto stream = generate_uniform(64, 1000, 3);
+  const auto& edges = stream.edges();
+  const std::size_t half = edges.size() / 2;
+  const Epoch first =
+      ing->submit(std::span<const Edge>(edges.data(), half));
+  ing->submit(
+      std::span<const Edge>(edges.data() + half, edges.size() - half));
+
+  ing->wait_durable(first);
+  EXPECT_GE(ing->durable_epoch(), first);
+  // Everything in the first submission must be visible in a snapshot now.
+  AdjGraph oracle(stream.num_vertices());
+  for (std::size_t i = 0; i < half; ++i)
+    oracle.add_edge(edges[i].src, edges[i].dst);
+  const auto got = snapshot_multiset(*store);
+  for (const auto& [edge, count] : oracle_multiset(oracle)) {
+    const auto it = got.find(edge);
+    ASSERT_TRUE(it != got.end() && it->second >= count)
+        << "durable edge " << edge.first << "->" << edge.second
+        << " missing from snapshot";
+  }
+  ing->drain();
+  EXPECT_EQ(ing->durable_epoch(), ing->last_submitted());
+}
+
+TEST_F(AsyncFixture, BackpressureBoundsQueues) {
+  make_store(1);
+  AsyncIngestor::Options o;
+  o.absorbers = 1;
+  o.queues = 1;
+  o.queue_capacity_edges = 256;  // tiny: force stalls
+  o.absorb_chunk_edges = 128;
+  // Throttled sink: each absorption pass costs ~50us, so the unpaced
+  // producer deterministically outruns the queue bound.
+  AsyncIngestor ing(
+      [&](std::span<const Edge> part, bool tombstone) {
+        spin_wait_ns(50'000);
+        if (tombstone)
+          store->delete_batch(part);
+        else
+          store->insert_batch(part);
+      },
+      o);
+
+  const auto stream = symmetrize(generate_rmat(64, 10000, 9));
+  const auto& edges = stream.edges();
+  for (std::size_t i = 0; i < edges.size(); i += 64)
+    ing.submit(std::span<const Edge>(
+        edges.data() + i, std::min<std::size_t>(64, edges.size() - i)));
+  ing.drain();
+
+  const IngestStats s = ing.stats();
+  EXPECT_EQ(s.absorbed_edges, edges.size());
+  EXPECT_GT(s.stalls, 0u) << "tiny queue never exerted backpressure";
+  EXPECT_LE(s.queue_high_watermark, 256u);
+
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : edges) oracle.add_edge(e.src, e.dst);
+  EXPECT_EQ(snapshot_multiset(*store), oracle_multiset(oracle));
+}
+
+TEST_F(AsyncFixture, DestructorDrainsQueuedEdges) {
+  make_store(2);
+  const auto stream = symmetrize(generate_rmat(64, 3000, 21));
+  const auto& edges = stream.edges();
+  {
+    AsyncIngestor::Options o;
+    o.absorbers = 2;
+    auto ing = make_dgap_ingestor(*store, o);
+    for (std::size_t i = 0; i < edges.size(); i += 256)
+      ing->submit(std::span<const Edge>(
+          edges.data() + i, std::min<std::size_t>(256, edges.size() - i)));
+    // No drain(): the destructor must absorb everything still staged.
+  }
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : edges) oracle.add_edge(e.src, e.dst);
+  EXPECT_EQ(snapshot_multiset(*store), oracle_multiset(oracle));
+  std::string why;
+  EXPECT_TRUE(store->check_invariants(&why)) << why;
+}
+
+TEST_F(AsyncFixture, RejectsNegativeIdsProducerSide) {
+  make_store(1);
+  AsyncIngestor::Options o;
+  o.absorbers = 1;
+  auto ing = make_dgap_ingestor(*store, o);
+  const std::vector<Edge> bad = {{3, 4}, {-1, 2}};
+  EXPECT_THROW(ing->submit(bad), std::invalid_argument);
+  // The poisoned batch never reached staging: nothing to absorb.
+  EXPECT_EQ(ing->stats().submitted_edges, 0u);
+  ing->drain();
+}
+
+// A Snapshot taken mid-stream must never observe a half-absorbed batch
+// group out of order: each source's visible neighbor list is always the
+// chronological prefix of what was submitted for it. Sources emit
+// monotonically increasing destinations, so any gap or reordering in a
+// snapshot is detectable.
+TEST_F(AsyncFixture, SnapshotMidStreamSeesChronologicalPrefixes) {
+  make_store(2);
+  AsyncIngestor::Options o;
+  o.absorbers = 2;
+  o.queues = 4;
+  o.absorb_chunk_edges = 512;
+  auto ing = make_dgap_ingestor(*store, o);
+
+  constexpr NodeId kSources = 16;
+  constexpr NodeId kPerSource = 400;
+  constexpr NodeId kDstBase = 100;
+
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    // Round-robin the sources in batches so absorption interleaves them.
+    std::vector<Edge> batch;
+    for (NodeId j = 0; j < kPerSource; j += 8) {
+      for (NodeId s = 0; s < kSources; ++s) {
+        batch.clear();
+        for (NodeId k = j; k < std::min<NodeId>(j + 8, kPerSource); ++k)
+          batch.push_back({s, kDstBase + k});
+        ing->submit(batch);
+      }
+    }
+    done = true;
+  });
+
+  int checked = 0;
+  while (!done.load() || checked < 3) {
+    const Snapshot snap = store->consistent_view();
+    for (NodeId s = 0; s < kSources && s < snap.num_nodes(); ++s) {
+      const auto neigh = snap.neighbors(s);
+      for (std::size_t i = 0; i < neigh.size(); ++i) {
+        ASSERT_EQ(neigh[i], kDstBase + static_cast<NodeId>(i))
+            << "source " << s << " saw a torn/reordered prefix at " << i;
+      }
+    }
+    ++checked;
+  }
+  producer.join();
+  ing->drain();
+
+  const Snapshot final_snap = store->consistent_view();
+  for (NodeId s = 0; s < kSources; ++s)
+    EXPECT_EQ(final_snap.out_degree(s), kPerSource);
+  std::string why;
+  EXPECT_TRUE(store->check_invariants(&why)) << why;
+}
+
+TEST(AsyncIngestorApi, ValidatesOptions) {
+  auto noop = [](std::span<const Edge>, bool) {};
+  AsyncIngestor::Options bad;
+  bad.absorbers = 0;
+  EXPECT_THROW(AsyncIngestor(noop, bad), std::invalid_argument);
+  AsyncIngestor::Options bad2;
+  bad2.queue_capacity_edges = 0;
+  EXPECT_THROW(AsyncIngestor(noop, bad2), std::invalid_argument);
+  EXPECT_THROW(AsyncIngestor(nullptr, AsyncIngestor::Options{}),
+               std::invalid_argument);
+}
+
+TEST(AsyncIngestorApi, SinkFailurePropagatesToWaiters) {
+  AsyncIngestor::Options o;
+  o.absorbers = 1;
+  AsyncIngestor ing(
+      [](std::span<const Edge>, bool) {
+        throw std::runtime_error("sink exploded");
+      },
+      o);
+  const std::vector<Edge> edges = {{1, 2}, {3, 4}};
+  const Epoch e = ing.submit(edges);
+  EXPECT_THROW(ing.wait_durable(e), std::runtime_error);
+  // The failure is visible to pollers and the durable epoch never covers
+  // the dropped submission.
+  const IngestStats s = ing.stats();
+  EXPECT_TRUE(s.failed);
+  EXPECT_LT(s.durable, e);
+}
+
+}  // namespace
+}  // namespace dgap::ingest

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "src/baselines/bal_store.hpp"
@@ -97,6 +98,42 @@ TEST(BalStore, VertexGrowth) {
   bal->insert_edge(100, 5);
   EXPECT_GE(bal->num_nodes(), 101);
   EXPECT_EQ(bal->out_degree(100), 1);
+}
+
+// BAL advertises concurrent batch writers (async absorbers rely on it), so
+// vertex growth must not swap locks_/heads_ out from under a writer holding
+// a per-vertex lock: writers pin the arrays via the grow gate. Exercise
+// growth racing concurrent batch inserts.
+TEST(BalStore, ConcurrentBatchWritersWithVertexGrowth) {
+  auto pool = make_pool(64);
+  auto bal = BalStore::create(*pool, 2);  // tiny: every writer forces growth
+  constexpr int kWriters = 4;
+  constexpr NodeId kPerWriter = 400;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      std::vector<Edge> batch;
+      for (NodeId i = 0; i < kPerWriter; i += 8) {
+        batch.clear();
+        for (NodeId k = i; k < std::min<NodeId>(i + 8, kPerWriter); ++k) {
+          // Shared sources (contend on per-vertex locks) + a growing
+          // private id range (forces repeated growth).
+          batch.push_back({k % 16, w * kPerWriter + k});
+          batch.push_back({w * kPerWriter + k, k % 16});
+        }
+        bal->insert_batch(batch);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(bal->num_edges_directed(),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter * 2);
+  // Per-source degrees must account for every writer's share.
+  for (NodeId s = 0; s < 16; ++s) {
+    std::int64_t n = 0;
+    bal->for_each_out(s, [&](NodeId) { ++n; });
+    EXPECT_EQ(n, bal->out_degree(s));
+  }
 }
 
 TEST(LlamaStore, SnapshotsFreezeData) {

@@ -20,6 +20,7 @@
 #include "src/core/dgap_store.hpp"
 #include "src/graph/adj_graph.hpp"
 #include "src/graph/generators.hpp"
+#include "src/ingest/async_ingestor.hpp"
 
 namespace dgap::core {
 namespace {
@@ -359,6 +360,145 @@ INSTANTIATE_TEST_SUITE_P(Bands, BatchCrashSweep, ::testing::Range(0, 8),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return "Band" + std::to_string(info.param);
                          });
+
+// --- delete_batch crash consistency -----------------------------------------
+//
+// Mirror of BatchCrashSweep for the deletion path: the workload alternates
+// insert_batch with delete_batch calls that tombstone a slice of the
+// previously acknowledged batch. A crash mid-call may apply any per-vertex
+// chronological prefix of the in-flight batch — for a delete batch that
+// means some of its tombstones landed (edges missing vs the acked oracle)
+// — but never anything outside the in-flight call and never a lost
+// acknowledged edge.
+class DeleteBatchCrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeleteBatchCrashSweep, RecoversToAcknowledgedBatches) {
+  const int band = GetParam();
+  constexpr std::size_t kBatch = 64;
+  const auto stream = symmetrize(generate_rmat(48, 1500, 8888));
+  const auto& edges = stream.edges();
+
+  for (int offset = 0; offset < 6; ++offset) {
+    const std::uint64_t crash_at =
+        static_cast<std::uint64_t>(band) * 1200 + offset * 173;
+    auto pool =
+        PmemPool::create({.path = "", .size = 8 << 20, .shadow = true});
+    auto store = DgapStore::create(*pool, crash_opts());
+    pool->arm_crash_after(crash_at);
+
+    // Acknowledged state is replayed into the oracle batch by batch; the
+    // in-flight call's multiset and mode are kept for the post-crash check.
+    AdjGraph oracle(stream.num_vertices());
+    std::map<std::pair<NodeId, NodeId>, int> inflight;
+    bool inflight_is_delete = false;
+    bool crashed = false;
+    try {
+      for (std::size_t i = 0; i < edges.size(); i += kBatch) {
+        const std::size_t n = std::min(kBatch, edges.size() - i);
+        const std::span<const Edge> batch(edges.data() + i, n);
+
+        inflight.clear();
+        inflight_is_delete = false;
+        for (const Edge& e : batch) inflight[{e.src, e.dst}] += 1;
+        store->insert_batch(batch);
+        for (const Edge& e : batch) oracle.add_edge(e.src, e.dst);
+
+        // Tombstone every 3rd edge of the batch just acknowledged.
+        std::vector<Edge> dels;
+        for (std::size_t j = 0; j < n; j += 3) dels.push_back(batch[j]);
+        inflight.clear();
+        inflight_is_delete = true;
+        for (const Edge& e : dels) inflight[{e.src, e.dst}] += 1;
+        store->delete_batch(dels);
+        for (const Edge& e : dels) oracle.remove_edge(e.src, e.dst);
+      }
+    } catch (const PmemPool::CrashInjected&) {
+      crashed = true;
+    }
+    pool->disarm_crash();
+    if (!crashed) {
+      std::string why;
+      ASSERT_TRUE(store->check_invariants(&why)) << why;
+      return;  // later bands would not crash either
+    }
+
+    store.reset();
+    pool->simulate_crash();
+    auto recovered = DgapStore::open(*pool, crash_opts());
+
+    std::string why;
+    ASSERT_TRUE(recovered->check_invariants(&why))
+        << why << " (crash_at=" << crash_at << ")";
+    const auto extra = multiset_extra(*recovered, oracle);
+    for (const auto& [edge, count] : extra) {
+      const auto it = inflight.find(edge);
+      if (count > 0) {
+        // Extra edges can only come from an in-flight insert batch.
+        ASSERT_TRUE(!inflight_is_delete && it != inflight.end() &&
+                    count <= it->second)
+            << "extra edge " << edge.first << "->" << edge.second << " x"
+            << count << " not from the in-flight batch (crash_at="
+            << crash_at << ")";
+      } else {
+        // Missing edges can only come from in-flight tombstones landing.
+        ASSERT_TRUE(inflight_is_delete && it != inflight.end() &&
+                    -count <= it->second)
+            << "lost acknowledged edge " << edge.first << "->" << edge.second
+            << " x" << -count << " (crash_at=" << crash_at << ")";
+      }
+    }
+
+    // The recovered store must keep working, both batch modes included.
+    recovered->insert_batch(std::span<const Edge>(edges.data(), 32));
+    recovered->delete_batch(std::span<const Edge>(edges.data(), 8));
+    ASSERT_TRUE(recovered->check_invariants(&why)) << why;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, DeleteBatchCrashSweep, ::testing::Range(0, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Band" + std::to_string(info.param);
+                         });
+
+// --- async ingestion drain durability ---------------------------------------
+//
+// Destroying an AsyncIngestor with staged edges must drain them durably:
+// after the destructor returns, a crash (losing every unflushed line) and
+// reopen must surface every submitted epoch. This is the destructor-drain
+// half of the epoch contract; wait_durable/drain are covered in
+// async_ingest_test.cpp.
+TEST(DgapCrash, AsyncIngestorDestructorDrainsDurably) {
+  const auto stream = symmetrize(generate_rmat(48, 2000, 3030));
+  const auto& edges = stream.edges();
+  auto pool =
+      PmemPool::create({.path = "", .size = 16 << 20, .shadow = true});
+  DgapOptions o = crash_opts();
+  o.max_writer_threads = 3;  // 2 absorbers + slack
+  auto store = DgapStore::create(*pool, o);
+  {
+    ingest::AsyncIngestor::Options io;
+    io.absorbers = 2;
+    io.queues = 4;
+    auto ing = ingest::make_dgap_ingestor(*store, io);
+    for (std::size_t i = 0; i < edges.size(); i += 128)
+      ing->submit(std::span<const Edge>(
+          edges.data() + i, std::min<std::size_t>(128, edges.size() - i)));
+    // No drain()/wait_durable(): destruction alone must make it all stick.
+  }
+  store.reset();           // no shutdown(): volatile state is gone
+  pool->simulate_crash();  // drop every unpersisted line
+  auto recovered = DgapStore::open(*pool, o);
+
+  std::string why;
+  ASSERT_TRUE(recovered->check_invariants(&why)) << why;
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : edges) oracle.add_edge(e.src, e.dst);
+  const auto extra = multiset_extra(*recovered, oracle);
+  ASSERT_TRUE(extra.empty())
+      << extra.size() << " multiset differences after reopen; first: "
+      << extra.begin()->first.first << "->" << extra.begin()->first.second
+      << " x" << extra.begin()->second;
+}
 
 TEST(DgapCrash, CrashImmediatelyAfterCreate) {
   auto pool =
