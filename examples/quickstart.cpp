@@ -12,7 +12,7 @@
 
 #include "src/algorithms/pagerank.hpp"
 #include "src/common/cli.hpp"
-#include "src/core/dgap_store.hpp"
+#include "src/core/store_lifecycle.hpp"
 #include "src/graph/generators.hpp"
 
 using namespace dgap;
@@ -23,11 +23,14 @@ int main(int argc, char** argv) {
   std::filesystem::remove(pool_path);
 
   // --- 1. pool + store -------------------------------------------------------
-  auto pool = pmem::PmemPool::create({.path = pool_path, .size = 64 << 20});
+  // A StoreHandle pairs the persistent pool with the store living inside it
+  // (store_lifecycle.hpp); create = fresh pool + fresh store in one call.
   core::DgapOptions options;
   options.init_vertices = 1000;  // estimates: the store grows past both
   options.init_edges = 10000;
-  auto graph = core::DgapStore::create(*pool, options);
+  core::StoreHandle db =
+      core::create_store({.path = pool_path, .size = 64 << 20}, options);
+  auto& graph = db.store;
 
   // --- 2. updates -------------------------------------------------------------
   // Insert a small synthetic social network (edges arrive shuffled, exactly
@@ -66,14 +69,13 @@ int main(int argc, char** argv) {
   }
 
   // --- 4. shutdown + reopen ---------------------------------------------------
-  graph->shutdown();
-  graph.reset();
-  pool.reset();
+  // Graceful close (shutdown image + NORMAL_SHUTDOWN), then reattach: open
+  // takes the fast path after a clean shutdown, full recovery after a crash.
+  core::shutdown_store(db);
 
-  auto pool2 = pmem::PmemPool::open({.path = pool_path});
-  auto graph2 = core::DgapStore::open(*pool2, options);
-  std::cout << "reopened: " << graph2->num_nodes() << " vertices, "
-            << graph2->num_edge_slots() << " edge slots\n";
+  core::StoreHandle db2 = core::open_store({.path = pool_path}, options);
+  std::cout << "reopened: " << db2.store->num_nodes() << " vertices, "
+            << db2.store->num_edge_slots() << " edge slots\n";
 
   std::filesystem::remove(pool_path);
   return 0;

@@ -17,6 +17,11 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"
 ./build/streaming_analytics --events 20000 --rounds 2 --producers 2 \
   --async-writers 2
 
+# Smoke-run a sharded fig6 config: S=2 shards, batched + per-edge paths,
+# sharded-vs-unsharded speedup table included.
+./build/fig6_insert_throughput --shards=2 --datasets=orkut --scale=0.02 \
+  --batch=256 --system=dgap --pool-mb=256
+
 # The CLIs must refuse nonsensical knob values instead of misbehaving.
 expect_reject() {
   if "$@" > /dev/null 2>&1; then
@@ -37,5 +42,10 @@ expect_reject ./build/fig6_insert_throughput --batch=-4
 expect_reject ./build/fig6_insert_throughput --batch=0
 expect_reject ./build/fig6_insert_throughput --batch=5x
 expect_reject ./build/table3_insert_scalability --async-writers=-2
+expect_reject ./build/fig6_insert_throughput --shards=0
+expect_reject ./build/fig6_insert_throughput --shards=nope
+expect_reject ./build/fig6_insert_throughput --shards=2x
+expect_reject ./build/table3_insert_scalability --shards=0
+expect_reject ./build/compare_stores --shards=0
 
 echo "check.sh: all good"

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <mutex>
 #include <numeric>
+#include <shared_mutex>
 #include <stdexcept>
 
 #include "src/pmem/alloc.hpp"
@@ -42,7 +43,7 @@ void BalStore::insert_vertex(NodeId v) {
   // critical sections, so no thread can be holding an old locks_ entry or a
   // heads_ reference while the arrays are swapped (the fresh all-unlocked
   // locks_ would otherwise let two writers into one vertex).
-  grow_gate_.lock();
+  std::lock_guard<RWSpinLock> gate(grow_gate_);
   const std::size_t new_size = std::max(needed, heads_.size() * 2);
   heads_.resize(new_size);
   auto bigger = std::vector<std::atomic<std::int64_t>>(new_size);
@@ -53,13 +54,14 @@ void BalStore::insert_vertex(NodeId v) {
   auto locks = std::make_unique<SpinLock[]>(new_size);
   locks_ = std::move(locks);
   lock_count_ = new_size;
-  grow_gate_.unlock();
 }
 
 void BalStore::insert_edge(NodeId src, NodeId dst) {
   if (src < 0 || dst < 0) throw std::invalid_argument("negative vertex id");
   insert_vertex(std::max(src, dst));
-  grow_gate_.lock_shared();
+  // RAII hold: alloc_block can throw (pool exhausted) and a leaked shared
+  // count would deadlock the next growth forever.
+  std::shared_lock<RWSpinLock> gate(grow_gate_);
   {
     std::lock_guard<SpinLock> g(locks_[src]);
     VertexHead& h = heads_[src];
@@ -93,7 +95,6 @@ void BalStore::insert_edge(NodeId src, NodeId dst) {
     }
     degree_[src].fetch_add(1, std::memory_order_acq_rel);
   }
-  grow_gate_.unlock_shared();
 }
 
 void BalStore::insert_batch(std::span<const Edge> edges) {
@@ -114,7 +115,7 @@ void BalStore::insert_batch(std::span<const Edge> edges) {
     return a < b;
   });
 
-  grow_gate_.lock_shared();
+  std::shared_lock<RWSpinLock> gate(grow_gate_);
   std::size_t i = 0;
   while (i < order.size()) {
     const NodeId src = edges[order[i]].src;
@@ -155,7 +156,6 @@ void BalStore::insert_batch(std::span<const Edge> edges) {
                            std::memory_order_acq_rel);
     i = j;
   }
-  grow_gate_.unlock_shared();
 }
 
 std::uint64_t BalStore::num_edges_directed() const {

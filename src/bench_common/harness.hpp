@@ -5,7 +5,9 @@
 #pragma once
 
 #include <algorithm>
+#include <functional>
 #include <memory>
+#include <ostream>
 #include <span>
 #include <string>
 #include <thread>
@@ -31,13 +33,36 @@ struct BenchConfig {
   // Async-ingestion absorber-thread counts to sweep (--async-writers=a,b);
   // empty = no async sweep.
   std::vector<int> async_writers;
+  // Shard counts for the sharded-DGAP sweep (--shards=1,2,4); empty = no
+  // sharded runs. Sharded sweeps always measure S=1 too for the speedup
+  // baseline.
+  std::vector<int> shards;
 };
 
 // Parse --scale, --datasets=a,b,c, --latency, --pool-mb, --system,
-// --batch=a,b,c, --async-writers=a,b,c. Throws std::invalid_argument on
-// non-positive or non-numeric batch / async-writer values.
+// --batch=a,b,c, --async-writers=a,b,c, --shards=a,b,c. Throws
+// std::invalid_argument on non-positive or non-numeric batch /
+// async-writer / shard values.
 BenchConfig parse_common(const Cli& cli, double default_scale,
                          std::vector<std::string> default_datasets);
+
+// CLI cap on shard counts (each shard owns a pool, so huge values are a
+// memory footgun); shared by parse_common and the examples.
+inline constexpr int kMaxShardsCli = 64;
+
+// Shard counts for a sharded sweep: cfg.shards plus the S=1 baseline,
+// deduplicated ascending (speedups are reported against S=1).
+std::vector<int> sharded_sweep_counts(const BenchConfig& cfg);
+
+// Print a sharded sweep table: one MEPS column per shard count plus the
+// speedup of the largest count vs the S=1 baseline. `measure` runs one
+// (dataset, shard count) cell. Shared by fig6/table3 so their tables
+// cannot drift.
+void print_sharded_sweep(
+    const BenchConfig& cfg, const std::vector<int>& counts,
+    const std::function<double(const std::string& dataset, int shards)>&
+        measure,
+    std::ostream& os);
 
 // Enable/disable the process-global PM latency model with Optane-like
 // defaults (see pmem/latency_model.hpp for the parameters).
@@ -184,21 +209,18 @@ class IStore {
     for (const Edge& e : edges) insert(e.src, e.dst);
   }
   // Asynchronous ingestion entry point: staging queues + background
-  // absorbers draining through this store's insert_batch (see
-  // src/ingest/async_ingestor.hpp for the epoch-durability contract). Sink
-  // calls are serialized unless concurrent_batch_safe() says the store
-  // takes concurrent batch writers; DGAP overrides the whole method to add
-  // delete_batch support. The store must outlive the ingestor.
+  // absorbers draining through this store's batch path (see
+  // src/ingest/async_ingestor.hpp for the epoch-durability contract). The
+  // wiring lives here ONCE: sink serialization follows
+  // concurrent_batch_safe(), stores with a delete path override
+  // batch_sink(), and custom queue routing goes in Options::route — no
+  // store re-implements the option plumbing. The store must outlive the
+  // ingestor.
   virtual std::unique_ptr<ingest::AsyncIngestor> make_async(
       ingest::AsyncIngestor::Options opts) {
     opts.serialize_sink = !concurrent_batch_safe();
-    return std::make_unique<ingest::AsyncIngestor>(
-        [this](std::span<const Edge> edges, bool tombstone) {
-          if (tombstone)
-            throw std::logic_error("store has no delete_batch path");
-          insert_batch(edges);
-        },
-        opts);
+    return std::make_unique<ingest::AsyncIngestor>(batch_sink(),
+                                                   std::move(opts));
   }
   // Whether insert_batch tolerates concurrent callers (the absorbers).
   // Most baselines are single-ingest; DGAP and BAL are not.
@@ -211,6 +233,17 @@ class IStore {
   virtual double time_bfs(int threads, NodeId source) = 0;
   virtual double time_bc(int threads, NodeId source) = 0;
   virtual double time_cc(int threads) = 0;
+
+ protected:
+  // Absorption sink handed to make_async. Default: insert-only through
+  // insert_batch (deletes throw). DGAP-backed models override to route
+  // tombstones to delete_batch.
+  virtual ingest::AsyncIngestor::BatchFn batch_sink() {
+    return [this](std::span<const Edge> edges, bool tombstone) {
+      if (tombstone) throw std::logic_error("store has no delete_batch path");
+      insert_batch(edges);
+    };
+  }
 };
 
 inline const std::vector<std::string> kDynamicSystems = {
@@ -226,5 +259,14 @@ std::unique_ptr<IStore> make_store(const std::string& kind,
 // Static CSR (analysis oracle), built in one shot from a loaded stream.
 std::unique_ptr<IStore> make_csr(pmem::PmemPool& pool,
                                  const EdgeStream& stream);
+
+// DGAP sharded across `shards` independent anonymous pools
+// (src/core/sharded_store.hpp): the store owns its pools, splitting
+// `pool_mb_total` across them. make_async routes each staging queue to
+// exactly one shard.
+std::unique_ptr<IStore> make_sharded_store(int shards, NodeId vertices,
+                                           std::uint64_t edges_estimate,
+                                           int writer_threads,
+                                           std::uint64_t pool_mb_total);
 
 }  // namespace dgap::bench

@@ -66,6 +66,16 @@ std::int64_t parse_positive_int(const std::string& s,
   return v;
 }
 
+std::int64_t parse_positive_int_capped(const std::string& s,
+                                       const std::string& flag,
+                                       std::int64_t max) {
+  const std::int64_t v = parse_positive_int(s, flag);
+  if (v > max)
+    throw std::invalid_argument(flag + " too large: '" + s + "' (max " +
+                                std::to_string(max) + ")");
+  return v;
+}
+
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
   std::size_t start = 0;

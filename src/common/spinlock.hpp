@@ -90,4 +90,10 @@ class alignas(kCacheLineSize) RWSpinLock {
   std::atomic<bool> pending_{false};
 };
 
+// RWSpinLock satisfies the member requirements of std::lock_guard
+// (lock/unlock) and std::shared_lock's plain path
+// (lock_shared/unlock_shared) — use those for RAII holds; an exception
+// thrown inside a critical section must not leak the hold (a leaked
+// shared count deadlocks the next exclusive acquire forever).
+
 }  // namespace dgap

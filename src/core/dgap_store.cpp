@@ -298,7 +298,7 @@ void DgapStore::delete_edge(NodeId src, NodeId dst) {
 
 void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
   if (src < 0 || dst < 0) throw std::invalid_argument("negative vertex id");
-  ensure_vertices(std::max(src, dst));
+  ensure_vertices(opts_.ensure_dst_vertices ? std::max(src, dst) : src);
 
   int shift_failures = 0;
   for (;;) {
@@ -604,6 +604,17 @@ void DgapStore::mirror_segment(std::uint64_t seg) {
 // ---------------------------------------------------------------------------
 // Shutdown (paper §3.1.5)
 // ---------------------------------------------------------------------------
+
+void DgapStore::set_shard_identity(const ShardIdentity& id) {
+  root_->shard_index = id.index;
+  root_->shard_count = id.count;
+  root_->shard_shift = id.shift;
+  pool_.persist(&root_->shard_index, 3 * sizeof(std::uint32_t));
+}
+
+DgapStore::ShardIdentity DgapStore::shard_identity() const {
+  return {root_->shard_index, root_->shard_count, root_->shard_shift};
+}
 
 void DgapStore::shutdown() {
   global_mu_.lock();

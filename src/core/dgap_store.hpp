@@ -157,6 +157,18 @@ class DgapStore {
   // next open() is fast, then set NORMAL_SHUTDOWN.
   void shutdown();
 
+  // This store's place in a sharded deployment (count == 0: unsharded).
+  // ShardedStore persists it at create and validates it on every open, so
+  // geometry drift (changed estimates, wrong shard count) is an error
+  // instead of a silent id remap.
+  struct ShardIdentity {
+    std::uint32_t index = 0;
+    std::uint32_t count = 0;
+    std::uint32_t shift = 0;
+  };
+  void set_shard_identity(const ShardIdentity& id);
+  [[nodiscard]] ShardIdentity shard_identity() const;
+
   // --- introspection ---------------------------------------------------------
   [[nodiscard]] NodeId num_nodes() const {
     return static_cast<NodeId>(num_vertices_.load(std::memory_order_acquire));

@@ -28,6 +28,15 @@ struct DgapOptions {
   // section is merged back into the edge array (paper: 90%).
   double elog_merge_fill = 0.90;
 
+  // Create vertex entries for destination ids on insert (classic DGAP
+  // semantics: inserting (u,v) materializes every id up to max(u,v)).
+  // ShardedStore turns this off per shard: a shard owns only its source-id
+  // slice and stores destination ids as opaque global payloads, so a global
+  // dst must not inflate the shard's local vertex table — the destination's
+  // own shard materializes it instead (ShardedStore routes a vertex-ensure
+  // to shard_of(dst)).
+  bool ensure_dst_vertices = true;
+
   // VCSR-style degree-proportional gap distribution during rebalances
   // (paper [24]); false falls back to classic even PMA spreading (PCSR
   // [66]) — an ablation of the paper's layout choice.

@@ -1,0 +1,366 @@
+#include "src/core/sharded_store.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/platform.hpp"
+
+namespace dgap::core {
+
+ShardedStore::ShardedStore(std::vector<StoreHandle> shards, int shift)
+    : shards_(std::move(shards)) {
+  geo_ = {shift, shards_.size()};
+}
+
+void ShardedStore::validate(const Options& opts) {
+  if (opts.shards == 0)
+    throw std::invalid_argument("ShardedStore: need at least one shard");
+  if (opts.shards > 4096)
+    throw std::invalid_argument("ShardedStore: too many shards");
+  if (opts.shard_shift >= 0 && opts.shard_shift > 48)
+    throw std::invalid_argument("ShardedStore: shard_shift too large");
+}
+
+int ShardedStore::derive_shift(const Options& opts) {
+  if (opts.shard_shift >= 0) return opts.shard_shift;
+  if (opts.shards == 1) return 0;
+  // Largest power-of-two slice that still leaves the last shard a
+  // non-empty share of the estimate: (S-1) << shift < init_vertices.
+  // Rounding the slice UP instead (ceil_pow2 of v/S) would leave trailing
+  // shards with zero source ids whenever S is not a power of two — e.g.
+  // S=3 over a power-of-two vertex count. Ids past the estimate pile into
+  // the last shard (correct, merely imbalanced).
+  const auto v = static_cast<std::uint64_t>(
+      std::max<NodeId>(opts.dgap.init_vertices, 1));
+  const std::uint64_t per = (v - 1) / (opts.shards - 1);
+  return log2_floor(std::max<std::uint64_t>(per, 1));
+}
+
+std::vector<DgapOptions> ShardedStore::shard_options(const Options& opts,
+                                                     int shift) {
+  std::vector<DgapOptions> per(opts.shards, opts.dgap);
+  const auto v = static_cast<std::uint64_t>(
+      std::max<NodeId>(opts.dgap.init_vertices, 0));
+  const std::uint64_t slice = 1ull << shift;
+  const std::uint64_t edges_per =
+      std::max<std::uint64_t>(opts.dgap.init_edges / opts.shards, 64);
+  for (std::size_t k = 0; k < opts.shards; ++k) {
+    const std::uint64_t base = k * slice;
+    std::uint64_t init = v > base ? v - base : 0;
+    if (k + 1 < opts.shards) init = std::min(init, slice);
+    per[k].init_vertices = static_cast<NodeId>(init);
+    per[k].init_edges = edges_per;
+    // Destination ids are global payloads; their vertex entries live in
+    // their own shard (routed explicitly by update_edge/update_batch).
+    per[k].ensure_dst_vertices = false;
+  }
+  return per;
+}
+
+std::vector<std::unique_ptr<pmem::PmemPool>> ShardedStore::make_pools(
+    const Options& opts, bool fresh) {
+  std::vector<std::unique_ptr<pmem::PmemPool>> pools;
+  pools.reserve(opts.shards);
+  for (std::size_t k = 0; k < opts.shards; ++k) {
+    pmem::PoolOptions po;
+    po.path = opts.path.empty()
+                  ? std::string{}
+                  : opts.path + ".shard" + std::to_string(k);
+    po.size = opts.pool_bytes;
+    po.shadow = opts.shadow;
+    if (!fresh && po.path.empty())
+      throw std::invalid_argument(
+          "ShardedStore::open needs a pool path (anonymous pools cannot be "
+          "reopened; use open_on)");
+    pools.push_back(fresh ? pmem::PmemPool::create(po)
+                          : pmem::PmemPool::open(po));
+  }
+  return pools;
+}
+
+std::unique_ptr<ShardedStore> ShardedStore::create(const Options& opts) {
+  validate(opts);
+  return create_on(make_pools(opts, /*fresh=*/true), opts);
+}
+
+std::unique_ptr<ShardedStore> ShardedStore::open(const Options& opts) {
+  validate(opts);
+  return open_on(make_pools(opts, /*fresh=*/false), opts);
+}
+
+std::unique_ptr<ShardedStore> ShardedStore::create_on(
+    std::vector<std::unique_ptr<pmem::PmemPool>> pools, const Options& opts) {
+  validate(opts);
+  if (pools.size() != opts.shards)
+    throw std::invalid_argument("ShardedStore: pool count != shard count");
+  const int shift = derive_shift(opts);
+  auto handles = attach_stores_parallel(std::move(pools),
+                                        shard_options(opts, shift),
+                                        /*fresh=*/true);
+  // Persist the geometry in every shard's root: shard_of/local_of are part
+  // of the durable format (a different shift remaps every id), so open must
+  // be able to recover and validate it instead of trusting estimates.
+  for (std::size_t k = 0; k < handles.size(); ++k)
+    handles[k].store->set_shard_identity(
+        {static_cast<std::uint32_t>(k),
+         static_cast<std::uint32_t>(opts.shards),
+         static_cast<std::uint32_t>(shift)});
+  return std::unique_ptr<ShardedStore>(
+      new ShardedStore(std::move(handles), shift));
+}
+
+std::unique_ptr<ShardedStore> ShardedStore::open_on(
+    std::vector<std::unique_ptr<pmem::PmemPool>> pools, const Options& opts) {
+  validate(opts);
+  if (pools.size() != opts.shards)
+    throw std::invalid_argument("ShardedStore: pool count != shard count");
+  // The derived shift only slices init estimates, which open ignores; the
+  // authoritative shift comes from the persisted shard identity below.
+  auto handles = attach_stores_parallel(std::move(pools),
+                                        shard_options(opts, 0),
+                                        /*fresh=*/false);
+  const DgapStore::ShardIdentity first = handles[0].store->shard_identity();
+  if (first.count == 0)
+    throw std::runtime_error(
+        "ShardedStore::open: pools do not contain a sharded store");
+  if (first.count != opts.shards)
+    throw std::runtime_error(
+        "ShardedStore::open: shard count mismatch (pools record " +
+        std::to_string(first.count) + ", caller passed " +
+        std::to_string(opts.shards) + ")");
+  for (std::size_t k = 0; k < handles.size(); ++k) {
+    const DgapStore::ShardIdentity id = handles[k].store->shard_identity();
+    if (id.index != k || id.count != first.count || id.shift != first.shift)
+      throw std::runtime_error(
+          "ShardedStore::open: shard " + std::to_string(k) +
+          " identity mismatch (pools shuffled or from another store)");
+  }
+  return std::unique_ptr<ShardedStore>(
+      new ShardedStore(std::move(handles), static_cast<int>(first.shift)));
+}
+
+// ---------------------------------------------------------------------------
+// Updates
+// ---------------------------------------------------------------------------
+
+void ShardedStore::insert_vertex(NodeId v) {
+  if (v < 0) throw std::invalid_argument("negative vertex id");
+  // Materialize v in its own shard; ids below v in earlier shards are
+  // implicitly present (out_degree 0) in the composed view, matching the
+  // observable behavior of DgapStore's dense ensure.
+  shards_[shard_of(v)].store->insert_vertex(local_of(v));
+}
+
+void ShardedStore::update_edge(NodeId src, NodeId dst, bool tombstone) {
+  if (src < 0 || dst < 0) throw std::invalid_argument("negative vertex id");
+  shards_[shard_of(dst)].store->insert_vertex(local_of(dst));
+  DgapStore& home = *shards_[shard_of(src)].store;
+  if (tombstone)
+    home.delete_edge(local_of(src), dst);
+  else
+    home.insert_edge(local_of(src), dst);
+}
+
+void ShardedStore::update_batch(std::span<const Edge> edges, bool tombstone) {
+  if (edges.empty()) return;
+  const std::size_t S = shards_.size();
+  if (S == 1) {
+    NodeId max_dst = -1;
+    for (const Edge& e : edges) {
+      if (e.src < 0 || e.dst < 0)
+        throw std::invalid_argument("negative vertex id");
+      max_dst = std::max(max_dst, e.dst);
+    }
+    shards_[0].store->insert_vertex(max_dst);
+    if (tombstone)
+      shards_[0].store->delete_batch(edges);
+    else
+      shards_[0].store->insert_batch(edges);
+    return;
+  }
+
+  // Bucket by source shard (src translated to the shard-local id; dst stays
+  // global) and record, per destination shard, the highest local id the
+  // batch references so it can be materialized with one ensure per shard.
+  // Thread-local scratch: this is the synchronous multi-writer hot path
+  // (table3), so the bucket vectors keep their capacity across calls
+  // instead of re-allocating S vectors per batch.
+  thread_local std::vector<std::vector<Edge>> buckets;
+  thread_local std::vector<NodeId> ensure;
+  if (buckets.size() < S) buckets.resize(S);
+  for (std::size_t k = 0; k < S; ++k) buckets[k].clear();
+  ensure.assign(S, -1);
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.dst < 0)
+      throw std::invalid_argument("negative vertex id");
+    buckets[shard_of(e.src)].push_back({local_of(e.src), e.dst});
+    const std::size_t kd = shard_of(e.dst);
+    ensure[kd] = std::max(ensure[kd], local_of(e.dst));
+  }
+  for (std::size_t k = 0; k < S; ++k)
+    if (ensure[k] >= 0) shards_[k].store->insert_vertex(ensure[k]);
+  // Absorb each shard group under that shard's locks and fences only.
+  // Concurrent update_batch callers whose edges hit different shards run
+  // fully in parallel (separate pools: no shared lock, fence or allocator).
+  for (std::size_t k = 0; k < S; ++k) {
+    if (buckets[k].empty()) continue;
+    if (tombstone)
+      shards_[k].store->delete_batch(buckets[k]);
+    else
+      shards_[k].store->insert_batch(buckets[k]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+ShardedSnapshot ShardedStore::consistent_view() const {
+  ShardedSnapshot snap;
+  snap.geo_ = geo_;
+  snap.shards_.reserve(shards_.size());
+  for (const StoreHandle& h : shards_)
+    snap.shards_.push_back(h.store->consistent_view());
+  NodeId nodes = 0;
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < snap.shards_.size(); ++k) {
+    const NodeId n = snap.shards_[k].num_nodes();
+    if (n > 0) nodes = std::max(nodes, geo_.base(k) + n);
+    total += snap.shards_[k].num_edges_directed();
+  }
+  snap.num_nodes_ = nodes;
+  snap.total_ = total;
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Async ingestion
+// ---------------------------------------------------------------------------
+
+ingest::AsyncIngestor::RouteFn ShardedStore::route_fn(
+    std::size_t route_block) const {
+  const ShardGeometry geo = geo_;
+  route_block = std::max<std::size_t>(route_block, 1);
+  // Contiguous queue ranges per shard: queue indices [k*nq/S, (k+1)*nq/S)
+  // belong to shard k, block-routed within the range. With nq a multiple of
+  // S (make_async rounds up) every queue maps to exactly one shard.
+  return [geo, route_block](NodeId src,
+                            std::size_t num_queues) -> std::size_t {
+    const std::size_t k = geo.shard_of(src);
+    const std::size_t S = geo.count;
+    const std::size_t begin = k * num_queues / S;
+    const std::size_t end = (k + 1) * num_queues / S;
+    const std::size_t width = end > begin ? end - begin : 1;
+    const std::size_t block =
+        static_cast<std::uint64_t>(src) / route_block;
+    return (begin + block % width) % num_queues;
+  };
+}
+
+void ShardedStore::absorb_routed(std::span<const Edge> edges,
+                                 bool tombstone) {
+  if (edges.empty()) return;
+  // Shard-exclusive routing means a drained chunk belongs to one shard:
+  // translate in a single pass instead of re-running the S-way bucketing
+  // per absorb. Falls back to the generic path if the chunk is mixed
+  // (cannot happen with route_fn, but the sink stays correct under any
+  // routing). Ids were validated non-negative at submit.
+  const std::size_t k = geo_.shard_of(edges.front().src);
+  for (const Edge& e : edges)
+    if (geo_.shard_of(e.src) != k) return update_batch(edges, tombstone);
+
+  thread_local std::vector<Edge> local;   // per-absorber scratch
+  thread_local std::vector<NodeId> ensure;
+  local.clear();
+  local.reserve(edges.size());
+  ensure.assign(shards_.size(), -1);
+  for (const Edge& e : edges) {
+    local.push_back({geo_.local_of(e.src), e.dst});
+    const std::size_t kd = geo_.shard_of(e.dst);
+    ensure[kd] = std::max(ensure[kd], geo_.local_of(e.dst));
+  }
+  for (std::size_t j = 0; j < shards_.size(); ++j)
+    if (ensure[j] >= 0) shards_[j].store->insert_vertex(ensure[j]);
+  if (tombstone)
+    shards_[k].store->delete_batch(local);
+  else
+    shards_[k].store->insert_batch(local);
+}
+
+std::unique_ptr<ingest::AsyncIngestor> ShardedStore::make_async(
+    ingest::AsyncIngestor::Options opts) {
+  const std::size_t S = shards_.size();
+  const std::size_t base =
+      std::max(opts.queues == 0 ? opts.absorbers : opts.queues, S);
+  opts.queues = ((base + S - 1) / S) * S;
+  if (!opts.route) opts.route = route_fn(opts.route_block);
+  opts.serialize_sink = false;  // per-shard batch paths are thread-safe
+  return std::make_unique<ingest::AsyncIngestor>(
+      [this](std::span<const Edge> edges, bool tombstone) {
+        absorb_routed(edges, tombstone);
+      },
+      opts);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle / introspection
+// ---------------------------------------------------------------------------
+
+void ShardedStore::shutdown() {
+  for (StoreHandle& h : shards_) h.store->shutdown();
+}
+
+std::vector<std::unique_ptr<pmem::PmemPool>> ShardedStore::release_pools() {
+  std::vector<std::unique_ptr<pmem::PmemPool>> pools;
+  pools.reserve(shards_.size());
+  for (StoreHandle& h : shards_) {
+    h.store.reset();  // drop volatile state first (no shutdown image)
+    pools.push_back(std::move(h.pool));
+  }
+  shards_.clear();
+  return pools;
+}
+
+NodeId ShardedStore::num_nodes() const {
+  NodeId nodes = 0;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const NodeId n = shards_[k].store->num_nodes();
+    if (n > 0) nodes = std::max(nodes, geo_.base(k) + n);
+  }
+  return nodes;
+}
+
+std::uint64_t ShardedStore::num_edge_slots() const {
+  std::uint64_t total = 0;
+  for (const StoreHandle& h : shards_) total += h.store->num_edge_slots();
+  return total;
+}
+
+bool ShardedStore::check_invariants(std::string* why) const {
+  const auto slice = static_cast<NodeId>(1) << geo_.shift;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    std::string inner;
+    if (!shards_[k].store->check_invariants(&inner)) {
+      if (why != nullptr) {
+        std::ostringstream os;
+        os << "shard " << k << ": " << inner;
+        *why = os.str();
+      }
+      return false;
+    }
+    if (k + 1 < shards_.size() && shards_[k].store->num_nodes() > slice) {
+      if (why != nullptr) {
+        std::ostringstream os;
+        os << "shard " << k << " exceeds its id slice ("
+           << shards_[k].store->num_nodes() << " > " << slice << ")";
+        *why = os.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dgap::core

@@ -1,0 +1,266 @@
+// ShardedStore: S independent DgapStore shards over disjoint source-id
+// ranges, each with its own pmem pool, section locks, edge/undo logs and
+// rebalance domain — the NUMA-ready split the ROADMAP names as the next
+// ingestion-scaling lever (XPGraph's per-socket logs and Metall's per-heap
+// allocators are the shape; see PAPERS.md).
+//
+//   vertex id v  ──(v >> shard_shift, clamped to S-1)──▶ shard k
+//
+//   * shard k stores v's out-edges under the LOCAL id v - k·2^shift;
+//     destination ids are stored as GLOBAL payloads (a snapshot read needs
+//     no translation on emit);
+//   * each shard is a full DgapStore in its own pool file (`path.shard<k>`,
+//     or S anonymous pools), so writers touching different shards share no
+//     lock, no fence, no allocator, and no rebalance window;
+//   * a destination id is materialized in ITS OWN shard (vertex-ensure
+//     routed to shard_of(dst)); shards run with
+//     DgapOptions::ensure_dst_vertices = false so a global dst payload
+//     never inflates a shard's local vertex table;
+//   * open() = S parallel recoveries (store_lifecycle.hpp): after a crash
+//     every shard replays its own undo log and rescans its own pool
+//     concurrently.
+//
+// Consistency contract: insert_batch/delete_batch are thread-safe and keep
+// per-source chronological order exactly like DgapStore (a batch is bucketed
+// by shard; each shard group is absorbed under that shard's locks only, so
+// cross-shard batches proceed fully in parallel). Durability is acknowledged
+// when the call returns — every shard group has flushed and fenced in its
+// own pool. A crash mid-call may keep any per-vertex chronological prefix of
+// the in-flight batch, exactly like DgapStore::insert_batch, independently
+// per shard. consistent_view() composes per-shard degree-cache snapshots:
+// each shard's view is a frozen consistent prefix of that shard's stream;
+// the composition is NOT a single cross-shard point in time (concurrent
+// writers may land in shard j after shard i was snapped), matching the
+// unspecified cross-producer ordering of concurrent batch ingestion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/dgap_store.hpp"
+#include "src/core/options.hpp"
+#include "src/core/store_lifecycle.hpp"
+#include "src/ingest/async_ingestor.hpp"
+
+namespace dgap::core {
+
+class ShardedStore;
+
+// The id-space geometry shared by write routing (ShardedStore) and
+// snapshot reads (ShardedSnapshot): shard = min(id >> shift, count - 1),
+// so the last shard owns the unbounded tail. One definition — a routing
+// rule change can never desynchronize writers from readers.
+struct ShardGeometry {
+  int shift = 0;
+  std::size_t count = 1;
+
+  [[nodiscard]] std::size_t shard_of(NodeId v) const {
+    const auto k = static_cast<std::size_t>(v >> shift);
+    return k < count ? k : count - 1;
+  }
+  [[nodiscard]] NodeId base(std::size_t k) const {
+    return static_cast<NodeId>(k) << shift;
+  }
+  [[nodiscard]] NodeId local_of(NodeId v) const {
+    return v - base(shard_of(v));
+  }
+};
+
+// Composed analysis view: one degree-cache Snapshot per shard behind the
+// same GraphView surface as core::Snapshot, so PageRank/BFS/CC/BC run
+// unchanged over a sharded store. Move-only (per-shard snapshots pin their
+// shard's vertex table); must not outlive the ShardedStore.
+class ShardedSnapshot {
+ public:
+  ShardedSnapshot() = default;
+  // Hand-written moves: the moved-from snapshot must read as empty
+  // (num_nodes_ back to 0), or its accessors would index the emptied
+  // shard vector.
+  ShardedSnapshot(ShardedSnapshot&& other) noexcept { move_from(other); }
+  ShardedSnapshot& operator=(ShardedSnapshot&& other) noexcept {
+    if (this != &other) move_from(other);
+    return *this;
+  }
+
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::uint64_t num_edges_directed() const { return total_; }
+
+  // Out-of-range ids (and the empty default-constructed / moved-from
+  // state, where num_nodes_ is 0) read as degree-0 vertices.
+
+  // Degree as slot count, like core::Snapshot (exact for insert-only).
+  [[nodiscard]] std::int64_t out_degree(NodeId v) const {
+    if (v < 0 || v >= num_nodes_) return 0;
+    const std::size_t k = geo_.shard_of(v);
+    const NodeId local = v - geo_.base(k);
+    return local < shards_[k].num_nodes() ? shards_[k].out_degree(local) : 0;
+  }
+
+  template <typename F>
+  void for_each_out(NodeId v, F&& fn) const {
+    if (v < 0 || v >= num_nodes_) return;
+    const std::size_t k = geo_.shard_of(v);
+    const NodeId local = v - geo_.base(k);
+    if (local < shards_[k].num_nodes())
+      shards_[k].for_each_out(local, std::forward<F>(fn));
+  }
+
+  // Exact neighbor list with tombstone cancellation.
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId v) const {
+    if (v < 0 || v >= num_nodes_) return {};
+    const std::size_t k = geo_.shard_of(v);
+    const NodeId local = v - geo_.base(k);
+    if (local >= shards_[k].num_nodes()) return {};
+    return shards_[k].neighbors(local);
+  }
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] const Snapshot& shard(std::size_t k) const {
+    return shards_[k];
+  }
+
+ private:
+  friend class ShardedStore;
+
+  void move_from(ShardedSnapshot& other) {
+    shards_ = std::move(other.shards_);
+    geo_ = other.geo_;
+    num_nodes_ = other.num_nodes_;
+    total_ = other.total_;
+    other.shards_.clear();
+    other.num_nodes_ = 0;
+    other.total_ = 0;
+  }
+
+  std::vector<Snapshot> shards_;
+  ShardGeometry geo_;
+  NodeId num_nodes_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+class ShardedStore {
+ public:
+  struct Options {
+    // Shard count S. 1 is legal (a DgapStore with the sharded plumbing).
+    std::size_t shards = 2;
+    // Pool-file prefix: shard k lives in `path + ".shard" + k`. Empty =>
+    // anonymous volatile pools (benches/tests).
+    std::string path;
+    // Per-shard pool size.
+    std::uint64_t pool_bytes = 64ull << 20;
+    // Shadow-mode pools (strict crash simulation; tests only).
+    bool shadow = false;
+    // Source-id bits per shard slice: shard = min(id >> shift, S-1). The
+    // last shard owns the unbounded tail. Negative => derived from
+    // dgap.init_vertices so the estimate spreads evenly across shards.
+    // Used at create only — the chosen geometry is persisted in every
+    // shard's root, and open() validates and adopts the persisted value
+    // (changed estimates must not remap ids).
+    int shard_shift = -1;
+    // Per-shard store knobs. init_vertices/init_edges are GLOBAL estimates;
+    // create() slices them across shards.
+    DgapOptions dgap;
+  };
+
+  // Fresh store: S new pools (path.shard<k> or anonymous).
+  static std::unique_ptr<ShardedStore> create(const Options& opts);
+  // Reattach to existing pool files; S parallel recoveries after a crash.
+  static std::unique_ptr<ShardedStore> open(const Options& opts);
+  // Same, over caller-provided pools (tests drive shadow-pool crash cycles
+  // through these; `opts.path`/`pool_bytes`/`shadow` are ignored).
+  static std::unique_ptr<ShardedStore> create_on(
+      std::vector<std::unique_ptr<pmem::PmemPool>> pools,
+      const Options& opts);
+  static std::unique_ptr<ShardedStore> open_on(
+      std::vector<std::unique_ptr<pmem::PmemPool>> pools,
+      const Options& opts);
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  // --- updates --------------------------------------------------------------
+  void insert_edge(NodeId src, NodeId dst) {
+    update_edge(src, dst, /*tombstone=*/false);
+  }
+  void delete_edge(NodeId src, NodeId dst) {
+    update_edge(src, dst, /*tombstone=*/true);
+  }
+  void insert_vertex(NodeId v);
+
+  // Bucket by shard, absorb each shard group through that shard's batched
+  // fast path. Thread-safe; concurrent calls touching different shards
+  // never contend.
+  void insert_batch(std::span<const Edge> edges) {
+    update_batch(edges, /*tombstone=*/false);
+  }
+  void delete_batch(std::span<const Edge> edges) {
+    update_batch(edges, /*tombstone=*/true);
+  }
+
+  // --- analysis -------------------------------------------------------------
+  [[nodiscard]] ShardedSnapshot consistent_view() const;
+
+  // --- async ingestion ------------------------------------------------------
+  // Staging queues partitioned across shards: every queue maps to exactly
+  // one shard (queues are rounded up to a multiple of S), so each absorber's
+  // sink calls hit a single shard's locks — the queue -> shard -> absorber
+  // mapping the ROADMAP's NUMA plan calls for. Sink runs unserialized.
+  [[nodiscard]] std::unique_ptr<ingest::AsyncIngestor> make_async(
+      ingest::AsyncIngestor::Options opts);
+  // The queue-routing function alone (for callers wiring their own
+  // AsyncIngestor through AsyncIngestor::Options::route).
+  [[nodiscard]] ingest::AsyncIngestor::RouteFn route_fn(
+      std::size_t route_block = 64) const;
+
+  // --- lifecycle ------------------------------------------------------------
+  // Graceful shutdown of every shard (NORMAL_SHUTDOWN per pool).
+  void shutdown();
+  // Tear down the shard stores but hand the pools back (crash tests: drop
+  // volatile state, simulate_crash() per pool, then open_on again). The
+  // store is dead afterwards.
+  std::vector<std::unique_ptr<pmem::PmemPool>> release_pools();
+
+  // --- introspection --------------------------------------------------------
+  [[nodiscard]] NodeId num_nodes() const;
+  [[nodiscard]] std::uint64_t num_edge_slots() const;
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] int shard_shift() const { return geo_.shift; }
+  [[nodiscard]] std::size_t shard_of(NodeId v) const {
+    return geo_.shard_of(v);
+  }
+  [[nodiscard]] NodeId local_of(NodeId v) const { return geo_.local_of(v); }
+  [[nodiscard]] DgapStore& shard(std::size_t k) { return *shards_[k].store; }
+  [[nodiscard]] const DgapStore& shard(std::size_t k) const {
+    return *shards_[k].store;
+  }
+  [[nodiscard]] pmem::PmemPool& shard_pool(std::size_t k) {
+    return *shards_[k].pool;
+  }
+  [[nodiscard]] bool check_invariants(std::string* why = nullptr) const;
+
+ private:
+  ShardedStore(std::vector<StoreHandle> shards, int shift);
+
+  static void validate(const Options& opts);
+  static int derive_shift(const Options& opts);
+  // Per-shard DgapOptions: global init estimates sliced by shard range.
+  static std::vector<DgapOptions> shard_options(const Options& opts,
+                                                int shift);
+  static std::vector<std::unique_ptr<pmem::PmemPool>> make_pools(
+      const Options& opts, bool fresh);
+
+  void update_edge(NodeId src, NodeId dst, bool tombstone);
+  void update_batch(std::span<const Edge> edges, bool tombstone);
+  // Absorption sink for make_async: a drained chunk comes from one queue,
+  // and shard-exclusive routing pins a queue to one shard — single-pass
+  // translate + absorb, generic update_batch fallback for mixed chunks.
+  void absorb_routed(std::span<const Edge> edges, bool tombstone);
+
+  std::vector<StoreHandle> shards_;
+  ShardGeometry geo_;
+};
+
+}  // namespace dgap::core

@@ -1,0 +1,71 @@
+#include "src/core/store_lifecycle.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace dgap::core {
+
+StoreHandle create_store(const pmem::PoolOptions& pool_opts,
+                         const DgapOptions& store_opts) {
+  StoreHandle h;
+  h.pool = pmem::PmemPool::create(pool_opts);
+  h.store = DgapStore::create(*h.pool, store_opts);
+  return h;
+}
+
+StoreHandle open_store(const pmem::PoolOptions& pool_opts,
+                       const DgapOptions& store_opts) {
+  StoreHandle h;
+  h.pool = pmem::PmemPool::open(pool_opts);
+  h.store = DgapStore::open(*h.pool, store_opts);
+  return h;
+}
+
+std::vector<StoreHandle> attach_stores_parallel(
+    std::vector<std::unique_ptr<pmem::PmemPool>> pools,
+    const std::vector<DgapOptions>& store_opts, bool fresh) {
+  if (pools.size() != store_opts.size())
+    throw std::invalid_argument(
+        "attach_stores_parallel: pools/options size mismatch");
+  std::vector<StoreHandle> handles(pools.size());
+  for (std::size_t i = 0; i < pools.size(); ++i)
+    handles[i].pool = std::move(pools[i]);
+
+  std::vector<std::exception_ptr> errors(handles.size());
+  std::vector<std::thread> workers;
+  workers.reserve(handles.size());
+  const auto attach_one = [&](std::size_t i) {
+    try {
+      handles[i].store =
+          fresh ? DgapStore::create(*handles[i].pool, store_opts[i])
+                : DgapStore::open(*handles[i].pool, store_opts[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+  // Spawn failures (thread limits) must not unwind past joinable threads
+  // (std::terminate): fall back to attaching the remainder inline.
+  std::size_t spawned = 0;
+  try {
+    for (; spawned < handles.size(); ++spawned)
+      workers.emplace_back(attach_one, spawned);
+  } catch (const std::system_error&) {
+    for (std::size_t i = spawned; i < handles.size(); ++i) attach_one(i);
+  }
+  for (auto& t : workers) t.join();
+  for (const auto& err : errors)
+    if (err) std::rethrow_exception(err);
+  return handles;
+}
+
+void shutdown_store(StoreHandle& handle) {
+  if (handle.store) {
+    handle.store->shutdown();
+    handle.store.reset();
+  }
+  handle.pool.reset();
+}
+
+}  // namespace dgap::core

@@ -1,0 +1,59 @@
+// Pool + store lifecycle as one reusable unit.
+//
+// Every DGAP deployment pairs a pmem pool with the store living inside it:
+// create = make the pool, initialize a fresh store, mark running;
+// open   = map the pool, validate, run recovery (fast path after a clean
+//          shutdown, scan + undo-log replay after a crash);
+// close  = graceful shutdown image + NORMAL_SHUTDOWN, then unmap.
+//
+// Before sharding, that pairing lived inline in every call site (quickstart,
+// benches, tests). The sharded store multiplies it by S — one pool file and
+// one recovery per shard — so the lifecycle is factored here once, plus a
+// parallel driver that opens/recovers S shards on S threads (recovery cost
+// after a crash is a full pool scan, which parallelizes perfectly across
+// independent pools).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/dgap_store.hpp"
+#include "src/core/options.hpp"
+#include "src/pmem/pool.hpp"
+
+namespace dgap::core {
+
+// One pool with one DgapStore inside it. Destruction order (store before
+// pool) is guaranteed by member order; destroying the handle without
+// shutdown() means the next open takes the crash-recovery path.
+struct StoreHandle {
+  std::unique_ptr<pmem::PmemPool> pool;
+  std::unique_ptr<DgapStore> store;
+
+  explicit operator bool() const { return store != nullptr; }
+};
+
+// Create a fresh pool and initialize a store inside it.
+StoreHandle create_store(const pmem::PoolOptions& pool_opts,
+                         const DgapOptions& store_opts);
+
+// Open an existing file-backed pool and attach (recovery runs as needed).
+StoreHandle open_store(const pmem::PoolOptions& pool_opts,
+                       const DgapOptions& store_opts);
+
+// Attach stores to caller-provided pools. `fresh` selects DgapStore::create
+// (brand-new pools) vs DgapStore::open (existing content; recovery runs per
+// pool). The heavy per-pool work — initial array persists on create, the
+// recovery scan on open — runs on one thread per handle, so an S-shard open
+// after a crash is S parallel recoveries. The first failure is rethrown
+// after all threads join; pools are returned untouched inside the handles
+// either way.
+std::vector<StoreHandle> attach_stores_parallel(
+    std::vector<std::unique_ptr<pmem::PmemPool>> pools,
+    const std::vector<DgapOptions>& store_opts, bool fresh);
+
+// Graceful close: persist the shutdown image, set NORMAL_SHUTDOWN, release
+// the store then the pool. Safe on an empty handle.
+void shutdown_store(StoreHandle& handle);
+
+}  // namespace dgap::core

@@ -18,7 +18,17 @@ AsyncIngestor::AsyncIngestor(BatchFn sink, Options opts)
     throw std::invalid_argument("AsyncIngestor: need at least one absorber");
   if (opts_.queue_capacity_edges == 0 || opts_.absorb_chunk_edges == 0)
     throw std::invalid_argument("AsyncIngestor: zero capacity/chunk");
+  if (opts_.absorb_min_edges > 0 && opts_.flush_deadline_us == 0)
+    throw std::invalid_argument(
+        "AsyncIngestor: absorb_min_edges needs flush_deadline_us > 0");
   opts_.route_block = std::max<std::size_t>(opts_.route_block, 1);
+  // A gather threshold above the queue bound could never be met, and one
+  // above the absorb chunk would leave every post-drain remainder below
+  // threshold (each chunk then waits out a flush deadline). Clamp to both
+  // so steady-state absorption is never deadline-paced by accident.
+  opts_.absorb_min_edges =
+      std::min({opts_.absorb_min_edges, opts_.queue_capacity_edges,
+                opts_.absorb_chunk_edges});
   const std::size_t nq =
       opts_.queues == 0 ? opts_.absorbers : opts_.queues;
   queues_.reserve(nq);
@@ -147,11 +157,32 @@ void AsyncIngestor::push_item(std::size_t queue_idx, Item item) {
   w.cv.notify_one();
 }
 
-std::vector<AsyncIngestor::Item> AsyncIngestor::pop_chunk(Queue& q) {
+std::vector<AsyncIngestor::Item> AsyncIngestor::pop_chunk(Queue& q,
+                                                          std::size_t min_edges,
+                                                          bool* below_min) {
   std::vector<Item> out;
   std::size_t taken = 0;
   {
     std::lock_guard<std::mutex> g(q.mu);
+    if (!q.items.empty() && q.edges < min_edges) {
+      // Gathering: leave the partial chunk staged so the next arrivals
+      // extend it — but only until this queue's own flush deadline,
+      // measured from the first refusal. The clock lives in the queue so
+      // an absorber kept busy by sibling queues still drains this one on
+      // time on its next sweep.
+      const auto now = std::chrono::steady_clock::now();
+      if (!q.gathering) {
+        q.gathering = true;
+        q.gather_since = now;
+      }
+      if (now - q.gather_since <
+          std::chrono::microseconds(opts_.flush_deadline_us)) {
+        if (below_min != nullptr) *below_min = true;
+        return out;
+      }
+      // Deadline expired: fall through and drain the partial chunk.
+    }
+    q.gathering = false;
     while (!q.items.empty() && taken < opts_.absorb_chunk_edges) {
       taken += q.items.front().edges.size();
       q.edges -= q.items.front().edges.size();
@@ -220,9 +251,17 @@ void AsyncIngestor::absorber_main(std::size_t worker) {
   std::uint64_t seen_signal = 0;
   for (;;) {
     bool did_work = false;
+    bool gathering = false;
+    // Gathering applies only in steady state: shutdown drains whatever is
+    // staged, however small. pop_chunk itself enforces the per-queue flush
+    // deadline, so a sweep that finds other work still drains any queue
+    // whose deadline has passed.
+    const std::size_t min_edges = stopping_.load(std::memory_order_acquire)
+                                      ? 0
+                                      : opts_.absorb_min_edges;
     for (std::size_t qi = worker; qi < queues_.size();
          qi += worker_state_.size()) {
-      std::vector<Item> chunk = pop_chunk(*queues_[qi]);
+      std::vector<Item> chunk = pop_chunk(*queues_[qi], min_edges, &gathering);
       if (chunk.empty()) continue;
       absorb_items(chunk);
       retire_items(chunk);
@@ -242,10 +281,21 @@ void AsyncIngestor::absorber_main(std::size_t worker) {
       continue;
     }
     std::unique_lock<std::mutex> l(state.mu);
-    state.cv.wait(l, [&] {
+    const auto wake = [&] {
       return state.signal != seen_signal ||
              stopping_.load(std::memory_order_acquire);
-    });
+    };
+    if (gathering) {
+      // A non-empty queue is below the gather threshold: sleep for at most
+      // one deadline period, then re-sweep — pop_chunk drains any queue
+      // whose own deadline has expired, so an idle producer never leaves a
+      // tail epoch open (ROADMAP trickle-ingest follow-up). Waking early on
+      // a new-arrival signal is fine: the per-queue clock is not reset.
+      state.cv.wait_for(l, std::chrono::microseconds(opts_.flush_deadline_us),
+                        wake);
+    } else {
+      state.cv.wait(l, wake);
+    }
     seen_signal = state.signal;
   }
 }
@@ -294,17 +344,19 @@ IngestStats AsyncIngestor::stats() const {
   return s;
 }
 
+AsyncIngestor::BatchFn dgap_batch_sink(core::DgapStore& store) {
+  return [&store](std::span<const Edge> edges, bool tombstone) {
+    if (tombstone)
+      store.delete_batch(edges);
+    else
+      store.insert_batch(edges);
+  };
+}
+
 std::unique_ptr<AsyncIngestor> make_dgap_ingestor(
     core::DgapStore& store, AsyncIngestor::Options opts) {
   opts.serialize_sink = false;  // DgapStore's batch path is thread-safe
-  return std::make_unique<AsyncIngestor>(
-      [&store](std::span<const Edge> edges, bool tombstone) {
-        if (tombstone)
-          store.delete_batch(edges);
-        else
-          store.insert_batch(edges);
-      },
-      opts);
+  return std::make_unique<AsyncIngestor>(dgap_batch_sink(store), opts);
 }
 
 }  // namespace dgap::ingest

@@ -39,6 +39,7 @@
 // insert_batch callers.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -86,6 +87,10 @@ class AsyncIngestor {
   // returning; `tombstone` selects delete semantics. DgapStore's
   // insert_batch/delete_batch satisfy this contract.
   using BatchFn = std::function<void(std::span<const Edge>, bool tombstone)>;
+  // Queue routing: maps (source id, live queue count) -> queue index
+  // (reduced modulo the queue count defensively). Must be stateless and
+  // stable per source so per-source FIFO ordering holds.
+  using RouteFn = std::function<std::size_t(NodeId, std::size_t)>;
 
   struct Options {
     std::size_t absorbers = 1;  // background absorber threads (M)
@@ -97,9 +102,23 @@ class AsyncIngestor {
     // Consecutive source ids routed to the same queue; blocks of nearby
     // sources share home sections, which is what the batch path rewards.
     std::size_t route_block = 64;
+    // Custom queue routing; null uses the built-in block routing above.
+    // Stores with their own partitioning (ShardedStore: queue -> shard)
+    // plug in here instead of re-implementing the ingestor wiring.
+    RouteFn route;
     // Serialize sink calls across absorbers (for single-ingest stores whose
     // batch path is not thread-safe: LLAMA/GraphOne/XPGraph models).
     bool serialize_sink = false;
+    // Minimum staged edges an absorber gathers in a queue before draining
+    // it (0 = drain immediately, the classic behavior). Larger values build
+    // larger sink batches — the batch path's one-lock/one-fence savings —
+    // under trickle ingest.
+    std::size_t absorb_min_edges = 0;
+    // Idle-absorber flush deadline: a non-empty queue still below
+    // absorb_min_edges with no new arrivals for this long is drained
+    // anyway, so tail epochs close under trickle ingest instead of waiting
+    // forever for a full chunk. Must be > 0 when absorb_min_edges > 0.
+    std::uint64_t flush_deadline_us = 1000;
   };
 
   // (Two overloads rather than a default argument: in-class default args
@@ -145,6 +164,12 @@ class AsyncIngestor {
     std::condition_variable not_full;
     std::deque<Item> items;
     std::size_t edges = 0;  // staged edge count (backpressure unit)
+    // Gather state: set when a pop was refused below absorb_min_edges.
+    // The flush deadline is measured per queue from that refusal, so a
+    // sub-threshold queue drains on time even while its absorber stays
+    // busy with sibling queues.
+    bool gathering = false;
+    std::chrono::steady_clock::time_point gather_since{};
   };
 
   // Per-absorber wake channel: submitters bump `signal` after pushing into
@@ -159,10 +184,14 @@ class AsyncIngestor {
   void push_item(std::size_t queue_idx, Item item);
   void absorber_main(std::size_t worker);
   // Drain up to absorb_chunk_edges from queue q; returns drained items.
-  std::vector<Item> pop_chunk(Queue& q);
+  // A non-empty queue holding fewer than `min_edges` staged edges is left
+  // alone (gathering); `below_min` reports that it happened.
+  std::vector<Item> pop_chunk(Queue& q, std::size_t min_edges = 0,
+                              bool* below_min = nullptr);
   void absorb_items(std::vector<Item>& items);
   void retire_items(const std::vector<Item>& items);
   [[nodiscard]] std::size_t route(NodeId src) const {
+    if (opts_.route) return opts_.route(src, queues_.size()) % queues_.size();
     return (static_cast<std::uint64_t>(src) / opts_.route_block) %
            queues_.size();
   }
@@ -195,9 +224,15 @@ class AsyncIngestor {
   StatCell<std::uint64_t> queue_high_watermark_;
 };
 
+// The canonical DGAP absorption sink: tombstones to delete_batch, the rest
+// to insert_batch (both thread-safe, flush+fence before returning). Shared
+// by make_dgap_ingestor and the bench harness so the dispatch exists once.
+// The store must outlive any ingestor holding the sink.
+AsyncIngestor::BatchFn dgap_batch_sink(core::DgapStore& store);
+
 // Convenience wiring for the paper's store: absorbers feed
-// DgapStore::insert_batch/delete_batch directly (thread-safe, so the sink is
-// not serialized). The store must outlive the returned ingestor, and its
+// dgap_batch_sink(store) directly (thread-safe, so the sink is not
+// serialized). The store must outlive the returned ingestor, and its
 // DgapOptions::max_writer_threads must cover the absorber count.
 std::unique_ptr<AsyncIngestor> make_dgap_ingestor(
     core::DgapStore& store, AsyncIngestor::Options opts = {});

@@ -314,6 +314,118 @@ TEST_F(AsyncFixture, SnapshotMidStreamSeesChronologicalPrefixes) {
   EXPECT_TRUE(store->check_invariants(&why)) << why;
 }
 
+// Idle-absorber flush deadline: with a gather threshold far above the
+// trickle, the only way the tail epoch closes is the deadline draining the
+// partial chunk. wait_durable must therefore return promptly instead of
+// hanging until absorb_min_edges accumulate.
+TEST_F(AsyncFixture, FlushDeadlineClosesTailEpochsUnderTrickle) {
+  make_store(1);
+  AsyncIngestor::Options o;
+  o.absorbers = 1;
+  o.absorb_min_edges = 4096;     // far more than we will ever submit
+  o.flush_deadline_us = 2000;    // ... so the deadline must fire
+  auto ing = make_dgap_ingestor(*store, o);
+
+  const std::vector<Edge> trickle = {{1, 2}, {3, 4}, {5, 6}};
+  Timer t;
+  const Epoch e = ing->submit(trickle);
+  ing->wait_durable(e);
+  // Generous bound: the deadline is 2ms; seconds would mean it never fired.
+  EXPECT_LT(t.seconds(), 5.0);
+  EXPECT_GE(ing->durable_epoch(), e);
+
+  const Snapshot snap = store->consistent_view();
+  EXPECT_EQ(snap.neighbors(1), std::vector<NodeId>{2});
+  EXPECT_EQ(snap.neighbors(3), std::vector<NodeId>{4});
+  EXPECT_EQ(snap.neighbors(5), std::vector<NodeId>{6});
+
+  // Steady trickle keeps closing epochs too (every submit restarts the
+  // deadline, never an unbounded wait).
+  for (NodeId i = 0; i < 8; ++i) {
+    const std::vector<Edge> one = {{7, 10 + i}};
+    ing->wait_durable(ing->submit(one));
+  }
+  EXPECT_EQ(store->consistent_view().out_degree(7), 8);
+}
+
+// The flush deadline is per queue: a sub-threshold queue must drain on
+// time even while its absorber is kept continuously busy (and continuously
+// signaled) by a flooded sibling queue. A global idle-only deadline would
+// starve the trickle queue here and this wait_durable would never return.
+TEST_F(AsyncFixture, FlushDeadlineNotStarvedByBusySiblingQueues) {
+  make_store(1);
+  AsyncIngestor::Options o;
+  o.absorbers = 1;
+  o.queues = 2;
+  o.absorb_min_edges = 1 << 14;
+  o.flush_deadline_us = 1500;
+  o.route = [](NodeId src, std::size_t nq) {
+    return static_cast<std::size_t>(src) % nq;
+  };
+  auto ing = make_dgap_ingestor(*store, o);
+
+  // Queue 1: a tiny trickle far below the gather threshold.
+  const std::vector<Edge> trickle = {{1, 5}, {3, 6}};  // odd srcs
+  const Epoch e = ing->submit(trickle);
+
+  // Queue 0: flood until the trickle epoch is durable — if it never
+  // becomes durable, this test hangs, which is the regression signal.
+  std::atomic<bool> stop{false};
+  std::thread flooder([&] {
+    std::vector<Edge> burst(512);
+    NodeId round = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (std::size_t i = 0; i < burst.size(); ++i)
+        burst[i] = {static_cast<NodeId>((i * 2) % 64), round % 64};
+      ++round;
+      ing->submit(burst);
+    }
+  });
+  ing->wait_durable(e);
+  stop.store(true, std::memory_order_release);
+  flooder.join();
+  ing->drain();
+  EXPECT_GE(ing->durable_epoch(), e);
+  EXPECT_EQ(store->consistent_view().neighbors(1), std::vector<NodeId>{5});
+}
+
+// A gather threshold with no deadline to bound it would hang trickle
+// ingest forever: rejected at construction.
+TEST(AsyncIngestorApi, GatherThresholdRequiresDeadline) {
+  auto noop = [](std::span<const Edge>, bool) {};
+  AsyncIngestor::Options o;
+  o.absorb_min_edges = 512;
+  o.flush_deadline_us = 0;
+  EXPECT_THROW(AsyncIngestor(noop, o), std::invalid_argument);
+}
+
+// Options::route replaces the built-in block routing without touching any
+// other wiring; per-source FIFO and oracle equivalence still hold.
+TEST_F(AsyncFixture, CustomRouteOptionIsUsed) {
+  make_store(2);
+  AsyncIngestor::Options o;
+  o.absorbers = 2;
+  o.queues = 4;
+  std::atomic<std::uint64_t> routed{0};
+  o.route = [&routed](NodeId src, std::size_t nq) {
+    ++routed;
+    return static_cast<std::size_t>(src) % nq;
+  };
+  auto ing = make_dgap_ingestor(*store, o);
+
+  const auto stream = symmetrize(generate_rmat(64, 2000, 88));
+  const auto& edges = stream.edges();
+  for (std::size_t i = 0; i < edges.size(); i += 100)
+    ing->submit(std::span<const Edge>(
+        edges.data() + i, std::min<std::size_t>(100, edges.size() - i)));
+  ing->drain();
+
+  EXPECT_EQ(routed.load(), edges.size()) << "custom routing not consulted";
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : edges) oracle.add_edge(e.src, e.dst);
+  EXPECT_EQ(snapshot_multiset(*store), oracle_multiset(oracle));
+}
+
 TEST(AsyncIngestorApi, ValidatesOptions) {
   auto noop = [](std::span<const Edge>, bool) {};
   AsyncIngestor::Options bad;

@@ -1,0 +1,359 @@
+// ShardedStore (src/core/sharded_store.hpp): oracle equivalence of the
+// sharded mutation surface (single/multi-producer, inserts + deletes),
+// composed-snapshot semantics (global ids, dst-only vertices, GraphView
+// kernels match the unsharded store exactly), shard-exclusive async queue
+// routing, option validation, and the file-backed shutdown/reopen cycle
+// with S parallel recoveries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/algorithms/pagerank.hpp"
+#include "src/core/sharded_store.hpp"
+#include "src/graph/adj_graph.hpp"
+#include "src/graph/generators.hpp"
+#include "src/ingest/async_ingestor.hpp"
+
+namespace dgap::core {
+namespace {
+
+ShardedStore::Options sharded_opts(std::size_t shards, NodeId vertices,
+                                   std::uint64_t edges) {
+  ShardedStore::Options o;
+  o.shards = shards;
+  o.pool_bytes = 32ull << 20;
+  o.dgap.init_vertices = vertices;
+  o.dgap.init_edges = edges;
+  o.dgap.segment_slots = 64;
+  o.dgap.max_writer_threads = 8;
+  return o;
+}
+
+std::map<std::pair<NodeId, NodeId>, int> sharded_multiset(
+    const ShardedStore& store) {
+  std::map<std::pair<NodeId, NodeId>, int> got;
+  const ShardedSnapshot snap = store.consistent_view();
+  for (NodeId v = 0; v < snap.num_nodes(); ++v)
+    for (const NodeId d : snap.neighbors(v)) got[{v, d}] += 1;
+  return got;
+}
+
+std::map<std::pair<NodeId, NodeId>, int> oracle_multiset(
+    const AdjGraph& oracle) {
+  std::map<std::pair<NodeId, NodeId>, int> want;
+  for (NodeId v = 0; v < oracle.num_nodes(); ++v)
+    for (const NodeId d : oracle.out_neigh(v)) want[{v, d}] += 1;
+  return want;
+}
+
+TEST(ShardedStore, SingleWriterOracleEquivalence) {
+  const auto stream = symmetrize(generate_rmat(200, 6000, 42));
+  const auto& edges = stream.edges();
+  auto store = ShardedStore::create(
+      sharded_opts(4, stream.num_vertices(), edges.size()));
+  EXPECT_EQ(store->num_shards(), 4u);
+
+  constexpr std::size_t kChunk = 113;  // odd-sized: chunks straddle shards
+  for (std::size_t i = 0; i < edges.size(); i += kChunk)
+    store->insert_batch(std::span<const Edge>(
+        edges.data() + i, std::min(kChunk, edges.size() - i)));
+
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : edges) oracle.add_edge(e.src, e.dst);
+  EXPECT_EQ(sharded_multiset(*store), oracle_multiset(oracle));
+  EXPECT_EQ(store->num_nodes(), stream.num_vertices());
+  EXPECT_EQ(store->consistent_view().num_edges_directed(), edges.size());
+  std::string why;
+  EXPECT_TRUE(store->check_invariants(&why)) << why;
+}
+
+TEST(ShardedStore, PerEdgeAndDeleteEquivalence) {
+  const auto stream = symmetrize(generate_rmat(150, 4000, 7));
+  const auto& edges = stream.edges();
+  auto store = ShardedStore::create(
+      sharded_opts(3, stream.num_vertices(), edges.size()));
+  AdjGraph oracle(stream.num_vertices());
+
+  // Mix the per-edge path with batch deletes of every 6th edge.
+  std::vector<Edge> dels;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    store->insert_edge(edges[i].src, edges[i].dst);
+    oracle.add_edge(edges[i].src, edges[i].dst);
+    if (i % 6 == 5) dels.push_back(edges[i]);
+    if (dels.size() == 32 || i + 1 == edges.size()) {
+      store->delete_batch(dels);
+      for (const Edge& e : dels) oracle.remove_edge(e.src, e.dst);
+      dels.clear();
+    }
+  }
+  EXPECT_EQ(sharded_multiset(*store), oracle_multiset(oracle));
+  std::string why;
+  EXPECT_TRUE(store->check_invariants(&why)) << why;
+}
+
+TEST(ShardedStore, MultiProducerBatchesProceedInParallel) {
+  const auto stream = symmetrize(generate_rmat(256, 8000, 99));
+  const auto& edges = stream.edges();
+  auto store = ShardedStore::create(
+      sharded_opts(4, stream.num_vertices(), edges.size()));
+
+  constexpr int kWriters = 4;
+  constexpr std::size_t kChunk = 128;
+  const std::size_t chunks = (edges.size() + kChunk - 1) / kChunk;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::size_t c = static_cast<std::size_t>(w); c < chunks;
+           c += kWriters) {
+        const std::size_t begin = c * kChunk;
+        store->insert_batch(std::span<const Edge>(
+            edges.data() + begin, std::min(kChunk, edges.size() - begin)));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : edges) oracle.add_edge(e.src, e.dst);
+  EXPECT_EQ(sharded_multiset(*store), oracle_multiset(oracle));
+  std::string why;
+  EXPECT_TRUE(store->check_invariants(&why)) << why;
+}
+
+// A destination that never appears as a source must still be visible in the
+// composed view (materialized in ITS shard, not the source's).
+TEST(ShardedStore, DstOnlyVertexIsVisibleGlobally) {
+  auto store = ShardedStore::create(sharded_opts(4, 64, 256));
+  const NodeId far = 63;  // last shard's slice
+  store->insert_edge(0, far);
+  {
+    // Scoped: a live snapshot pins every shard's vertex table, and the
+    // vertex growth below must not wait on it (core::Snapshot contract).
+    const ShardedSnapshot snap = store->consistent_view();
+    ASSERT_GE(snap.num_nodes(), far + 1);
+    EXPECT_EQ(snap.out_degree(far), 0);
+    EXPECT_TRUE(snap.neighbors(far).empty());
+    EXPECT_EQ(snap.neighbors(0), std::vector<NodeId>{far});
+  }
+  // A brand-new id beyond the initial estimate lands in the last shard.
+  store->insert_edge(500, 0);
+  EXPECT_GE(store->num_nodes(), 501);
+  EXPECT_EQ(store->consistent_view().neighbors(500), std::vector<NodeId>{0});
+}
+
+// The paper's kernels must be oblivious to sharding: PageRank over the
+// composed snapshot matches the unsharded store exactly (same scores, same
+// ranking), since every vertex sees the identical neighbor sequence.
+TEST(ShardedStore, PageRankMatchesUnshardedExactly) {
+  const auto stream = symmetrize(generate_rmat(300, 9000, 1234));
+  const auto& edges = stream.edges();
+
+  auto pool = pmem::PmemPool::create({.path = "", .size = 64 << 20});
+  DgapOptions flat_opts;
+  flat_opts.init_vertices = stream.num_vertices();
+  flat_opts.init_edges = edges.size();
+  flat_opts.segment_slots = 64;
+  auto flat = DgapStore::create(*pool, flat_opts);
+  auto sharded = ShardedStore::create(
+      sharded_opts(3, stream.num_vertices(), edges.size()));
+
+  for (std::size_t i = 0; i < edges.size(); i += 256) {
+    const std::span<const Edge> part(
+        edges.data() + i, std::min<std::size_t>(256, edges.size() - i));
+    flat->insert_batch(part);
+    sharded->insert_batch(part);
+  }
+
+  const Snapshot flat_view = flat->consistent_view();
+  const ShardedSnapshot sh_view = sharded->consistent_view();
+  ASSERT_EQ(flat_view.num_nodes(), sh_view.num_nodes());
+  ASSERT_EQ(flat_view.num_edges_directed(), sh_view.num_edges_directed());
+
+  const auto flat_pr = algorithms::pagerank(flat_view);
+  const auto sh_pr = algorithms::pagerank(sh_view);
+  ASSERT_EQ(flat_pr.size(), sh_pr.size());
+  for (std::size_t v = 0; v < flat_pr.size(); ++v)
+    EXPECT_NEAR(flat_pr[v], sh_pr[v], 1e-12) << "vertex " << v;
+
+  // Ranking (the fig7 acceptance): identical order under exact sort.
+  std::vector<NodeId> flat_rank(flat_pr.size()), sh_rank(sh_pr.size());
+  for (std::size_t v = 0; v < flat_pr.size(); ++v) {
+    flat_rank[v] = static_cast<NodeId>(v);
+    sh_rank[v] = static_cast<NodeId>(v);
+  }
+  const auto by = [](const std::vector<double>& score) {
+    return [&score](NodeId a, NodeId b) {
+      return score[a] != score[b] ? score[a] > score[b] : a < b;
+    };
+  };
+  std::sort(flat_rank.begin(), flat_rank.end(), by(flat_pr));
+  std::sort(sh_rank.begin(), sh_rank.end(), by(sh_pr));
+  EXPECT_EQ(flat_rank, sh_rank);
+}
+
+// make_async partitions the staging queues across shards: every queue's
+// sources map to exactly one shard, and ingestion matches the oracle.
+TEST(ShardedStore, AsyncIngestionRoutesQueuesShardExclusively) {
+  const auto stream = symmetrize(generate_rmat(256, 6000, 555));
+  const auto& edges = stream.edges();
+  auto store = ShardedStore::create(
+      sharded_opts(4, stream.num_vertices(), edges.size()));
+
+  ingest::AsyncIngestor::Options o;
+  o.absorbers = 2;
+  o.queues = 6;  // not a multiple of S: make_async must round up
+  auto ing = store->make_async(o);
+  EXPECT_EQ(ing->num_queues() % store->num_shards(), 0u);
+
+  // The routing function is shard-exclusive for any queue count.
+  const auto route = store->route_fn();
+  std::map<std::size_t, std::set<std::size_t>> queue_shards;
+  for (NodeId v = 0; v < stream.num_vertices(); ++v)
+    queue_shards[route(v, ing->num_queues())].insert(store->shard_of(v));
+  for (const auto& [q, owners] : queue_shards)
+    EXPECT_EQ(owners.size(), 1u) << "queue " << q << " serves two shards";
+
+  for (std::size_t i = 0; i < edges.size(); i += 128)
+    ing->submit(std::span<const Edge>(
+        edges.data() + i, std::min<std::size_t>(128, edges.size() - i)));
+  ing->drain();
+
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : edges) oracle.add_edge(e.src, e.dst);
+  EXPECT_EQ(sharded_multiset(*store), oracle_multiset(oracle));
+  std::string why;
+  EXPECT_TRUE(store->check_invariants(&why)) << why;
+}
+
+TEST(ShardedStore, FileBackedShutdownReopen) {
+  namespace fs = std::filesystem;
+  const std::string prefix =
+      "/tmp/dgap_sharded_test_" + std::to_string(::getpid());
+  const auto stream = symmetrize(generate_rmat(128, 3000, 31));
+  const auto& edges = stream.edges();
+
+  ShardedStore::Options o = sharded_opts(3, stream.num_vertices(),
+                                         edges.size());
+  o.path = prefix;
+  {
+    auto store = ShardedStore::create(o);
+    store->insert_batch(edges);
+    store->shutdown();
+  }
+  for (int k = 0; k < 3; ++k)
+    EXPECT_TRUE(fs::exists(prefix + ".shard" + std::to_string(k)));
+
+  auto reopened = ShardedStore::open(o);
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : edges) oracle.add_edge(e.src, e.dst);
+  EXPECT_EQ(sharded_multiset(*reopened), oracle_multiset(oracle));
+  std::string why;
+  EXPECT_TRUE(reopened->check_invariants(&why)) << why;
+
+  // Keep working after reopen.
+  reopened->insert_edge(1, 2);
+  reopened.reset();
+  for (int k = 0; k < 3; ++k)
+    fs::remove(prefix + ".shard" + std::to_string(k));
+}
+
+// Shard geometry (shift + count) is part of the durable format: open()
+// adopts the persisted values, so changed size estimates never remap ids,
+// and a wrong shard count is an error instead of silent data loss.
+TEST(ShardedStore, GeometryPersistedAcrossReopen) {
+  namespace fs = std::filesystem;
+  const std::string prefix =
+      "/tmp/dgap_sharded_geom_" + std::to_string(::getpid());
+  const auto stream = symmetrize(generate_rmat(128, 2000, 64));
+  const auto& edges = stream.edges();
+
+  ShardedStore::Options o =
+      sharded_opts(3, stream.num_vertices(), edges.size());
+  o.path = prefix;
+  {
+    auto store = ShardedStore::create(o);
+    store->insert_batch(edges);
+    store->shutdown();
+  }
+
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : edges) oracle.add_edge(e.src, e.dst);
+
+  // A wildly different vertex estimate would derive a different shift; the
+  // persisted geometry must win and every id read back identically.
+  ShardedStore::Options grown = o;
+  grown.dgap.init_vertices = 50000;
+  {
+    auto reopened = ShardedStore::open(grown);
+    EXPECT_EQ(sharded_multiset(*reopened), oracle_multiset(oracle));
+    reopened->shutdown();
+  }
+
+  // Opening with fewer shards than the pools record is rejected, not a
+  // silent half-graph.
+  ShardedStore::Options two = o;
+  two.shards = 2;
+  EXPECT_THROW(ShardedStore::open(two), std::runtime_error);
+
+  for (int k = 0; k < 3; ++k)
+    fs::remove(prefix + ".shard" + std::to_string(k));
+}
+
+TEST(ShardedStore, ValidatesOptions) {
+  ShardedStore::Options zero = sharded_opts(1, 16, 64);
+  zero.shards = 0;
+  EXPECT_THROW(ShardedStore::create(zero), std::invalid_argument);
+
+  // Anonymous pools cannot be reopened by path.
+  EXPECT_THROW(ShardedStore::open(sharded_opts(2, 16, 64)),
+               std::invalid_argument);
+
+  // Pool count must match the shard count on the *_on entry points.
+  std::vector<std::unique_ptr<pmem::PmemPool>> pools;
+  pools.push_back(pmem::PmemPool::create({.path = "", .size = 8 << 20}));
+  EXPECT_THROW(ShardedStore::create_on(std::move(pools),
+                                       sharded_opts(2, 16, 64)),
+               std::invalid_argument);
+
+  EXPECT_THROW(ShardedStore::create(sharded_opts(1, 16, 64))
+                   ->insert_edge(-1, 2),
+               std::invalid_argument);
+}
+
+// The derived geometry must populate EVERY shard, including non-power-of-
+// two shard counts over power-of-two vertex estimates (rounding the slice
+// up would leave trailing shards permanently empty and a sharded sweep
+// would silently measure fewer shards than requested).
+TEST(ShardedStore, DerivedGeometryPopulatesEveryShard) {
+  for (const std::size_t s : {2u, 3u, 5u, 7u}) {
+    auto store = ShardedStore::create(sharded_opts(s, 1024, 4096));
+    for (std::size_t k = 0; k < s; ++k)
+      EXPECT_GT(store->shard(k).num_nodes(), 0)
+          << "shard " << k << "/" << s << " owns no ids";
+    EXPECT_EQ(store->num_nodes(), 1024);
+  }
+}
+
+// S=1 is the degenerate case: identical observable behavior to DgapStore.
+TEST(ShardedStore, SingleShardDegeneratesToFlatStore) {
+  const auto stream = symmetrize(generate_rmat(100, 2500, 77));
+  const auto& edges = stream.edges();
+  auto store = ShardedStore::create(
+      sharded_opts(1, stream.num_vertices(), edges.size()));
+  store->insert_batch(edges);
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : edges) oracle.add_edge(e.src, e.dst);
+  EXPECT_EQ(sharded_multiset(*store), oracle_multiset(oracle));
+  EXPECT_EQ(store->num_nodes(), stream.num_vertices());
+}
+
+}  // namespace
+}  // namespace dgap::core
