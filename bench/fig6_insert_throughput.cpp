@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
         }
         auto pool = fresh_pool(cfg.pool_mb);
         auto store = make_store(sys, *pool, stream.num_vertices(),
-                                stream.num_edges(), 1);
+                                stream.num_edges(), 1, cfg.tuning);
         const InsertResult r =
             batch <= 1
                 ? time_inserts(stream, [&](NodeId u, NodeId v) {
@@ -137,6 +137,7 @@ int main(int argc, char** argv) {
       TablePrinter table(
           {"Graph", "DGAP", "BAL", "LLAMA", "GraphOne-FD", "XPGraph"});
       std::map<std::string, AsyncInsertResult> dgap_async;
+      std::map<std::string, double> dgap_avg_absorb;
       for (const auto& name : cfg.datasets) {
         const EdgeStream& stream = streams.at(name);
         std::vector<std::string> row = {name};
@@ -149,13 +150,19 @@ int main(int argc, char** argv) {
           // writer_threads = absorber count: the absorbers are the only
           // threads that touch the store.
           auto store = make_store(sys, *pool, stream.num_vertices(),
-                                  stream.num_edges(), absorbers);
-          ingest::AsyncIngestor::Options o;
-          o.absorbers = static_cast<std::size_t>(absorbers);
-          auto ingestor = store->make_async(o);
+                                  stream.num_edges(), absorbers, cfg.tuning);
+          auto ingestor = store->make_async(async_options(cfg, absorbers));
           const AsyncInsertResult r =
               time_inserts_async(stream, /*producers=*/1, batch, *ingestor);
-          if (sys == "dgap") dgap_async[name] = r;
+          if (sys == "dgap") {
+            dgap_async[name] = r;
+            const ingest::IngestStats st = ingestor->stats();
+            dgap_avg_absorb[name] =
+                st.absorb_batches > 0
+                    ? static_cast<double>(st.absorbed_edges) /
+                          static_cast<double>(st.absorb_batches)
+                    : 0.0;
+          }
           row.push_back(TablePrinter::fmt(r.meps));
         }
         table.add_row(std::move(row));
@@ -164,16 +171,18 @@ int main(int argc, char** argv) {
 
       if (cfg.only_system.empty() || cfg.only_system == "dgap") {
         std::cout << "\n--- DGAP async (absorbers=" << absorbers
+                  << (cfg.autotune ? ", autotune" : "")
                   << ") vs sync insert_batch, batch=" << batch << " ---\n";
         TablePrinter cmp({"Graph", "sync MEPS", "async MEPS", "speedup",
-                          "submit-side MEPS"});
+                          "submit-side MEPS", "avg absorb batch"});
         for (const auto& name : cfg.datasets) {
           const double sync = dgap_meps[{name, batch}];
           const AsyncInsertResult& r = dgap_async[name];
           cmp.add_row({name, TablePrinter::fmt(sync),
                        TablePrinter::fmt(r.meps),
                        sync > 0 ? TablePrinter::fmt(r.meps / sync) : "-",
-                       TablePrinter::fmt(r.submit_meps)});
+                       TablePrinter::fmt(r.submit_meps),
+                       TablePrinter::fmt(dgap_avg_absorb[name])});
         }
         cmp.print(std::cout);
       }
@@ -194,8 +203,9 @@ int main(int argc, char** argv) {
         cfg, shard_counts,
         [&](const std::string& name, int s) {
           const EdgeStream& stream = streams.at(name);
-          auto store = make_sharded_store(s, stream.num_vertices(),
-                                          stream.num_edges(), 1, cfg.pool_mb);
+          auto store =
+              make_sharded_store(s, stream.num_vertices(), stream.num_edges(),
+                                 1, cfg.pool_mb, cfg.tuning);
           return time_inserts_batched(stream, batch,
                                       [&](std::span<const Edge> part) {
                                         store->insert_batch(part);
@@ -212,12 +222,10 @@ int main(int argc, char** argv) {
           cfg, shard_counts,
           [&](const std::string& name, int s) {
             const EdgeStream& stream = streams.at(name);
-            auto store =
-                make_sharded_store(s, stream.num_vertices(),
-                                   stream.num_edges(), absorbers, cfg.pool_mb);
-            ingest::AsyncIngestor::Options o;
-            o.absorbers = static_cast<std::size_t>(absorbers);
-            auto ingestor = store->make_async(o);
+            auto store = make_sharded_store(s, stream.num_vertices(),
+                                            stream.num_edges(), absorbers,
+                                            cfg.pool_mb, cfg.tuning);
+            auto ingestor = store->make_async(async_options(cfg, absorbers));
             return time_inserts_async(stream, /*producers=*/1, batch,
                                       *ingestor)
                 .meps;

@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
           }
           auto pool = fresh_pool(cfg.pool_mb);
           auto store = make_store(sys, *pool, stream.num_vertices(),
-                                  stream.num_edges(), threads);
+                                  stream.num_edges(), threads, cfg.tuning);
           // LLAMA, GraphOne and our XPGraph model serialize internal batch
           // conversion; their stores are not thread-safe for concurrent
           // writers (the paper drives them through their own ingest
@@ -150,10 +150,8 @@ int main(int argc, char** argv) {
             }
             auto pool = fresh_pool(cfg.pool_mb);
             auto store = make_store(sys, *pool, stream.num_vertices(),
-                                    stream.num_edges(), absorbers);
-            ingest::AsyncIngestor::Options o;
-            o.absorbers = static_cast<std::size_t>(absorbers);
-            auto ingestor = store->make_async(o);
+                                    stream.num_edges(), absorbers, cfg.tuning);
+            auto ingestor = store->make_async(async_options(cfg, absorbers));
             const AsyncInsertResult r =
                 time_inserts_async(stream, threads, submit_batch, *ingestor);
             row.push_back(TablePrinter::fmt(r.meps));
@@ -181,9 +179,9 @@ int main(int argc, char** argv) {
           cfg, shard_counts,
           [&](const std::string& name, int s) {
             const EdgeStream& stream = streams.at(name);
-            auto store =
-                make_sharded_store(s, stream.num_vertices(),
-                                   stream.num_edges(), threads, cfg.pool_mb);
+            auto store = make_sharded_store(s, stream.num_vertices(),
+                                            stream.num_edges(), threads,
+                                            cfg.pool_mb, cfg.tuning);
             return time_inserts_mt_batched(stream, threads, batch,
                                            [&](std::span<const Edge> part) {
                                              store->insert_batch(part);

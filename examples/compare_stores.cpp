@@ -8,7 +8,7 @@
 // scaling store too.
 //
 // Run:  ./examples/compare_stores [--dataset orkut] [--scale 0.05]
-//                                 [--shards 2]
+//                                 [--shards 2] [--ingest-profile balanced]
 #include <iostream>
 
 #include "src/bench_common/harness.hpp"
@@ -24,14 +24,16 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 0.05);
   const bool latency = cli.get_bool("latency", true);
   int shards = 2;
-  if (cli.has("shards")) {
-    try {
+  StoreTuning tuning;
+  try {
+    if (cli.has("shards"))
       shards = static_cast<int>(parse_positive_int_capped(
           cli.get("shards", ""), "--shards", kMaxShardsCli));
-    } catch (const std::exception& ex) {
-      std::cerr << ex.what() << "\n";
-      return 2;
-    }
+    if (cli.has("ingest-profile"))
+      tuning.profile = parse_ingest_profile(cli.get("ingest-profile", ""));
+  } catch (const std::exception& ex) {
+    std::cerr << ex.what() << "\n";
+    return 2;
   }
   configure_latency(latency);
 
@@ -55,7 +57,7 @@ int main(int argc, char** argv) {
   for (const auto& sys : kDynamicSystems) {
     auto pool = fresh_pool(512);
     auto store = make_store(sys, *pool, stream.num_vertices(),
-                            stream.num_edges(), 1);
+                            stream.num_edges(), 1, tuning);
     const InsertResult ins = time_inserts(
         stream, [&](NodeId u, NodeId v) { store->insert(u, v); });
     store->finalize();
@@ -70,7 +72,7 @@ int main(int argc, char** argv) {
   // the kernels run over the composed per-shard snapshots.
   {
     auto store = make_sharded_store(shards, stream.num_vertices(),
-                                    stream.num_edges(), 1, 512);
+                                    stream.num_edges(), 1, 512, tuning);
     const InsertResult ins = time_inserts(
         stream, [&](NodeId u, NodeId v) { store->insert(u, v); });
     table.add_row({"dgap-sh" + std::to_string(shards),

@@ -14,6 +14,7 @@
 //
 // Run:  ./examples/streaming_analytics [--events 200000] [--rounds 5]
 //                                      [--producers 2] [--async-writers 2]
+//                                      [--autotune] [--ingest-profile ...]
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -25,6 +26,7 @@
 
 #include "src/algorithms/cc.hpp"
 #include "src/algorithms/pagerank.hpp"
+#include "src/bench_common/harness.hpp"
 #include "src/common/cli.hpp"
 #include "src/common/timer.hpp"
 #include "src/core/dgap_store.hpp"
@@ -59,12 +61,26 @@ int main(int argc, char** argv) {
       static_cast<int>(require_positive(cli, "producers", 2));
   const int absorbers =
       static_cast<int>(require_positive(cli, "async-writers", 2));
+  const bool autotune = cli.get_bool("autotune", false);
+  std::size_t absorb_min = 0;  // fixed gather threshold; 0 = drain eagerly
+  if (cli.has("absorb-min"))
+    absorb_min = static_cast<std::size_t>(require_positive(cli, "absorb-min", 0));
+  core::IngestProfile profile = core::IngestProfile::balanced;
+  if (cli.has("ingest-profile")) {
+    try {
+      profile = bench::parse_ingest_profile(cli.get("ingest-profile", ""));
+    } catch (const std::exception& ex) {
+      std::cerr << ex.what() << "\n";
+      return 2;
+    }
+  }
   const NodeId cells = 4096;  // cell towers in the region
 
   auto pool = pmem::PmemPool::create({.path = "", .size = 256 << 20});
   core::DgapOptions options;
   options.init_vertices = cells;
   options.init_edges = num_events;
+  options.ingest_profile = profile;
   // Only the absorber threads write the store (+1 slack for recovery paths
   // driven from the main thread).
   options.max_writer_threads = static_cast<std::uint32_t>(absorbers + 1);
@@ -73,6 +89,12 @@ int main(int argc, char** argv) {
   ingest::AsyncIngestor::Options iopts;
   iopts.absorbers = static_cast<std::size_t>(absorbers);
   iopts.queues = static_cast<std::size_t>(absorbers) * 2;
+  // Paced event feeds are exactly the trickle<->flood regime the
+  // arrival-rate autotuner targets: big gathers while a burst lasts,
+  // immediate drains between bursts. A fixed --absorb-min is the
+  // hand-tuned alternative it is measured against.
+  iopts.autotune = autotune;
+  if (!autotune) iopts.absorb_min_edges = absorb_min;
   auto ingestor = ingest::make_dgap_ingestor(*graph, iopts);
 
   // Traffic events: skewed, like real cellular hotspots.
@@ -161,7 +183,11 @@ int main(int argc, char** argv) {
             << " absorbed=" << is.absorbed_edges << " epochs=" << final_epoch
             << " absorb-batches=" << is.absorb_batches
             << " stalls=" << is.stalls
-            << " queue-high-watermark=" << is.queue_high_watermark << "\n";
+            << " queue-high-watermark=" << is.queue_high_watermark
+            << " avg-absorb-batch="
+            << (is.absorb_batches > 0 ? is.absorbed_edges / is.absorb_batches
+                                      : 0)
+            << "\n";
   if (is.absorbed_edges != all.size()) {
     std::cerr << "lost events: absorbed " << is.absorbed_edges << " of "
               << all.size() << "\n";

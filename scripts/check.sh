@@ -22,6 +22,14 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"
 ./build/fig6_insert_throughput --shards=2 --datasets=orkut --scale=0.02 \
   --batch=256 --system=dgap --pool-mb=256
 
+# Smoke-run the adaptive ingest tuning path: ingest-heavy section geometry
+# plus arrival-rate absorb autotuning through the async sweep.
+./build/fig6_insert_throughput --ingest-profile=ingest-heavy --autotune \
+  --async-writers=1 --datasets=orkut --scale=0.02 --batch=256 \
+  --system=dgap --pool-mb=256
+./build/streaming_analytics --events 20000 --rounds 2 --producers 2 \
+  --async-writers 2 --autotune --ingest-profile ingest-heavy
+
 # The CLIs must refuse nonsensical knob values instead of misbehaving.
 expect_reject() {
   if "$@" > /dev/null 2>&1; then
@@ -47,5 +55,15 @@ expect_reject ./build/fig6_insert_throughput --shards=nope
 expect_reject ./build/fig6_insert_throughput --shards=2x
 expect_reject ./build/table3_insert_scalability --shards=0
 expect_reject ./build/compare_stores --shards=0
+expect_reject ./build/fig6_insert_throughput --ingest-profile=turbo
+expect_reject ./build/fig6_insert_throughput --section-slots=0
+expect_reject ./build/fig6_insert_throughput --section-slots=5x
+expect_reject ./build/fig6_insert_throughput --section-slots=1000
+expect_reject ./build/fig6_insert_throughput --section-slots=8388608
+expect_reject ./build/fig6_insert_throughput --absorb-min=nope
+expect_reject ./build/fig6_insert_throughput --absorb-min=-3
+expect_reject ./build/table3_insert_scalability --ingest-profile=bogus
+expect_reject ./build/compare_stores --ingest-profile=bogus
+expect_reject ./build/streaming_analytics --ingest-profile=bogus
 
 echo "check.sh: all good"

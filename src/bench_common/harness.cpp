@@ -15,6 +15,7 @@
 #include "src/baselines/llama_store.hpp"
 #include "src/baselines/pmem_csr.hpp"
 #include "src/baselines/xpgraph_store.hpp"
+#include "src/common/platform.hpp"
 #include "src/common/table.hpp"
 #include "src/common/timer.hpp"
 #include "src/core/dgap_store.hpp"
@@ -55,7 +56,39 @@ BenchConfig parse_common(const Cli& cli, double default_scale,
       cfg.shards.push_back(static_cast<int>(
           parse_positive_int_capped(s, "--shards", kMaxShardsCli)));
   }
+  if (cli.has("ingest-profile"))
+    cfg.tuning.profile = parse_ingest_profile(cli.get("ingest-profile", ""));
+  if (cli.has("section-slots")) {
+    cfg.tuning.section_slots =
+        static_cast<std::uint64_t>(parse_positive_int_capped(
+            cli.get("section-slots", ""), "--section-slots",
+            static_cast<std::int64_t>(core::kMaxSegmentSlots)));
+    if (!is_pow2(cfg.tuning.section_slots))
+      throw std::invalid_argument("--section-slots must be a power of two");
+  }
+  cfg.autotune = cli.get_bool("autotune", false);
+  if (cli.has("absorb-min"))
+    cfg.absorb_min = static_cast<std::size_t>(
+        parse_positive_int(cli.get("absorb-min", ""), "--absorb-min"));
   return cfg;
+}
+
+core::IngestProfile parse_ingest_profile(const std::string& value) {
+  if (value == "balanced") return core::IngestProfile::balanced;
+  if (value == "ingest-heavy" || value == "ingest_heavy")
+    return core::IngestProfile::ingest_heavy;
+  throw std::invalid_argument(
+      "--ingest-profile expects 'balanced' or 'ingest-heavy', got '" + value +
+      "'");
+}
+
+ingest::AsyncIngestor::Options async_options(const BenchConfig& cfg,
+                                             int absorbers) {
+  ingest::AsyncIngestor::Options o;
+  o.absorbers = static_cast<std::size_t>(std::max(absorbers, 1));
+  o.autotune = cfg.autotune;
+  if (!cfg.autotune) o.absorb_min_edges = cfg.absorb_min;
+  return o;
 }
 
 // Shard counts for a sharded sweep: the requested counts plus the S=1
@@ -143,8 +176,16 @@ void print_banner(const std::string& title, const BenchConfig& cfg) {
   std::cout << "### " << title << "\n"
             << "# scale=" << cfg.scale << " latency_model="
             << (cfg.latency ? "on" : "off")
-            << " hw_threads=" << std::thread::hardware_concurrency()
-            << "\n";
+            << " hw_threads=" << std::thread::hardware_concurrency();
+  if (cfg.tuning.profile == core::IngestProfile::ingest_heavy)
+    std::cout << " ingest-profile=ingest-heavy";
+  if (cfg.tuning.section_slots != 0)
+    std::cout << " section-slots=" << cfg.tuning.section_slots;
+  if (cfg.autotune)
+    std::cout << " autotune=on";
+  else if (cfg.absorb_min != 0)
+    std::cout << " absorb-min=" << cfg.absorb_min;
+  std::cout << "\n";
 }
 
 namespace {
@@ -186,12 +227,15 @@ struct KernelMixin {
 class DgapModel final : public IStore {
  public:
   DgapModel(pmem::PmemPool& pool, NodeId vertices,
-            std::uint64_t edges_estimate, int writer_threads) {
+            std::uint64_t edges_estimate, int writer_threads,
+            const StoreTuning& tuning) {
     core::DgapOptions o;
     o.init_vertices = vertices;
     o.init_edges = edges_estimate;
     o.max_writer_threads =
         static_cast<std::uint32_t>(std::max(writer_threads, 1) + 1);
+    o.ingest_profile = tuning.profile;
+    o.section_slots_hint = tuning.section_slots;
     store_ = core::DgapStore::create(pool, o);
   }
   void insert(NodeId s, NodeId d) override { store_->insert_edge(s, d); }
@@ -358,10 +402,11 @@ class CsrModel final : public IStore {
 std::unique_ptr<IStore> make_store(const std::string& kind,
                                    pmem::PmemPool& pool, NodeId vertices,
                                    std::uint64_t edges_estimate,
-                                   int writer_threads) {
+                                   int writer_threads,
+                                   const StoreTuning& tuning) {
   if (kind == "dgap")
     return std::make_unique<DgapModel>(pool, vertices, edges_estimate,
-                                       writer_threads);
+                                       writer_threads, tuning);
   if (kind == "bal")
     return std::make_unique<BaselineModel<baselines::BalStore>>(
         baselines::BalStore::create(pool, vertices));
@@ -396,8 +441,11 @@ std::unique_ptr<IStore> make_csr(pmem::PmemPool& pool,
 std::unique_ptr<IStore> make_sharded_store(int shards, NodeId vertices,
                                            std::uint64_t edges_estimate,
                                            int writer_threads,
-                                           std::uint64_t pool_mb_total) {
+                                           std::uint64_t pool_mb_total,
+                                           const StoreTuning& tuning) {
   core::ShardedStore::Options o;
+  o.dgap.ingest_profile = tuning.profile;
+  o.dgap.section_slots_hint = tuning.section_slots;
   o.shards = static_cast<std::size_t>(std::max(shards, 1));
   // Split the budget so every shard count runs with the same TOTAL pool
   // memory as the S=1 baseline (a bigger aggregate would skew the

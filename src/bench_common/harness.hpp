@@ -15,12 +15,20 @@
 
 #include "src/common/cli.hpp"
 #include "src/common/timer.hpp"
+#include "src/core/options.hpp"
 #include "src/graph/edge_stream.hpp"
 #include "src/graph/types.hpp"
 #include "src/ingest/async_ingestor.hpp"
 #include "src/pmem/pool.hpp"
 
 namespace dgap::bench {
+
+// DGAP-specific store tuning surfaced on the bench CLIs (--ingest-profile,
+// --section-slots). Baseline systems ignore it.
+struct StoreTuning {
+  core::IngestProfile profile = core::IngestProfile::balanced;
+  std::uint64_t section_slots = 0;  // explicit hint; 0 = profile default
+};
 
 struct BenchConfig {
   double scale = 1.0;  // dataset scale multiplier (see datasets.hpp)
@@ -37,14 +45,32 @@ struct BenchConfig {
   // sharded runs. Sharded sweeps always measure S=1 too for the speedup
   // baseline.
   std::vector<int> shards;
+  // DGAP section-geometry tuning (--ingest-profile / --section-slots).
+  StoreTuning tuning;
+  // Async absorb tuning: --autotune turns on arrival-rate absorb
+  // autotuning; --absorb-min=N hand-tunes a fixed gather threshold
+  // (ignored while autotune is on — the comparison the autotuner must win).
+  bool autotune = false;
+  std::size_t absorb_min = 0;
 };
 
 // Parse --scale, --datasets=a,b,c, --latency, --pool-mb, --system,
-// --batch=a,b,c, --async-writers=a,b,c, --shards=a,b,c. Throws
-// std::invalid_argument on non-positive or non-numeric batch /
-// async-writer / shard values.
+// --batch=a,b,c, --async-writers=a,b,c, --shards=a,b,c,
+// --ingest-profile=balanced|ingest-heavy, --section-slots=N (power of
+// two), --autotune, --absorb-min=N. Throws std::invalid_argument on
+// non-positive / non-numeric / unknown values.
 BenchConfig parse_common(const Cli& cli, double default_scale,
                          std::vector<std::string> default_datasets);
+
+// Parse an --ingest-profile value; throws std::invalid_argument on unknown
+// names (shared with the examples so spellings cannot drift).
+core::IngestProfile parse_ingest_profile(const std::string& value);
+
+// AsyncIngestor options for a bench run: absorber count plus the config's
+// absorb-tuning knobs (autotune / fixed absorb-min), one place so fig6 and
+// table3 sweeps cannot diverge.
+ingest::AsyncIngestor::Options async_options(const BenchConfig& cfg,
+                                             int absorbers);
 
 // CLI cap on shard counts (each shard owns a pool, so huge values are a
 // memory footgun); shared by parse_common and the examples.
@@ -251,10 +277,13 @@ inline const std::vector<std::string> kDynamicSystems = {
 
 // Create a dynamic store by name. `batch_hint` parameterizes per-system
 // batching (LLAMA snapshot batch = 1% of edges, XPGraph archive threshold).
+// `tuning` selects DGAP's ingest-profile section geometry (other systems
+// ignore it).
 std::unique_ptr<IStore> make_store(const std::string& kind,
                                    pmem::PmemPool& pool, NodeId vertices,
                                    std::uint64_t edges_estimate,
-                                   int writer_threads);
+                                   int writer_threads,
+                                   const StoreTuning& tuning = {});
 
 // Static CSR (analysis oracle), built in one shot from a loaded stream.
 std::unique_ptr<IStore> make_csr(pmem::PmemPool& pool,
@@ -267,6 +296,7 @@ std::unique_ptr<IStore> make_csr(pmem::PmemPool& pool,
 std::unique_ptr<IStore> make_sharded_store(int shards, NodeId vertices,
                                            std::uint64_t edges_estimate,
                                            int writer_threads,
-                                           std::uint64_t pool_mb_total);
+                                           std::uint64_t pool_mb_total,
+                                           const StoreTuning& tuning = {});
 
 }  // namespace dgap::bench

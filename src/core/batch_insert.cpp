@@ -30,33 +30,24 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/core/batch_key.hpp"
 #include "src/core/dgap_store.hpp"
 
 namespace dgap::core {
 
 namespace {
 
-// Sort key layout: home section (high 24 bits) | source low 24 bits |
-// batch index (low 16 bits). A plain integer sort then groups by section,
-// clusters each source's edges for range-coalesced flushes, and keeps
-// per-source chronological order via the index tiebreak. Sources sharing
-// their low 24 bits merely share a cluster — the absorption loop compares
-// real source ids, and the index tiebreak keeps every source's edges in
-// order regardless.
-constexpr std::uint64_t make_key(std::uint64_t home, NodeId src,
-                                 std::uint32_t idx) {
-  return (home << 40) |
-         ((static_cast<std::uint64_t>(src) & 0xffffffu) << 16) | idx;
-}
-constexpr std::uint64_t key_home(std::uint64_t key) { return key >> 40; }
-constexpr std::uint64_t key_group(std::uint64_t key) { return key >> 16; }
-constexpr std::uint32_t key_idx(std::uint64_t key) {
-  return static_cast<std::uint32_t>(key & 0xffffu);
-}
+// Sort-key layout (home section | source low bits | batch index) lives in
+// batch_key.hpp so its limits are unit-testable; see the header for why
+// the home field caps the representable section count.
+using batchkey::key_group;
+using batchkey::key_home;
+using batchkey::key_idx;
+using batchkey::make_key;
 
 // The 16-bit index field bounds one absorption round; larger batches are
 // fed through in chunks (chronology is preserved — chunks run in order).
-constexpr std::size_t kMaxChunk = 1 << 16;
+constexpr std::size_t kMaxChunk = 1ull << batchkey::kIdxBits;
 
 }  // namespace
 
@@ -115,6 +106,17 @@ void DgapStore::update_batch_internal(std::span<const Edge> all,
       const std::uint64_t nseg = num_segments_;
       if (seg_slots_ == 0 || cap == 0) {  // torn mid-resize: retry the pass
         global_mu_.unlock_shared();
+        continue;
+      }
+      if (nseg >= batchkey::kMaxKeySections) {
+        // The sort key's home field can no longer distinguish sections
+        // (batch_key.hpp): colliding homes would absorb runs under the
+        // wrong section lock. Fall back to the per-edge path — always
+        // correct, and this scale of store is far off the hot path.
+        global_mu_.unlock_shared();
+        for (const std::uint32_t idx : work)
+          insert_internal(edges[idx].src, edges[idx].dst, tombstone);
+        work.clear();
         continue;
       }
 

@@ -63,7 +63,16 @@ void DgapStore::adopt_layout(const DgapLayout& l) {
 // ---------------------------------------------------------------------------
 
 std::unique_ptr<DgapStore> DgapStore::create(pmem::PmemPool& pool,
-                                             const DgapOptions& opts) {
+                                             const DgapOptions& opts_in) {
+  if (opts_in.section_slots_hint != 0 && !is_pow2(opts_in.section_slots_hint))
+    throw std::invalid_argument("section_slots_hint must be a power of two");
+  if (opts_in.section_slots_hint > kMaxSegmentSlots)
+    throw std::invalid_argument(
+        "section_slots_hint too large (max " +
+        std::to_string(kMaxSegmentSlots) +
+        " slots per section)");  // unclamped huge sections would overflow
+                                 // the capacity byte-size math in init_fresh
+  const DgapOptions opts = resolve_ingest_profile(opts_in);
   if (!is_pow2(opts.segment_slots))
     throw std::invalid_argument("segment_slots must be a power of two");
   std::unique_ptr<DgapStore> store(new DgapStore(pool, opts));
@@ -81,6 +90,9 @@ void DgapStore::init_fresh(const DgapOptions& opts) {
   root_->num_ulogs = opts.max_writer_threads;
   root_->ulog_data_bytes = opts.ulog_bytes;
   root_->elog_bytes = opts.elog_bytes;
+  // Ingest profile is part of the durable format: resize geometry depends
+  // on it, so open() must recover it instead of trusting the caller.
+  root_->flags = static_cast<std::uint32_t>(opts.ingest_profile);
 
   // Per-thread undo logs (paper §3, component 4).
   const std::uint64_t stride = ulog_stride(opts.ulog_bytes);
@@ -169,10 +181,18 @@ std::unique_ptr<DgapStore> DgapStore::open(pmem::PmemPool& pool,
   store->opts_.elog_bytes = store->root_->elog_bytes;
   store->opts_.ulog_bytes = store->root_->ulog_data_bytes;
   store->opts_.max_writer_threads = store->root_->num_ulogs;
+  // Adopt the persisted ingest profile: a mismatched request must not
+  // remap the on-media geometry (resize behavior depends on the profile).
+  store->opts_.ingest_profile =
+      static_cast<IngestProfile>(store->root_->flags & 0xffu);
+  store->opts_.section_slots_hint = 0;
   if (store->root_->tx_anchor_off != 0)
     store->tx_journal_ = std::make_unique<pmem::TxJournal>(
         pool, store->root_->tx_anchor_off);
   store->recover(!pool.was_clean_shutdown());
+  // The live section geometry is whatever the layout records (resizes may
+  // have grown it); mirror it into the volatile options for introspection.
+  store->opts_.segment_slots = store->seg_slots_;
   pool.mark_running();
   return store;
 }

@@ -28,8 +28,12 @@ struct DgapRoot {
   std::uint64_t ulog_region_off;  // max_writer_threads stride-spaced UlogAreas
   std::uint32_t num_ulogs;
   std::uint32_t ulog_data_bytes;  // ULOG_SZ
-  std::uint32_t elog_bytes;       // ELOG_SZ (echo of options)
-  std::uint32_t flags;            // reserved
+  std::uint32_t elog_bytes;       // ELOG_SZ (echo of create-time options;
+                                  // resizes under ingest_heavy may grow the
+                                  // live layout's elog_entries past it)
+  std::uint32_t flags;            // low byte: IngestProfile (options.hpp);
+                                  // geometry is durable, so open() adopts
+                                  // this over the caller's requested profile
   std::uint64_t shutdown_image_off;  // 0 = none / stale
   std::uint64_t shutdown_image_bytes;
   std::uint64_t tx_anchor_off;  // PmemTx journal anchor (ablation mode)

@@ -426,17 +426,33 @@ void DgapStore::resize_and_rebuild(std::uint64_t extra_slots) {
   for (const auto& r : runs) needed += 1 + r.arr_count + r.el_count;
   std::uint64_t new_cap =
       ceil_pow2(std::max<std::uint64_t>(capacity_ * 2, needed * 2));
-  const std::uint64_t new_segs = new_cap / seg_slots_;
+
+  // Ingest-profile geometry: the balanced profile grows the section COUNT
+  // with capacity (fixed section size); ingest_heavy pins the section count
+  // and grows the section SIZE instead — a batch's sources keep landing in
+  // the same few section groups no matter how large the array gets. The
+  // per-section edge log scales with the section so the merge trigger still
+  // fires after a comparable per-slot fill.
+  std::uint64_t new_seg_slots = seg_slots_;
+  std::uint64_t new_elog_entries = elog_entries_;
+  if (opts_.ingest_profile == IngestProfile::ingest_heavy) {
+    while (new_cap / new_seg_slots > num_segments_ &&
+           new_seg_slots * 2 <= kMaxSegmentSlots) {
+      new_seg_slots *= 2;
+      new_elog_entries *= 2;
+    }
+  }
+  const std::uint64_t new_segs = new_cap / new_seg_slots;
 
   auto& alloc = pool_.allocator();
   DgapLayout nl{};
   nl.capacity_slots = new_cap;
   nl.num_segments = new_segs;
-  nl.segment_slots = seg_slots_;
-  nl.elog_entries = elog_entries_;
+  nl.segment_slots = new_seg_slots;
+  nl.elog_entries = new_elog_entries;
   nl.edge_array_off = alloc.alloc(new_cap * sizeof(Slot), 4096);
   nl.elog_region_off =
-      alloc.alloc(new_segs * elog_entries_ * sizeof(ElogEntry), 4096);
+      alloc.alloc(new_segs * new_elog_entries * sizeof(ElogEntry), 4096);
 
   // Build the new image: weighted layout over the whole new array, edge
   // logs drained into the runs, fresh (zero) logs.
@@ -465,8 +481,8 @@ void DgapStore::resize_and_rebuild(std::uint64_t extra_slots) {
   pool_.persist(nslots, new_cap * sizeof(Slot));
 
   ElogEntry* nelog = pool_.at<ElogEntry>(nl.elog_region_off);
-  std::memset(nelog, 0, new_segs * elog_entries_ * sizeof(ElogEntry));
-  pool_.persist(nelog, new_segs * elog_entries_ * sizeof(ElogEntry));
+  std::memset(nelog, 0, new_segs * new_elog_entries * sizeof(ElogEntry));
+  pool_.persist(nelog, new_segs * new_elog_entries * sizeof(ElogEntry));
 
   const std::uint64_t nl_off = alloc.alloc(sizeof(DgapLayout));
   *pool_.at<DgapLayout>(nl_off) = nl;

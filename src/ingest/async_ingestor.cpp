@@ -18,9 +18,10 @@ AsyncIngestor::AsyncIngestor(BatchFn sink, Options opts)
     throw std::invalid_argument("AsyncIngestor: need at least one absorber");
   if (opts_.queue_capacity_edges == 0 || opts_.absorb_chunk_edges == 0)
     throw std::invalid_argument("AsyncIngestor: zero capacity/chunk");
-  if (opts_.absorb_min_edges > 0 && opts_.flush_deadline_us == 0)
+  if ((opts_.absorb_min_edges > 0 || opts_.autotune) &&
+      opts_.flush_deadline_us == 0)
     throw std::invalid_argument(
-        "AsyncIngestor: absorb_min_edges needs flush_deadline_us > 0");
+        "AsyncIngestor: absorb_min_edges/autotune need flush_deadline_us > 0");
   opts_.route_block = std::max<std::size_t>(opts_.route_block, 1);
   // A gather threshold above the queue bound could never be met, and one
   // above the absorb chunk would leave every post-drain remainder below
@@ -125,14 +126,25 @@ Epoch AsyncIngestor::submit_internal(std::span<const Edge> edges,
     ticket = ++last_submitted_;
     open_[ticket] = items.size();
   }
+  // Account the accepted work at ticket registration, not after the pushes:
+  // push_item can block on backpressure for a long time, and a stats poll
+  // during that stall must already see this submission (streaming pollers
+  // compare submitted vs absorbed to decide whether more work is coming).
+  submitted_edges_ += edges.size();
+  ++submit_calls_;
   for (auto& [qi, item] : items) {
     item.epoch = ticket;
     push_item(qi, std::move(item));
   }
-  submitted_edges_ += edges.size();
-  ++submit_calls_;
   return ticket;
 }
+
+// EWMA smoothing for the autotuned arrival rate: heavy enough that one
+// odd inter-arrival gap does not swing the threshold, light enough that a
+// trickle->flood transition converges within a few tens of pushes.
+namespace {
+constexpr double kRateAlpha = 0.25;
+}  // namespace
 
 void AsyncIngestor::push_item(std::size_t queue_idx, Item item) {
   Queue& q = *queues_[queue_idx];
@@ -145,6 +157,20 @@ void AsyncIngestor::push_item(std::size_t queue_idx, Item item) {
       return q.edges == 0 || q.edges + n <= opts_.queue_capacity_edges ||
              stopping_.load(std::memory_order_acquire);
     });
+    if (opts_.autotune) {
+      const auto now = std::chrono::steady_clock::now();
+      if (q.saw_arrival) {
+        const double dt = std::max(
+            std::chrono::duration<double>(now - q.last_arrival).count(),
+            1e-7);
+        const double inst = static_cast<double>(n) / dt;
+        q.ewma_eps = q.ewma_eps == 0.0
+                         ? inst
+                         : kRateAlpha * inst + (1.0 - kRateAlpha) * q.ewma_eps;
+      }
+      q.saw_arrival = true;
+      q.last_arrival = now;
+    }
     q.items.push_back(std::move(item));
     q.edges += n;
     queue_high_watermark_.max_with(q.edges);
@@ -157,13 +183,33 @@ void AsyncIngestor::push_item(std::size_t queue_idx, Item item) {
   w.cv.notify_one();
 }
 
+std::size_t AsyncIngestor::gather_threshold_locked(const Queue& q) const {
+  if (!opts_.autotune) return opts_.absorb_min_edges;
+  if (!q.saw_arrival || q.ewma_eps <= 0.0) return 0;
+  const auto now = std::chrono::steady_clock::now();
+  const double idle_us =
+      std::chrono::duration<double, std::micro>(now - q.last_arrival).count();
+  // A queue idle past its flush deadline is no longer flooding: drain
+  // whatever is staged immediately instead of pacing a dead stream.
+  if (idle_us > static_cast<double>(opts_.flush_deadline_us)) return 0;
+  // Gather what the current rate will deliver before the deadline would
+  // force a flush anyway; more than that can never accumulate in time.
+  const double window_s =
+      static_cast<double>(opts_.flush_deadline_us) * 1e-6;
+  const double expect = q.ewma_eps * window_s;
+  const auto bound = static_cast<double>(
+      std::min(opts_.absorb_chunk_edges, opts_.queue_capacity_edges));
+  return static_cast<std::size_t>(std::min(expect, bound));
+}
+
 std::vector<AsyncIngestor::Item> AsyncIngestor::pop_chunk(Queue& q,
-                                                          std::size_t min_edges,
+                                                          bool gather,
                                                           bool* below_min) {
   std::vector<Item> out;
   std::size_t taken = 0;
   {
     std::lock_guard<std::mutex> g(q.mu);
+    const std::size_t min_edges = gather ? gather_threshold_locked(q) : 0;
     if (!q.items.empty() && q.edges < min_edges) {
       // Gathering: leave the partial chunk staged so the next arrivals
       // extend it — but only until this queue's own flush deadline,
@@ -184,10 +230,57 @@ std::vector<AsyncIngestor::Item> AsyncIngestor::pop_chunk(Queue& q,
     }
     q.gathering = false;
     while (!q.items.empty() && taken < opts_.absorb_chunk_edges) {
-      taken += q.items.front().edges.size();
-      q.edges -= q.items.front().edges.size();
-      out.push_back(std::move(q.items.front()));
-      q.items.pop_front();
+      Item& front = q.items.front();
+      const std::size_t remaining = front.edges.size() - front.consumed;
+      if (taken + remaining <= opts_.absorb_chunk_edges) {
+        // The rest of this item fits: take it whole (sliced from the
+        // cursor if earlier splits already drained a prefix — this final
+        // piece retires in place of the original item, so the ledger
+        // needs no adjustment).
+        if (front.consumed == 0) {
+          out.push_back(std::move(front));
+        } else {
+          Item part;
+          part.epoch = front.epoch;
+          part.tombstone = front.tombstone;
+          part.edges.assign(
+              front.edges.begin() +
+                  static_cast<std::ptrdiff_t>(front.consumed),
+              front.edges.end());
+          out.push_back(std::move(part));
+        }
+        q.items.pop_front();
+        taken += remaining;
+        q.edges -= remaining;
+        continue;
+      }
+      // Boundary item would overshoot the chunk bound. With work already
+      // taken, stop before it (the bound holds; the item drains next pop).
+      if (taken > 0) break;
+      // A single item larger than the chunk (items are bounded by the
+      // queue capacity, which may exceed the chunk): hand out one
+      // chunk-sized piece and advance the cursor — the sink never sees
+      // more than absorb_chunk_edges at once, and the remainder is not
+      // re-copied forward on every split. The piece retires separately
+      // from the staged original, so the open-item ledger must count one
+      // more piece first (q.mu -> epoch_mu_ nests safely: no path
+      // acquires q.mu while holding epoch_mu_).
+      const std::size_t room = opts_.absorb_chunk_edges;
+      Item part;
+      part.epoch = front.epoch;
+      part.tombstone = front.tombstone;
+      const auto begin = front.edges.begin() +
+                         static_cast<std::ptrdiff_t>(front.consumed);
+      part.edges.assign(begin, begin + static_cast<std::ptrdiff_t>(room));
+      front.consumed += room;
+      {
+        std::lock_guard<std::mutex> e(epoch_mu_);
+        ++open_[part.epoch];
+      }
+      taken += room;
+      q.edges -= room;
+      out.push_back(std::move(part));
+      break;
     }
   }
   if (!out.empty()) q.not_full.notify_all();
@@ -256,12 +349,11 @@ void AsyncIngestor::absorber_main(std::size_t worker) {
     // staged, however small. pop_chunk itself enforces the per-queue flush
     // deadline, so a sweep that finds other work still drains any queue
     // whose deadline has passed.
-    const std::size_t min_edges = stopping_.load(std::memory_order_acquire)
-                                      ? 0
-                                      : opts_.absorb_min_edges;
+    const bool allow_gather = !stopping_.load(std::memory_order_acquire);
     for (std::size_t qi = worker; qi < queues_.size();
          qi += worker_state_.size()) {
-      std::vector<Item> chunk = pop_chunk(*queues_[qi], min_edges, &gathering);
+      std::vector<Item> chunk =
+          pop_chunk(*queues_[qi], allow_gather, &gathering);
       if (chunk.empty()) continue;
       absorb_items(chunk);
       retire_items(chunk);
@@ -335,6 +427,19 @@ IngestStats AsyncIngestor::stats() const {
   s.absorb_batches = absorb_batches_;
   s.stalls = stalls_;
   s.queue_high_watermark = queue_high_watermark_;
+  if (opts_.autotune) {
+    double rate = 0.0;
+    std::uint64_t eff = 0;
+    for (const auto& q : queues_) {
+      std::lock_guard<std::mutex> g(q->mu);
+      rate += q->ewma_eps;
+      eff = std::max<std::uint64_t>(eff, gather_threshold_locked(*q));
+    }
+    s.arrival_rate_eps = rate;
+    s.absorb_min_effective = eff;
+  } else {
+    s.absorb_min_effective = opts_.absorb_min_edges;
+  }
   {
     std::lock_guard<std::mutex> g(epoch_mu_);
     s.last_submitted = last_submitted_;

@@ -66,12 +66,21 @@ using Epoch = std::uint64_t;
 
 // Plain-value snapshot of the ingestor's counters (safe to copy around).
 struct IngestStats {
-  std::uint64_t submitted_edges = 0;  // edges accepted by submit()
-  std::uint64_t absorbed_edges = 0;   // edges pushed through the sink
+  // Edges accepted by submit(), counted at ticket registration — a stats
+  // poll while the producer is still blocked on backpressure already sees
+  // the whole accepted submission (streaming pollers gate on this).
+  std::uint64_t submitted_edges = 0;
+  std::uint64_t absorbed_edges = 0;  // edges pushed through the sink
   std::uint64_t submit_calls = 0;
   std::uint64_t absorb_batches = 0;   // sink invocations (drain passes)
   std::uint64_t stalls = 0;           // submit blocked on a full queue
   std::uint64_t queue_high_watermark = 0;  // max edges queued in one queue
+  // Autotune telemetry (Options::autotune): the effective gather threshold
+  // a pop would use right now (max across queues; for a fixed threshold
+  // this echoes the clamped absorb_min_edges) and the summed per-queue
+  // EWMA arrival rate in edges/second.
+  std::uint64_t absorb_min_effective = 0;
+  double arrival_rate_eps = 0.0;
   Epoch last_submitted = 0;
   Epoch durable = 0;  // every epoch <= this is absorbed + fenced
   // A sink call threw: edges past `durable` may be silently dropped. The
@@ -114,11 +123,21 @@ class AsyncIngestor {
     // larger sink batches — the batch path's one-lock/one-fence savings —
     // under trickle ingest.
     std::size_t absorb_min_edges = 0;
-    // Idle-absorber flush deadline: a non-empty queue still below
-    // absorb_min_edges with no new arrivals for this long is drained
+    // Idle-absorber flush deadline: a non-empty queue still below the
+    // gather threshold with no new arrivals for this long is drained
     // anyway, so tail epochs close under trickle ingest instead of waiting
-    // forever for a full chunk. Must be > 0 when absorb_min_edges > 0.
+    // forever for a full chunk. Must be > 0 when absorb_min_edges > 0 or
+    // autotune is on.
     std::uint64_t flush_deadline_us = 1000;
+    // Arrival-rate absorb autotuning (ROADMAP PR 2 follow-up): replace the
+    // static absorb_min_edges with a per-queue threshold derived from an
+    // EWMA of the observed arrival rate — the edges expected to arrive
+    // within one flush deadline, clamped to [0, absorb_chunk_edges]. Under
+    // flood the absorber gathers full chunks (maximum batch-path savings);
+    // under trickle the threshold decays to 0 and every item drains
+    // immediately (no deadline-paced latency). absorb_min_edges is ignored
+    // while autotune is on.
+    bool autotune = false;
   };
 
   // (Two overloads rather than a default argument: in-class default args
@@ -157,6 +176,10 @@ class AsyncIngestor {
     Epoch epoch = 0;
     bool tombstone = false;
     std::vector<Edge> edges;
+    // Edges already handed out by pop_chunk splits (an item larger than
+    // absorb_chunk_edges is drained in chunk-sized pieces; the cursor
+    // avoids re-copying the remainder forward on every split).
+    std::size_t consumed = 0;
   };
 
   struct Queue {
@@ -164,12 +187,18 @@ class AsyncIngestor {
     std::condition_variable not_full;
     std::deque<Item> items;
     std::size_t edges = 0;  // staged edge count (backpressure unit)
-    // Gather state: set when a pop was refused below absorb_min_edges.
+    // Gather state: set when a pop was refused below the gather threshold.
     // The flush deadline is measured per queue from that refusal, so a
     // sub-threshold queue drains on time even while its absorber stays
     // busy with sibling queues.
     bool gathering = false;
     std::chrono::steady_clock::time_point gather_since{};
+    // Arrival-rate tracking (Options::autotune): EWMA of edges/second
+    // observed at push time plus the last arrival timestamp (a queue idle
+    // past the flush deadline is treated as rate 0 — the flood is over).
+    double ewma_eps = 0.0;
+    bool saw_arrival = false;
+    std::chrono::steady_clock::time_point last_arrival{};
   };
 
   // Per-absorber wake channel: submitters bump `signal` after pushing into
@@ -183,11 +212,16 @@ class AsyncIngestor {
   Epoch submit_internal(std::span<const Edge> edges, bool tombstone);
   void push_item(std::size_t queue_idx, Item item);
   void absorber_main(std::size_t worker);
-  // Drain up to absorb_chunk_edges from queue q; returns drained items.
-  // A non-empty queue holding fewer than `min_edges` staged edges is left
-  // alone (gathering); `below_min` reports that it happened.
-  std::vector<Item> pop_chunk(Queue& q, std::size_t min_edges = 0,
+  // Drain at most absorb_chunk_edges from queue q (the boundary item is
+  // split — never taken whole — so a sink call can never exceed the
+  // chunk); returns drained items. With `gather` set, a non-empty queue
+  // holding fewer than gather_threshold_locked() staged edges is left
+  // alone until its flush deadline; `below_min` reports that it happened.
+  std::vector<Item> pop_chunk(Queue& q, bool gather = false,
                               bool* below_min = nullptr);
+  // Effective gather threshold for q right now (requires q.mu held):
+  // the static absorb_min_edges, or the autotuned arrival-rate estimate.
+  [[nodiscard]] std::size_t gather_threshold_locked(const Queue& q) const;
   void absorb_items(std::vector<Item>& items);
   void retire_items(const std::vector<Item>& items);
   [[nodiscard]] std::size_t route(NodeId src) const {

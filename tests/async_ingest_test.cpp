@@ -13,7 +13,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -436,6 +440,182 @@ TEST(AsyncIngestorApi, ValidatesOptions) {
   EXPECT_THROW(AsyncIngestor(noop, bad2), std::invalid_argument);
   EXPECT_THROW(AsyncIngestor(nullptr, AsyncIngestor::Options{}),
                std::invalid_argument);
+}
+
+// Regression (absorb-chunk bound): one staged item can be larger than
+// absorb_chunk_edges (items are bounded by the queue capacity), and the
+// drain loop used to check the bound BEFORE adding the next item — a sink
+// call could exceed the configured chunk by almost a full queue-capacity
+// item. The boundary item must be split (or stopped before) so the bound
+// holds for every sink invocation.
+TEST(AsyncIngestorApi, SinkBatchesNeverExceedAbsorbChunk) {
+  AsyncIngestor::Options o;
+  o.absorbers = 1;
+  o.absorb_chunk_edges = 64;
+  o.queue_capacity_edges = 4096;
+  std::mutex mu;
+  std::vector<std::vector<Edge>> calls;
+  {
+    AsyncIngestor ing(
+        [&](std::span<const Edge> edges, bool) {
+          std::lock_guard<std::mutex> g(mu);
+          calls.emplace_back(edges.begin(), edges.end());
+        },
+        o);
+    std::vector<Edge> edges(1000);
+    for (std::size_t i = 0; i < edges.size(); ++i)
+      edges[i] = {static_cast<NodeId>(i % 50), static_cast<NodeId>(i)};
+    const Epoch e = ing.submit(edges);
+    // Durability of the split submission: every piece must retire before
+    // the epoch closes.
+    ing.wait_durable(e);
+  }
+  std::size_t total = 0;
+  std::vector<Edge> flat;
+  for (const auto& call : calls) {
+    EXPECT_LE(call.size(), o.absorb_chunk_edges)
+        << "sink saw a batch larger than absorb_chunk_edges";
+    total += call.size();
+    flat.insert(flat.end(), call.begin(), call.end());
+  }
+  EXPECT_EQ(total, 1000u);
+  // Single queue, single submission: splitting must preserve order.
+  for (std::size_t i = 0; i < flat.size(); ++i)
+    EXPECT_EQ(flat[i].dst, static_cast<NodeId>(i));
+}
+
+// Regression (stats under backpressure): submitted_edges/submit_calls used
+// to be bumped only after every push_item returned, so a stats() poll
+// while the producer was blocked on a full queue undercounted the accepted
+// work — exactly what streaming_analytics polls to decide whether more
+// edges are coming. Accounting now happens at ticket registration.
+TEST(AsyncIngestorApi, StatsSeeSubmissionDuringBackpressure) {
+  AsyncIngestor::Options o;
+  o.absorbers = 1;
+  o.queue_capacity_edges = 8;
+  o.absorb_chunk_edges = 8;
+  std::promise<void> gate;
+  std::shared_future<void> released = gate.get_future().share();
+  AsyncIngestor ing(
+      [released](std::span<const Edge>, bool) { released.wait(); }, o);
+
+  std::vector<Edge> edges(100);
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    edges[i] = {1, static_cast<NodeId>(i)};
+  std::thread producer([&] { ing.submit(edges); });
+
+  // The producer is stuck: the sink is gated shut and the queue holds at
+  // most 8 edges. The full 100-edge submission must still become visible
+  // to stats() while the producer blocks.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  IngestStats s;
+  do {
+    s = ing.stats();
+    if (s.submitted_edges >= edges.size()) break;
+    std::this_thread::yield();
+  } while (std::chrono::steady_clock::now() < deadline);
+  EXPECT_EQ(s.submitted_edges, edges.size())
+      << "stats() undercounts accepted work while the producer is stalled";
+  EXPECT_EQ(s.submit_calls, 1u);
+
+  gate.set_value();
+  producer.join();
+  ing.drain();
+  EXPECT_EQ(ing.stats().absorbed_edges, edges.size());
+}
+
+// Arrival-rate absorb autotuning: under a trickle the effective gather
+// threshold stays near zero (immediate drains); under a flood it converges
+// to the full absorb chunk (maximum batch-path savings); and when the
+// flood subsides it decays back down.
+TEST(AsyncIngestorApi, AutotuneConvergesBetweenTrickleAndFlood) {
+  AsyncIngestor::Options o;
+  o.absorbers = 1;
+  o.absorb_chunk_edges = 1024;
+  o.queue_capacity_edges = 1 << 16;
+  o.autotune = true;
+  o.flush_deadline_us = 20000;  // 20 ms window
+  std::atomic<std::uint64_t> sunk{0};
+  AsyncIngestor ing(
+      [&](std::span<const Edge> e, bool) { sunk += e.size(); }, o);
+
+  // Trickle: one edge every ~2 ms is a few hundred edges/second — far
+  // below what fills a chunk within the deadline window.
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<Edge> one = {{1, static_cast<NodeId>(i)}};
+    ing.submit(one);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_LT(ing.stats().absorb_min_effective, o.absorb_chunk_edges / 4)
+      << "trickle must not be deadline-paced behind a large threshold";
+
+  // Flood: tight-loop bursts push the EWMA rate far past
+  // chunk / deadline, so the threshold must converge to the full chunk.
+  std::vector<Edge> burst(512);
+  for (std::size_t i = 0; i < burst.size(); ++i)
+    burst[i] = {static_cast<NodeId>(i % 64), static_cast<NodeId>(i)};
+  std::uint64_t peak = 0;
+  const auto flood_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (peak < o.absorb_chunk_edges &&
+         std::chrono::steady_clock::now() < flood_deadline) {
+    ing.submit(burst);
+    peak = std::max(peak, ing.stats().absorb_min_effective);
+  }
+  EXPECT_EQ(peak, o.absorb_chunk_edges)
+      << "flood never converged the gather threshold to the chunk";
+
+  // Back to trickle: the threshold must fall again (each slow arrival
+  // decays the EWMA), so post-flood trickle is not deadline-paced forever.
+  std::uint64_t low = std::numeric_limits<std::uint64_t>::max();
+  for (int i = 0; i < 400 && low > 64; ++i) {
+    const std::vector<Edge> one = {{2, static_cast<NodeId>(i)}};
+    ing.submit(one);
+    low = std::min(low, ing.stats().absorb_min_effective);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_LE(low, 64u) << "threshold never decayed after the flood ended";
+
+  ing.drain();
+  const IngestStats s = ing.stats();
+  EXPECT_EQ(sunk.load(), s.submitted_edges);
+  EXPECT_EQ(s.absorbed_edges, s.submitted_edges);
+}
+
+// Autotune rides the normal absorption machinery: oracle equivalence and
+// full durability are unchanged.
+TEST_F(AsyncFixture, AutotuneOracleEquivalence) {
+  make_store(2);
+  const auto stream = symmetrize(generate_rmat(64, 3000, 21));
+  AsyncIngestor::Options o;
+  o.absorbers = 2;
+  o.queues = 4;
+  o.autotune = true;
+  o.flush_deadline_us = 500;
+  auto ing = make_dgap_ingestor(*store, o);
+
+  const auto& edges = stream.edges();
+  for (std::size_t i = 0; i < edges.size(); i += 100)
+    ing->submit(std::span<const Edge>(
+        edges.data() + i, std::min<std::size_t>(100, edges.size() - i)));
+  ing->drain();
+
+  AdjGraph oracle(stream.num_vertices());
+  for (const Edge& e : edges) oracle.add_edge(e.src, e.dst);
+  EXPECT_EQ(snapshot_multiset(*store), oracle_multiset(oracle));
+  std::string why;
+  EXPECT_TRUE(store->check_invariants(&why)) << why;
+  EXPECT_EQ(ing->stats().absorbed_edges, edges.size());
+}
+
+// Autotune needs the flush deadline as its rate window and latency bound.
+TEST(AsyncIngestorApi, AutotuneRequiresDeadline) {
+  auto noop = [](std::span<const Edge>, bool) {};
+  AsyncIngestor::Options o;
+  o.autotune = true;
+  o.flush_deadline_us = 0;
+  EXPECT_THROW(AsyncIngestor(noop, o), std::invalid_argument);
 }
 
 TEST(AsyncIngestorApi, SinkFailurePropagatesToWaiters) {
