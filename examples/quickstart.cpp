@@ -50,8 +50,10 @@ int main(int argc, char** argv) {
 
   // --- 3. consistent analysis -------------------------------------------------
   // A snapshot freezes every vertex's degree; concurrent writers do not
-  // disturb it (paper §3.1.3). NOTE the scope: a Snapshot pins the store's
-  // vertex table and must be destroyed before the store is.
+  // disturb it (paper §3.1.3), and a held snapshot blocks nothing — ingest,
+  // vertex growth and resizes all proceed underneath it (snapshot.hpp).
+  // A snapshot should still not outlive its store: using one after the
+  // store is destroyed throws std::logic_error (fail-fast, not UAF).
   {
     const core::Snapshot snap = graph->consistent_view();
     graph->insert_edge(1, 2);  // happens after the snapshot: invisible to it

@@ -10,16 +10,22 @@
 // and reports the current top-k "hotspot" cells by PageRank and the number
 // of connected clusters — truly concurrent ingestion and analysis: the
 // producers never block on PM flushes, the absorbers never pause for the
-// analysis, and every snapshot is an immutable consistent view.
+// analysis, and every snapshot is an immutable consistent view. The
+// round-0 snapshot is deliberately HELD until the stream is drained:
+// absorbers keep running straight through it (vertex growth, rebalances
+// and resizes never wait on a held snapshot — snapshot.hpp), and at the
+// end it still reads its original cut.
 //
 // Run:  ./examples/streaming_analytics [--events 200000] [--rounds 5]
 //                                      [--producers 2] [--async-writers 2]
 //                                      [--autotune] [--ingest-profile ...]
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -123,6 +129,10 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "round  absorbed   clusters  top hotspots (cell:score)\n";
+  // Held across the whole stream: ingestion must never stall behind it.
+  std::optional<core::Snapshot> round0_snap;
+  std::uint64_t round0_edges = 0;
+  std::uint64_t round0_checksum = 0;
   for (int round = 0; round < rounds; ++round) {
     // Wait until roughly the next chunk of traffic has been absorbed.
     const std::size_t target =
@@ -144,6 +154,13 @@ int main(int argc, char** argv) {
     if (ingest_failed) break;
 
     const core::Snapshot snap = graph->consistent_view();
+    if (!round0_snap) {
+      round0_snap.emplace(graph->consistent_view());
+      round0_edges = round0_snap->num_edges_directed();
+      for (NodeId v = 0; v < round0_snap->num_nodes(); ++v)
+        round0_snap->for_each_out(
+            v, [&](NodeId d) { round0_checksum += static_cast<std::uint64_t>(d) * 31 + 1; });
+    }
     const auto pr = algorithms::pagerank(snap, {.iterations = 10});
     const auto comp = algorithms::connected_components(snap);
 
@@ -175,6 +192,22 @@ int main(int argc, char** argv) {
   } catch (const std::exception& ex) {
     std::cerr << "ingestion failed: " << ex.what() << "\n";
     return 1;
+  }
+  // The long-held snapshot must still read its original cut — through all
+  // the growth, rebalances and resizes the stream caused since round 0.
+  if (round0_snap) {
+    std::uint64_t checksum = 0;
+    for (NodeId v = 0; v < round0_snap->num_nodes(); ++v)
+      round0_snap->for_each_out(
+          v, [&](NodeId d) { checksum += static_cast<std::uint64_t>(d) * 31 + 1; });
+    if (checksum != round0_checksum) {
+      std::cerr << "held round-0 snapshot drifted (checksum "
+                << round0_checksum << " -> " << checksum << ")\n";
+      return 1;
+    }
+    std::cout << "held round-0 snapshot still frozen at " << round0_edges
+              << " edges (ingestion never waited on it)\n";
+    round0_snap.reset();
   }
   const ingest::IngestStats is = ingestor->stats();
   std::cout << "stream drained; total edges " << graph->num_edge_slots()

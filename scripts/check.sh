@@ -30,6 +30,16 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"
 ./build/streaming_analytics --events 20000 --rounds 2 --producers 2 \
   --async-writers 2 --autotune --ingest-profile ingest-heavy
 
+# Smoke-run the snapshot-subsystem bench modes: analysis concurrent with
+# async ingest (--live-ingest) and the CSR materialization cache
+# (--csr-cache, which also verifies cached kernels match uncached exactly).
+./build/fig7_pr_cc --live-ingest --live-producers=2 --datasets=orkut \
+  --scale=0.02 --system=dgap --pool-mb=256
+./build/fig7_pr_cc --csr-cache --datasets=orkut --scale=0.02 \
+  --system=dgap --pool-mb=256
+./build/fig8_bfs_bc --csr-cache --datasets=orkut --scale=0.02 \
+  --system=dgap --pool-mb=256
+
 # The CLIs must refuse nonsensical knob values instead of misbehaving.
 expect_reject() {
   if "$@" > /dev/null 2>&1; then
@@ -65,5 +75,9 @@ expect_reject ./build/fig6_insert_throughput --absorb-min=-3
 expect_reject ./build/table3_insert_scalability --ingest-profile=bogus
 expect_reject ./build/compare_stores --ingest-profile=bogus
 expect_reject ./build/streaming_analytics --ingest-profile=bogus
+expect_reject ./build/fig7_pr_cc --live-producers=0
+expect_reject ./build/fig7_pr_cc --live-producers=nope
+expect_reject ./build/fig7_pr_cc --live-producers=-2
+expect_reject ./build/table4_analysis_scalability --live-producers=0
 
 echo "check.sh: all good"

@@ -2,6 +2,8 @@
 
 #include <omp.h>
 
+#include <atomic>
+#include <chrono>
 #include <iostream>
 #include <stdexcept>
 #include <thread>
@@ -70,6 +72,11 @@ BenchConfig parse_common(const Cli& cli, double default_scale,
   if (cli.has("absorb-min"))
     cfg.absorb_min = static_cast<std::size_t>(
         parse_positive_int(cli.get("absorb-min", ""), "--absorb-min"));
+  cfg.csr_cache = cli.get_bool("csr-cache", false);
+  cfg.live_ingest = cli.get_bool("live-ingest", false);
+  if (cli.has("live-producers"))
+    cfg.live_producers = static_cast<int>(parse_positive_int_capped(
+        cli.get("live-producers", ""), "--live-producers", 256));
   return cfg;
 }
 
@@ -162,6 +169,116 @@ AsyncInsertResult time_inserts_async(const EdgeStream& stream, int producers,
   return r;
 }
 
+LiveIngestResult run_live_ingest(IStore& store, std::span<const Edge> body,
+                                 int producers, int absorbers,
+                                 std::size_t batch) {
+  LiveIngestResult r;
+  batch = std::max<std::size_t>(batch, 1);
+  producers = std::max(producers, 1);
+  ingest::AsyncIngestor::Options o;
+  o.absorbers = static_cast<std::size_t>(std::max(absorbers, 1));
+  auto ing = store.make_async(o);
+
+  std::atomic<int> done{0};
+  const std::size_t chunks = (body.size() + batch - 1) / batch;
+  Timer t;
+  std::vector<std::thread> feeds;
+  feeds.reserve(static_cast<std::size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    feeds.emplace_back([&, p] {
+      for (std::size_t c = static_cast<std::size_t>(p); c < chunks;
+           c += static_cast<std::size_t>(producers)) {
+        const std::size_t begin = c * batch;
+        ing->submit(
+            body.subspan(begin, std::min(batch, body.size() - begin)));
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  // A lightweight monitor samples the moment everything submitted is
+  // absorbed: the analysis loop below re-checks its condition only
+  // BETWEEN kernel rounds, so reading the clock there would charge up to
+  // one trailing PageRank to the ingest time and deflate the MEPS.
+  std::atomic<bool> ingested{false};
+  double ingest_seconds = 0;
+  std::thread monitor([&] {
+    while (done.load(std::memory_order_acquire) < producers ||
+           ing->stats().absorbed_edges < body.size())
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    ingest_seconds = t.seconds();
+    ingested.store(true, std::memory_order_release);
+  });
+
+  // Analysis loop on the calling thread: snapshot + PageRank per round,
+  // concurrently with producers, absorbers, growth and resizes. At least
+  // one round runs even if ingest wins the race.
+  double kernel_total = 0;
+  int rounds = 0;
+  do {
+    kernel_total += store.time_pagerank(1);
+    ++rounds;
+  } while (!ingested.load(std::memory_order_acquire));
+  for (auto& f : feeds) f.join();
+  monitor.join();
+  ing->drain();  // fence durability; absorption completed at ingest_seconds
+  r.ingest_seconds = ingest_seconds;
+  r.ingest_meps =
+      static_cast<double>(body.size()) / r.ingest_seconds / 1e6;
+  r.analysis_rounds = rounds;
+  r.avg_kernel_seconds = kernel_total / rounds;
+  r.quiescent_kernel_seconds = store.time_pagerank(1);
+  return r;
+}
+
+void print_live_ingest_section(
+    const BenchConfig& cfg,
+    const std::function<const EdgeStream&(const std::string&)>& stream_for,
+    std::ostream& os) {
+  os << "\n--- DGAP analysis WHILE ingesting (--live-ingest, "
+     << cfg.live_producers << " producers, 2 absorbers) ---\n";
+  TablePrinter table({"Graph", "ingest MEPS", "PR rounds", "avg PR(s)",
+                      "quiescent PR(s)", "PR slowdown"});
+  for (const auto& name : cfg.datasets) {
+    const EdgeStream& stream = stream_for(name);
+    auto pool = fresh_pool(cfg.pool_mb);
+    auto store = make_store("dgap", *pool, stream.num_vertices(),
+                            stream.num_edges(), cfg.live_producers + 2,
+                            cfg.tuning);
+    const auto all = stream.all();
+    const std::size_t half = all.size() / 2;
+    constexpr std::size_t kChunk = 8192;
+    for (std::size_t i = 0; i < half; i += kChunk)
+      store->insert_batch(all.subspan(i, std::min(kChunk, half - i)));
+    const LiveIngestResult r = run_live_ingest(
+        *store, all.subspan(half), cfg.live_producers, /*absorbers=*/2,
+        /*batch=*/512);
+    table.add_row(
+        {name, TablePrinter::fmt(r.ingest_meps),
+         std::to_string(r.analysis_rounds),
+         TablePrinter::fmt(r.avg_kernel_seconds, 3),
+         TablePrinter::fmt(r.quiescent_kernel_seconds, 3),
+         TablePrinter::fmt(r.avg_kernel_seconds /
+                           std::max(r.quiescent_kernel_seconds, 1e-9))});
+  }
+  table.print(os);
+}
+
+LoadedDgap load_dgap_for_analysis(const EdgeStream& stream,
+                                  std::uint64_t pool_mb) {
+  LoadedDgap l;
+  l.pool = fresh_pool(pool_mb);
+  core::DgapOptions o;
+  o.init_vertices = stream.num_vertices();
+  o.init_edges = stream.num_edges();
+  l.store = core::DgapStore::create(*l.pool, o);
+  constexpr std::size_t kChunk = 8192;
+  const auto all = stream.all();
+  for (std::size_t i = 0; i < all.size(); i += kChunk)
+    l.store->insert_batch(all.subspan(i, std::min(kChunk, all.size() - i)));
+  return l;
+}
+
 void configure_latency(bool enabled) {
   pmem::LatencyConfig lc;  // Optane-like defaults from the header
   lc.enabled = enabled;
@@ -185,6 +302,9 @@ void print_banner(const std::string& title, const BenchConfig& cfg) {
     std::cout << " autotune=on";
   else if (cfg.absorb_min != 0)
     std::cout << " absorb-min=" << cfg.absorb_min;
+  if (cfg.csr_cache) std::cout << " csr-cache=on";
+  if (cfg.live_ingest)
+    std::cout << " live-ingest=on live-producers=" << cfg.live_producers;
   std::cout << "\n";
 }
 

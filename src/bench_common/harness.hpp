@@ -13,8 +13,13 @@
 #include <thread>
 #include <vector>
 
+#include <omp.h>
+
+#include "src/algorithms/graph_view.hpp"
 #include "src/common/cli.hpp"
+#include "src/common/table.hpp"
 #include "src/common/timer.hpp"
+#include "src/core/dgap_store.hpp"
 #include "src/core/options.hpp"
 #include "src/graph/edge_stream.hpp"
 #include "src/graph/types.hpp"
@@ -52,13 +57,24 @@ struct BenchConfig {
   // (ignored while autotune is on — the comparison the autotuner must win).
   bool autotune = false;
   std::size_t absorb_min = 0;
+  // --csr-cache: add the SnapshotCsrCache section (fig7/fig8) — run each
+  // kernel over the raw snapshot AND over the cached CSR materialization of
+  // the SAME cut, verify identical results, report the speedup.
+  bool csr_cache = false;
+  // --live-ingest: add the analysis-while-ingesting section (fig7/table4) —
+  // async producers flood the store while the analysis thread snapshots and
+  // runs PageRank; both sides' throughput is reported. --live-producers=N
+  // sets the submit-thread count.
+  bool live_ingest = false;
+  int live_producers = 2;
 };
 
 // Parse --scale, --datasets=a,b,c, --latency, --pool-mb, --system,
 // --batch=a,b,c, --async-writers=a,b,c, --shards=a,b,c,
 // --ingest-profile=balanced|ingest-heavy, --section-slots=N (power of
-// two), --autotune, --absorb-min=N. Throws std::invalid_argument on
-// non-positive / non-numeric / unknown values.
+// two), --autotune, --absorb-min=N, --csr-cache, --live-ingest,
+// --live-producers=N. Throws std::invalid_argument on non-positive /
+// non-numeric / unknown values.
 BenchConfig parse_common(const Cli& cli, double default_scale,
                          std::vector<std::string> default_datasets);
 
@@ -218,6 +234,127 @@ AsyncInsertResult time_inserts_async(const EdgeStream& stream, int producers,
                                      std::size_t batch,
                                      ingest::AsyncIngestor& ingestor,
                                      double warmup_frac = 0.10);
+
+// --- analysis concurrent with ingest (--live-ingest) ------------------------
+
+// One HTAP round trip: `producers` submit threads flood `body` through the
+// store's async ingestor (absorbers draining in the background) while the
+// CALLING thread repeatedly takes a snapshot and times single-threaded
+// PageRank over it. Exercises exactly what the epoch-versioned snapshot
+// refactor bought: analysis rounds proceed through vertex growth, window
+// rebalances and resizes, and ingest never stalls behind a held snapshot.
+struct LiveIngestResult {
+  double ingest_seconds = 0;   // submit start -> everything absorbed
+  double ingest_meps = 0;      // body.size() over ingest_seconds
+  int analysis_rounds = 0;     // completed snapshot+PageRank rounds
+  double avg_kernel_seconds = 0;        // mean PR time while ingest ran
+  double quiescent_kernel_seconds = 0;  // PR time after the drain
+};
+
+class IStore;
+LiveIngestResult run_live_ingest(IStore& store, std::span<const Edge> body,
+                                 int producers, int absorbers,
+                                 std::size_t batch);
+
+// The full --live-ingest report shared by fig7/table4 (one table: ingest
+// MEPS, PR rounds, avg/quiescent PR seconds, slowdown): per dataset,
+// preload the first half of the stream synchronously, then run_live_ingest
+// over the second half. `stream_for` supplies the loaded stream (fig7
+// reuses its cache; table4 loads on demand).
+void print_live_ingest_section(
+    const BenchConfig& cfg,
+    const std::function<const EdgeStream&(const std::string&)>& stream_for,
+    std::ostream& os);
+
+// A DGAP store batch-loaded with a whole stream, ready for snapshot
+// analysis (the --csr-cache sections in fig7/fig8 start here).
+struct LoadedDgap {
+  std::unique_ptr<pmem::PmemPool> pool;
+  std::unique_ptr<core::DgapStore> store;
+};
+LoadedDgap load_dgap_for_analysis(const EdgeStream& stream,
+                                  std::uint64_t pool_mb);
+
+// --- --csr-cache section (fig7/fig8) ----------------------------------------
+
+// Time `kernel(view, source)` over the raw snapshot and over the cached
+// CSR materialization of the SAME cut; `identical` is an exact result
+// comparison (the CSR preserves degree semantics and neighbor order, so
+// kernels must match bit-for-bit).
+struct CsrCachePair {
+  double snap_seconds = 0;
+  double csr_seconds = 0;
+  bool identical = false;
+};
+
+template <typename Kernel>
+CsrCachePair time_csr_cache_pair(const core::Snapshot& snap,
+                                 core::SnapshotCsrCache& cache,
+                                 NodeId source, Kernel&& kernel) {
+  CsrCachePair p;
+  Timer t1;
+  const auto raw = kernel(snap, source);
+  p.snap_seconds = t1.seconds();
+  Timer t2;
+  const auto cached = kernel(cache.get(snap), source);
+  p.csr_seconds = t2.seconds();
+  p.identical = raw == cached;
+  return p;
+}
+
+// The full --csr-cache report shared by fig7 (PR+CC) and fig8 (BFS+BC):
+// per dataset, load DGAP, snapshot ONCE, materialize the cut (timed, the
+// single cache miss), then run kernel A and kernel B over raw-vs-cached
+// views — the B pair is the "second kernel over the same cut" the cache
+// exists for. Prints the table and returns false if any kernel pair
+// diverged (benches treat that as a hard failure).
+template <typename KernelA, typename KernelB>
+bool print_csr_cache_section(
+    const BenchConfig& cfg, const char* a_label, const char* b_label,
+    const std::function<const EdgeStream&(const std::string&)>& stream_for,
+    KernelA&& kernel_a, KernelB&& kernel_b, std::ostream& os) {
+  os << "\n--- DGAP SnapshotCsrCache: " << a_label << " + " << b_label
+     << " over ONE snapshot (1 thread) ---\n";
+  const std::string a = a_label;
+  const std::string b = b_label;
+  TablePrinter table({"Graph", "build(s)", a + ".snap", a + ".csr",
+                      b + ".snap", b + ".csr", "2nd-kernel speedup",
+                      "identical"});
+  const int saved_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+  bool all_identical = true;
+  for (const auto& name : cfg.datasets) {
+    const LoadedDgap loaded =
+        load_dgap_for_analysis(stream_for(name), cfg.pool_mb);
+    const core::Snapshot snap = loaded.store->consistent_view();
+    const NodeId source = algorithms::max_degree_vertex(snap);
+    Timer tb;
+    core::SnapshotCsrCache cache;
+    (void)cache.get(snap);  // the one miss: materialize the cut
+    const double build_s = tb.seconds();
+
+    const CsrCachePair pa = time_csr_cache_pair(snap, cache, source,
+                                                kernel_a);
+    const CsrCachePair pb = time_csr_cache_pair(snap, cache, source,
+                                                kernel_b);
+    const bool identical = pa.identical && pb.identical;
+    all_identical = all_identical && identical;
+    table.add_row({name, TablePrinter::fmt(build_s, 3),
+                   TablePrinter::fmt(pa.snap_seconds, 3),
+                   TablePrinter::fmt(pa.csr_seconds, 3),
+                   TablePrinter::fmt(pb.snap_seconds, 3),
+                   TablePrinter::fmt(pb.csr_seconds, 3),
+                   TablePrinter::fmt(pb.snap_seconds / pb.csr_seconds),
+                   identical ? "yes" : "NO (BUG)"});
+    if (!identical) break;
+  }
+  omp_set_num_threads(saved_threads);
+  table.print(os);
+  if (all_identical)
+    os << "# csr-cache: per dataset 1 build (miss) + 3 hits; all kernel "
+          "results verified identical to the uncached path\n";
+  return all_identical;
+}
 
 // --- type-erased store ------------------------------------------------------
 

@@ -203,7 +203,11 @@ void DgapStore::update_batch_internal(std::span<const Edge> all,
             if (pos > run_begin) {
               pool_.flush(slots_ + run_begin,
                           (pos - run_begin) * sizeof(Slot));
-              live.arr_count += static_cast<std::uint32_t>(pos - run_begin);
+              // Release-publish after the slot stores: lock-free snapshot
+              // readers acquire the count before indexing the run.
+              publish_u32(live.arr_count,
+                          live.arr_count +
+                              static_cast<std::uint32_t>(pos - run_begin));
               if (tombstone) live.has_tombstone = 1;
               for (std::uint64_t p = run_begin; p < pos;) {
                 const std::uint64_t sec = p >> shift;
@@ -233,7 +237,7 @@ void DgapStore::update_batch_internal(std::span<const Edge> all,
             sm.elog_raw += 1;
             sm.elog_live += 1;
             live.el_count += 1;
-            live.el_head_p1 = eidx + 1;
+            publish_u32(live.el_head_p1, eidx + 1);
             if (tombstone) live.has_tombstone = 1;
             tree_->add(home, +1);
             if (!opts_.metadata_in_dram) {

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 
 #include "src/pma/layout.hpp"
@@ -20,7 +21,29 @@ std::atomic<std::uint64_t> g_instance_counter{1};
 DgapStore::DgapStore(pmem::PmemPool& pool, const DgapOptions& opts)
     : pool_(pool),
       opts_(opts),
-      instance_id_(g_instance_counter.fetch_add(1)) {}
+      ctl_(std::make_shared<StoreCtl>()),
+      instance_id_(g_instance_counter.fetch_add(1)) {
+  ctl_->store = this;
+}
+
+DgapStore::~DgapStore() {
+  // Close the snapshot control block first: any snapshot op from here on
+  // fails fast (std::logic_error) instead of touching freed memory, and
+  // Snapshot::release() becomes a no-op on the store side.
+  {
+    std::lock_guard<SpinLock> g(ctl_->mu);
+    ctl_->store = nullptr;
+    ctl_->closed.store(true, std::memory_order_release);
+  }
+  // Snapshots can no longer reach the arrays, so retired layouts are freed
+  // unconditionally (their pins are stale by definition now).
+  std::lock_guard<SpinLock> r(retired_mu_);
+  for (const LayoutGen* g : retired_) {
+    pool_.allocator().free(g->edge_array_off, g->edge_array_bytes);
+    pool_.allocator().free(g->elog_region_off, g->elog_region_bytes);
+  }
+  retired_.clear();
+}
 
 UlogDescriptor* DgapStore::ulog(std::uint32_t tid) const {
   return pool_.at<UlogDescriptor>(root_->ulog_region_off +
@@ -56,6 +79,21 @@ void DgapStore::adopt_layout(const DgapLayout& l) {
   seg_shift_ = log2_floor(l.segment_slots);
   elog_entries_ = l.elog_entries;
   sections_.ensure(num_segments_);
+
+  // Publish the matching generation descriptor (epoch identity + deferred
+  // reclamation bookkeeping — see LayoutGen in snapshot.hpp; reads use the
+  // mirrors above). Callers flip inside the structural gate (resize) or
+  // before any reader exists (create/open).
+  auto gen = std::make_unique<LayoutGen>();
+  gen->edge_array_off = l.edge_array_off;
+  gen->edge_array_bytes = l.capacity_slots * sizeof(Slot);
+  gen->elog_region_off = l.elog_region_off;
+  gen->elog_region_bytes =
+      l.num_segments * l.elog_entries * sizeof(ElogEntry);
+  std::lock_guard<SpinLock> g(gen_mu_);
+  gen->epoch = all_gens_.empty() ? 0 : all_gens_.back()->epoch + 1;
+  all_gens_.push_back(std::move(gen));
+  cur_gen_.store(all_gens_.back().get(), std::memory_order_release);
 }
 
 // ---------------------------------------------------------------------------
@@ -144,9 +182,8 @@ void DgapStore::init_fresh(const DgapOptions& opts) {
   tree_ = std::make_unique<pma::SegmentTree>(num_segments_, seg_slots_,
                                              opts_.density);
 
-  entries_.assign(static_cast<std::size_t>(
-                      std::max<NodeId>(opts.init_vertices, 16) * 2),
-                  VertexEntry{});
+  entries_.ensure(static_cast<std::size_t>(
+      std::max<NodeId>(opts.init_vertices, 16) * 2));
   build_initial_array(opts.init_vertices);
 
   pool_.mark_running();
@@ -203,49 +240,18 @@ std::unique_ptr<DgapStore> DgapStore::open(pmem::PmemPool& pool,
 
 void DgapStore::insert_vertex(NodeId v) { ensure_vertices(v); }
 
-void DgapStore::reader_enter() const {
-  for (;;) {
-    while (growth_pending_.load(std::memory_order_acquire)) {
-#if defined(__x86_64__)
-      __builtin_ia32_pause();
-#endif
-    }
-    active_readers_.fetch_add(1, std::memory_order_acq_rel);
-    if (!growth_pending_.load(std::memory_order_acquire)) return;
-    active_readers_.fetch_sub(1, std::memory_order_acq_rel);
-  }
-}
-
-void DgapStore::reader_exit() const {
-  active_readers_.fetch_sub(1, std::memory_order_acq_rel);
-}
-
-void DgapStore::quiesce_readers_begin() const {
-  growth_pending_.store(true, std::memory_order_release);
-  while (active_readers_.load(std::memory_order_acquire) != 0) {
-#if defined(__x86_64__)
-    __builtin_ia32_pause();
-#endif
-  }
-}
-
-void DgapStore::quiesce_readers_end() const {
-  growth_pending_.store(false, std::memory_order_release);
-}
-
 void DgapStore::ensure_vertices(NodeId max_id) {
   if (max_id < num_nodes()) return;
   std::lock_guard<SpinLock> g(vertex_mu_);
   while (num_nodes() <= max_id) {
     const NodeId v = num_nodes();
     if (static_cast<std::size_t>(v) >= entries_.size()) {
-      // Grow the vertex array under writer + reader exclusion: writers are
-      // blocked by global exclusive; analysis readers drain via the gate.
-      global_mu_.lock();
-      quiesce_readers_begin();
-      entries_.resize(entries_.size() * 2);
-      quiesce_readers_end();
-      global_mu_.unlock();
+      // Chunked growth (section_table.hpp): existing entries never move, so
+      // concurrent readers — including long-lived snapshots mid-PageRank —
+      // are never quiesced. This is where the pre-refactor reader gate made
+      // flood ingest stall behind a held snapshot.
+      entries_.ensure(std::max<std::size_t>(entries_.size() * 2,
+                                            static_cast<std::size_t>(v) + 1));
     }
     append_vertex_locked(v);
   }
@@ -359,9 +365,10 @@ void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
 
     if (live.el_count == 0 && pos < cap && is_gap(slots_[pos])) {
       // Case (a), Fig 3(a): the slot at the end of the run is free — write
-      // the edge in place with a single atomic 8-byte persist.
+      // the edge in place with a single atomic 8-byte persist, then
+      // release-publish the count for the lock-free snapshot readers.
       pool_.store_persist(&slots_[pos], encode_edge(dst, tombstone));
-      entries_[src].arr_count += 1;
+      publish_u32(entries_[src].arr_count, e.arr_count + 1);
       if (tombstone) entries_[src].has_tombstone = 1;
       tree_->add(pos / ss, +1);
       if (!opts_.metadata_in_dram) {
@@ -385,7 +392,7 @@ void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
         sm.elog_raw += 1;
         sm.elog_live += 1;
         entries_[src].el_count += 1;
-        entries_[src].el_head_p1 = idx + 1;
+        publish_u32(entries_[src].el_head_p1, idx + 1);
         if (tombstone) entries_[src].has_tombstone = 1;
         tree_->add(home, +1);
         if (!opts_.metadata_in_dram) {
@@ -409,7 +416,7 @@ void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
         while (gap < seg_end && !is_gap(slots_[gap])) ++gap;
         if (gap < seg_end) {
           nearby_shift_insert(src, encode_edge(dst, tombstone), pos, gap);
-          entries_[src].arr_count += 1;
+          publish_u32(entries_[src].arr_count, e.arr_count + 1);
           if (tombstone) entries_[src].has_tombstone = 1;
           tree_->add(pos / ss, +1);
           if (!opts_.metadata_in_dram) {
@@ -450,7 +457,10 @@ void DgapStore::nearby_shift_insert(NodeId src, Slot value, std::uint64_t pos,
   (void)src;
   // Shift [pos, gap) one slot right, then place `value` at pos. The whole
   // overwritten range is backed up in the undo log first so a crash cannot
-  // tear the shift (recovery restores the pre-shift image).
+  // tear the shift (recovery restores the pre-shift image). Snapshot
+  // readers are held off by the structural gate (RAII: the tx-ablation
+  // journal allocation below can throw).
+  const StructGateHold gate(*this);
   const std::uint64_t range_slots = gap - pos + 1;
   const std::uint32_t tid = writer_slot();
   UlogDescriptor* d = ulog(tid);
@@ -500,46 +510,33 @@ void DgapStore::nearby_shift_insert(NodeId src, Slot value, std::uint64_t pos,
 }
 
 // ---------------------------------------------------------------------------
-// Reads / snapshots (paper §3.1.3)
+// Snapshots (paper §3.1.3; snapshot.hpp)
 // ---------------------------------------------------------------------------
 
-DgapStore::LockedRange DgapStore::lock_vertex_shared(NodeId v,
-                                                     std::uint32_t limit,
-                                                     VertexEntry& out) const {
-  for (;;) {
-    const VertexEntry e = entries_[v];
-    const std::uint64_t ss = seg_slots_;
-    const int shift = seg_shift_;
-    if (ss == 0 || e.start >= capacity_) continue;
-    const std::uint32_t arr_take = std::min<std::uint32_t>(limit, e.arr_count);
-    const std::uint64_t last_slot = e.start + arr_take;  // >= pivot slot
-    const std::uint64_t first = e.start >> shift;
-    const std::uint64_t last = last_slot >> shift;
-    if (last >= sections_.size()) continue;
-    for (std::uint64_t s = first; s <= last; ++s)
-      sections_[s].lock.lock_shared();
-    const VertexEntry& live = entries_[v];
-    if (live.start == e.start && seg_slots_ == ss &&
-        live.arr_count >= arr_take) {
-      out = live;
-      return {first, last};
-    }
-    for (std::uint64_t s = first; s <= last; ++s)
-      sections_[s].lock.unlock_shared();
-  }
+void DgapStore::freeze_begin() const {
+  // rebalance_mu_ first (same order as resize_and_rebuild's caller), so a
+  // freeze excludes window rebalances too: the degree column below is a
+  // true instant, not racing a concurrent splice's arr/el handoff.
+  rebalance_mu_.lock();
+  global_mu_.lock();
 }
 
-void DgapStore::unlock_shared(const LockedRange& r) const {
-  for (std::uint64_t s = r.first_sec; s <= r.last_sec; ++s)
-    sections_[s].lock.unlock_shared();
+void DgapStore::freeze_end() const {
+  global_mu_.unlock();
+  rebalance_mu_.unlock();
 }
 
-Snapshot DgapStore::consistent_view() const {
+Snapshot DgapStore::capture_frozen() const {
   Snapshot snap;
   snap.store_ = this;
-  // Briefly exclude writers while copying the degree column — the paper's
-  // "temporarily holds the graph updates" (§3.1.3).
-  global_mu_.lock();
+  snap.ctl_ = ctl_;
+  const LayoutGen* g = cur_gen_.load(std::memory_order_acquire);
+  g->pins.fetch_add(1, std::memory_order_acq_rel);
+  snap.gen_ = g;
+  snap.epoch_ = g->epoch;
+  static std::atomic<std::uint64_t> g_capture_seq{0};
+  snap.seq_ = g_capture_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+
   const NodeId n = num_nodes();
   snap.degree_.resize(static_cast<std::size_t>(n));
   snap.tomb_.resize(static_cast<std::size_t>(n));
@@ -551,43 +548,117 @@ Snapshot DgapStore::consistent_view() const {
     total += snap.degree_[v];
   }
   snap.total_ = total;
-  global_mu_.unlock();
-  // Pin the vertex table for the snapshot's lifetime (see Snapshot docs).
-  reader_enter();
+  ++stats_.snapshot_captures;
   return snap;
 }
 
-void Snapshot::release() {
-  if (store_ != nullptr) {
-    store_->reader_exit();
-    store_ = nullptr;
+Snapshot DgapStore::consistent_view() const {
+  // Briefly exclude writers and structural ops while copying the degree
+  // column — the paper's "temporarily holds the graph updates" (§3.1.3).
+  // Nothing is held afterwards: the snapshot's lifetime blocks no store
+  // operation, including vertex-table growth and resizes.
+  freeze_begin();
+  Snapshot snap = capture_frozen();
+  freeze_end();
+  return snap;
+}
+
+std::size_t DgapStore::reader_lane_enter() const {
+  // Stripe in-flight reader counts by thread so concurrent kernels don't
+  // serialize on one cache line.
+  static std::atomic<std::size_t> next_lane{0};
+  thread_local const std::size_t lane =
+      next_lane.fetch_add(1, std::memory_order_relaxed) % kReadLanes;
+  auto& n = read_lanes_[lane].n;
+  int spins = 0;
+  for (;;) {
+    while (struct_writers_.load(std::memory_order_acquire) != 0) {
+      // A structural op is (or is about to start) moving data: stay out so
+      // it can drain the lanes — this is the writer preference that keeps
+      // a PageRank storm from starving rebalances.
+      if (++spins > 256) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+    // seq_cst on both sides of the handshake (here and in
+    // struct_mutation_begin): the C++ model allows the store-buffering
+    // outcome under acq_rel — reader and structural op each missing the
+    // other's increment — and seq_cst is free on x86 (LOCK RMW).
+    n.fetch_add(1, std::memory_order_seq_cst);
+    if (DGAP_LIKELY(struct_writers_.load(std::memory_order_seq_cst) == 0))
+      return lane;
+    // A structural op announced itself between our check and increment:
+    // back out so its drain can complete.
+    n.fetch_sub(1, std::memory_order_release);
+    ++stats_.snapshot_read_retries;
   }
 }
 
-std::vector<NodeId> Snapshot::neighbors(NodeId v) const {
-  std::vector<NodeId> out;
-  const auto limit = degree_[v];
-  out.reserve(limit);
-  std::vector<std::pair<NodeId, bool>> raw;
-  raw.reserve(limit);
-  store_->read_edges(v, limit,
-                     [&](NodeId d, bool tomb) { raw.emplace_back(d, tomb); });
-  // A tombstone cancels the latest prior un-cancelled instance of the same
-  // destination (deletion always follows its insertion chronologically).
-  std::vector<bool> cancelled(raw.size(), false);
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    if (!raw[i].second) continue;
-    cancelled[i] = true;  // the tombstone itself is not a neighbor
-    for (std::size_t j = i; j-- > 0;) {
-      if (!cancelled[j] && !raw[j].second && raw[j].first == raw[i].first) {
-        cancelled[j] = true;
-        break;
-      }
+void DgapStore::reader_lane_exit(std::size_t lane) const {
+  read_lanes_[lane].n.fetch_sub(1, std::memory_order_release);
+}
+
+void DgapStore::struct_mutation_begin() const {
+  // Announce, then wait for every in-flight per-vertex read to finish.
+  // Reads are microseconds (one vertex's frozen prefix), so the drain is
+  // bounded — unlike the pre-refactor design, where the gate was held for
+  // a snapshot's LIFETIME and one long analysis wedged every resize.
+  struct_writers_.fetch_add(1, std::memory_order_seq_cst);
+  for (const ReadLane& l : read_lanes_) {
+    while (l.n.load(std::memory_order_seq_cst) != 0) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
     }
   }
-  for (std::size_t i = 0; i < raw.size(); ++i)
-    if (!cancelled[i] && !raw[i].second) out.push_back(raw[i].first);
-  return out;
+}
+
+void DgapStore::struct_mutation_end() const {
+  struct_writers_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+// ---------------------------------------------------------------------------
+// Layout generations (snapshot.hpp): retire + reclaim
+// ---------------------------------------------------------------------------
+
+void DgapStore::retire_layout(const LayoutGen* gen) {
+  {
+    std::lock_guard<SpinLock> g(retired_mu_);
+    retired_.push_back(gen);
+  }
+  reclaim_retired();
+}
+
+void DgapStore::reclaim_retired() {
+  std::lock_guard<SpinLock> g(retired_mu_);
+  // In-flight reads never reference a retired generation (the structural
+  // gate drained them before the layout flip), so snapshot pins alone
+  // decide: a retired layout with no live snapshot is free to go.
+  auto it = retired_.begin();
+  while (it != retired_.end()) {
+    const LayoutGen* gen = *it;
+    if (gen->quiescent()) {
+      pool_.allocator().free(gen->edge_array_off, gen->edge_array_bytes);
+      pool_.allocator().free(gen->elog_region_off, gen->elog_region_bytes);
+      it = retired_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t DgapStore::layout_epoch() const {
+  const LayoutGen* g = cur_gen_.load(std::memory_order_acquire);
+  return g == nullptr ? 0 : g->epoch;
+}
+
+std::size_t DgapStore::retired_layouts() const {
+  std::lock_guard<SpinLock> g(retired_mu_);
+  return retired_.size();
 }
 
 // ---------------------------------------------------------------------------

@@ -7,15 +7,21 @@
 //     shift                                              (paper §3, box 3)
 //   * a per-thread undo log making rebalancing crash-consistent without
 //     PMDK transactions                                  (paper §3, box 4)
-//   * degree-cache snapshots giving analysis tasks a consistent view
-//     (insertion-order edge storage makes "first degree_t(v) edges" exact)
-//   * per-section reader/writer locks, ordered acquisition for rebalances
-//     (paper §3.1.6)
+//   * epoch-versioned degree-cache snapshots (src/core/snapshot.hpp):
+//     analysis tasks read a frozen consistent view lock-free, concurrently
+//     with writers, rebalances AND whole-array resizes — a resize retires
+//     the old layout generation and reclamation waits for the last snapshot
+//     referencing it, never the other way round
+//   * per-section reader/writer locks with ordered acquisition serializing
+//     WRITERS against structural ops (paper §3.1.6); analysis readers take
+//     no section locks — a striped per-read gate excludes only structural
+//     data movement (snapshot.hpp)
 //
 // Ablation switches in DgapOptions turn each design off to reproduce the
 // paper's Table 5 variants.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -29,70 +35,13 @@
 #include "src/core/options.hpp"
 #include "src/core/persistent_layout.hpp"
 #include "src/core/section_table.hpp"
+#include "src/core/snapshot.hpp"
 #include "src/graph/types.hpp"
 #include "src/pma/segment_tree.hpp"
 #include "src/pmem/pool.hpp"
 #include "src/pmem/tx.hpp"
 
 namespace dgap::core {
-
-class DgapStore;
-
-// Degree-cache snapshot (paper §3.1.3): records every vertex's degree at
-// creation time; reads then return exactly the first degree_t(v) edges of v
-// in chronological order, so long-running analyses see a frozen graph while
-// writers keep inserting.
-//
-// A live Snapshot pins the store's vertex table (the reader gate is held
-// for the snapshot's lifetime), so per-vertex reads need no extra atomics.
-// Consequences: a Snapshot must not outlive its store, and vertex-table
-// growth (first insert of a brand-new vertex id beyond capacity) waits
-// until outstanding snapshots are destroyed. Move-only.
-class Snapshot {
- public:
-  Snapshot() = default;
-  Snapshot(Snapshot&& other) noexcept { move_from(other); }
-  Snapshot& operator=(Snapshot&& other) noexcept {
-    release();
-    move_from(other);
-    return *this;
-  }
-  Snapshot(const Snapshot&) = delete;
-  Snapshot& operator=(const Snapshot&) = delete;
-  ~Snapshot() { release(); }
-
-  [[nodiscard]] NodeId num_nodes() const {
-    return static_cast<NodeId>(degree_.size());
-  }
-  // Degree as slot count (includes tombstoned edges; exact when the
-  // workload is insert-only, like the paper's evaluation).
-  [[nodiscard]] std::int64_t out_degree(NodeId v) const { return degree_[v]; }
-  [[nodiscard]] std::uint64_t num_edges_directed() const { return total_; }
-
-  // Stream v's neighbors (tombstones skipped; with deletions present the
-  // store transparently falls back to the exact cancelling path).
-  template <typename F>
-  void for_each_out(NodeId v, F&& fn) const;
-
-  // Exact neighbor list with tombstone cancellation.
-  [[nodiscard]] std::vector<NodeId> neighbors(NodeId v) const;
-
- private:
-  friend class DgapStore;
-  void release();
-  void move_from(Snapshot& other) {
-    store_ = other.store_;
-    degree_ = std::move(other.degree_);
-    tomb_ = std::move(other.tomb_);
-    total_ = other.total_;
-    other.store_ = nullptr;
-  }
-
-  const DgapStore* store_ = nullptr;
-  std::vector<std::uint32_t> degree_;
-  std::vector<std::uint8_t> tomb_;  // per-vertex "has tombstones" cache
-  std::uint64_t total_ = 0;
-};
 
 // Operation counters exposed for benches and the ablation analysis.
 // Relaxed atomic cells (StatCell): concurrent writer threads bump them on
@@ -115,6 +64,12 @@ struct DgapStats {
                                         // vs the same edges one at a time
   StatCell<std::uint64_t> flush_epochs;  // flush+fence epochs the batch
                                          // path issued (vs one per edge)
+
+  // Snapshot subsystem accounting (snapshot.hpp).
+  StatCell<std::uint64_t> snapshot_captures;
+  StatCell<std::uint64_t> snapshot_read_retries;  // reader-gate back-outs
+                                                  // (a structural op
+                                                  // announced mid-entry)
 };
 
 class DgapStore {
@@ -127,7 +82,7 @@ class DgapStore {
   static std::unique_ptr<DgapStore> open(pmem::PmemPool& pool,
                                          const DgapOptions& opts);
 
-  ~DgapStore() = default;
+  ~DgapStore();
   DgapStore(const DgapStore&) = delete;
   DgapStore& operator=(const DgapStore&) = delete;
 
@@ -149,8 +104,21 @@ class DgapStore {
   void insert_batch(std::span<const Edge> edges);
   void delete_batch(std::span<const Edge> edges);
 
-  // --- analysis (paper §3.1.3) ----------------------------------------------
+  // --- analysis (paper §3.1.3, snapshot.hpp) --------------------------------
+  // Freeze writers and structural ops just long enough to copy the degree
+  // column (O(V)), then hand out a versioned snapshot that pins nothing the
+  // store ever waits for. Equivalent to freeze_begin(); capture_frozen();
+  // freeze_end().
   [[nodiscard]] Snapshot consistent_view() const;
+
+  // Two-phase freeze API for cross-store point-in-time cuts: ShardedStore
+  // freezes ALL shards (phase 1), captures every degree cache while all are
+  // held (phase 2), then releases. freeze_begin orders rebalance_mu_ before
+  // global_mu_, matching resize_and_rebuild, so a freeze also excludes
+  // window rebalances — the captured degree column is a true instant.
+  void freeze_begin() const;
+  [[nodiscard]] Snapshot capture_frozen() const;  // requires freeze_begin()
+  void freeze_end() const;
 
   // --- lifecycle (paper §3.1.5) ---------------------------------------------
   // Graceful shutdown: persist the DRAM vertex array + PMA metadata so the
@@ -181,25 +149,13 @@ class DgapStore {
   [[nodiscard]] std::uint64_t elog_capacity_bytes() const;
   // Average edge-log fill fraction observed at merge time (Fig 9 metric).
   [[nodiscard]] double elog_fill_at_merge() const;
+  // Current layout generation (advances once per resize) and the number of
+  // retired layouts still awaiting reclamation (pinned by live snapshots).
+  [[nodiscard]] std::uint64_t layout_epoch() const;
+  [[nodiscard]] std::size_t retired_layouts() const;
 
   // Deep structural audit for tests: run shape, tree counts, chain sanity.
   [[nodiscard]] bool check_invariants(std::string* why = nullptr) const;
-
-  // Raw neighbor read used by Snapshot: emit the first `limit` chronological
-  // edges of v as (dst, tombstone) pairs.
-  template <typename F>
-  void read_edges(NodeId v, std::uint32_t limit, F&& emit) const;
-
-  // Hot-path variant for vertices known to carry no tombstones (the
-  // snapshot caches that flag): emits destinations only, skipping per-slot
-  // tombstone decoding.
-  template <typename F>
-  void read_edges_fast(NodeId v, std::uint32_t limit, F&& emit) const;
-
-  // NOTE: requires the caller to hold the reader gate (a live Snapshot).
-  [[nodiscard]] bool has_tombstones(NodeId v) const {
-    return entries_[v].has_tombstone != 0;
-  }
 
  private:
   struct VertexEntry {
@@ -209,6 +165,22 @@ class DgapStore {
     std::uint32_t el_head_p1 = 0;  // newest elog entry of v, +1 (0 = none)
     std::uint8_t has_tombstone = 0;
   };
+
+  // Writer->snapshot-reader publication of the two VertexEntry fields the
+  // lock-free read path keys off. A writer stores the slot / elog entry
+  // FIRST, then publishes the count/head with release; the reader acquires
+  // before dereferencing, so the data it indexes is visible — on x86 both
+  // compile to plain moves, elsewhere they are the fence the old
+  // section-lock handshake used to provide. Fields mutated only inside the
+  // structural gate (start, splice rewrites) stay plain: the gate's own
+  // acquire/release chain orders them.
+  static void publish_u32(std::uint32_t& field, std::uint32_t v) {
+    std::atomic_ref<std::uint32_t>(field).store(v, std::memory_order_release);
+  }
+  static std::uint32_t acquire_u32(const std::uint32_t& field) {
+    return std::atomic_ref<std::uint32_t>(const_cast<std::uint32_t&>(field))
+        .load(std::memory_order_acquire);
+  }
 
   struct SectionMeta {
     RWSpinLock lock;
@@ -238,6 +210,8 @@ class DgapStore {
   [[nodiscard]] DgapRoot* root() const { return root_; }
   [[nodiscard]] std::uint32_t writer_slot() const;
 
+  // Adopt `l` as the live layout: refresh the volatile mirrors AND publish
+  // a new LayoutGen (epoch + 1) for the snapshot read path.
   void adopt_layout(const DgapLayout& l);
   void init_fresh(const DgapOptions& opts);
   void build_initial_array(NodeId vertices);
@@ -248,19 +222,53 @@ class DgapStore {
   void ensure_vertices(NodeId max_id);
   void append_vertex_locked(NodeId v);
 
-  // Acquire the section locks covering v's run prefix [start, start+1+arr)
-  // plus the home section, exclusively (writer) or shared (reader). Returns
-  // a stable copy of the entry. Template over lock mode.
-  struct LockedRange {
-    std::uint64_t first_sec;
-    std::uint64_t last_sec;  // inclusive
-  };
-  LockedRange lock_vertex_shared(NodeId v, std::uint32_t limit,
-                                 VertexEntry& out) const;
-  void unlock_shared(const LockedRange& r) const;
-
   void nearby_shift_insert(NodeId src, Slot value, std::uint64_t pos,
                            std::uint64_t sec);
+
+  // --- snapshot read path (snapshot.hpp) ------------------------------------
+  // The ONLY way to reach raw frozen-prefix reads: emit the first `limit`
+  // chronological edge slots of v (tombstone bits intact, early-exit via
+  // emit_stop). Takes no section locks — plain writers only append past
+  // the frozen prefix, so the read emits directly from the arrays while a
+  // striped reader gate (below) excludes just the structural ops that move
+  // data. Reachable only through a Snapshot (which holds the frozen
+  // limit), so the "caller must pin the view" invariant is structural, not
+  // a comment.
+  template <typename F>
+  void read_frozen(NodeId v, std::uint32_t limit, F&& emit) const;
+
+  // Striped reader/writer gate between snapshot reads and STRUCTURAL ops
+  // (window rebalance, resize flip, ablation nearby-shift) — the brlock
+  // pattern: readers hold a per-thread-striped count for ONE vertex read;
+  // a structural op announces itself (struct_writers_), drains the lanes,
+  // mutates, releases. Writer-preferring: announced structural ops turn
+  // new readers away, so a read storm cannot starve a rebalance. This is
+  // what lets a snapshot LIFETIME pin nothing: the gate is held per read,
+  // never per snapshot.
+  std::size_t reader_lane_enter() const;
+  void reader_lane_exit(std::size_t lane) const;
+  void struct_mutation_begin() const;  // announce + drain in-flight reads
+  void struct_mutation_end() const;
+  // RAII hold: a throw inside a gated region (pool exhaustion in the tx
+  // ablation, allocation failure mid-resize) must release the gate, or
+  // every snapshot read would spin forever on struct_writers_.
+  class StructGateHold {
+   public:
+    explicit StructGateHold(const DgapStore& s) : s_(s) {
+      s_.struct_mutation_begin();
+    }
+    ~StructGateHold() { s_.struct_mutation_end(); }
+    StructGateHold(const StructGateHold&) = delete;
+    StructGateHold& operator=(const StructGateHold&) = delete;
+
+   private:
+    const DgapStore& s_;
+  };
+
+  // Generation management: retire the pre-resize layout onto the
+  // reclamation list; free every retired layout nobody references anymore.
+  void retire_layout(const LayoutGen* gen);
+  void reclaim_retired();
 
   // --- rebalance / resize (rebalance.cpp) ------------------------------------
   // `force` executes one window rebalance even when the usual trigger
@@ -285,7 +293,8 @@ class DgapStore {
   void clear_window_elogs(std::uint64_t begin_seg, std::uint64_t end_seg,
                           std::uint32_t tid);
   void zero_range_persist(std::uint64_t begin_slot, std::uint64_t end_slot);
-  // Preconditions: rebalance_mu_ held, no section locks held.
+  // Preconditions: rebalance_mu_ held, no section locks held. Never waits
+  // for snapshot readers: the old layout is retired, not reused.
   void resize_and_rebuild(std::uint64_t extra_slots);
   void lock_sections_upto(std::uint64_t count) const;
   void unlock_sections_upto(std::uint64_t count) const;
@@ -295,13 +304,6 @@ class DgapStore {
   void copy_run_chunks(const std::vector<Slot>& staging,
                        std::uint64_t new_start, bool tail_first,
                        std::uint64_t start_cursor, std::uint32_t tid);
-
-  // Reader gate: excludes analysis readers while the vertex table or the
-  // whole layout is swapped (resize). Writers are excluded via global_mu_.
-  void reader_enter() const;
-  void reader_exit() const;
-  void quiesce_readers_begin() const;  // sets the gate, waits for drain
-  void quiesce_readers_end() const;
 
   // --- ablation: metadata-on-PM cost emulation --------------------------------
   void mirror_vertex(NodeId v);
@@ -325,8 +327,10 @@ class DgapStore {
   DgapOptions opts_;
   DgapRoot* root_ = nullptr;
 
-  // Volatile mirrors of the active layout (stable while holding any section
-  // lock; mutated only under all-section locks during resize).
+  // Volatile mirrors of the active layout (stable while holding any
+  // section lock OR a reader-gate lane: they change only inside the
+  // structural gate during resize). Both writers and snapshot readers use
+  // them; LayoutGen descriptors only track epoch identity + reclamation.
   Slot* slots_ = nullptr;
   ElogEntry* elog_base_ = nullptr;
   std::uint64_t capacity_ = 0;
@@ -335,16 +339,39 @@ class DgapStore {
   int seg_shift_ = 0;  // log2(seg_slots_)
   std::uint64_t elog_entries_ = 0;
 
-  std::vector<VertexEntry> entries_;
+  // Vertex table: chunked and pointer-stable (section_table.hpp), so growth
+  // never invalidates concurrent readers — the pre-refactor reader gate
+  // (snapshots pinning the table, growth quiescing readers) is gone.
+  SectionTable<VertexEntry> entries_;
   std::unique_ptr<pma::SegmentTree> tree_;
   // Growable without invalidating concurrent readers (see section_table.hpp).
   mutable SectionTable<SectionMeta> sections_;
   std::atomic<std::uint64_t> num_vertices_{0};
 
-  // Writers shared / snapshot+resize exclusive.
+  // Writers shared / freeze+resize exclusive.
   mutable RWSpinLock global_mu_;
-  SpinLock vertex_mu_;      // serializes vertex append
-  SpinLock rebalance_mu_;   // serializes structural ops (see rebalance.cpp)
+  SpinLock vertex_mu_;               // serializes vertex append
+  mutable SpinLock rebalance_mu_;    // serializes structural ops
+                                     // (see rebalance.cpp; freeze_begin
+                                     // takes it ahead of global_mu_)
+
+  // --- snapshot subsystem state (snapshot.hpp) ------------------------------
+  std::shared_ptr<StoreCtl> ctl_;
+  // Every generation ever published; the DRAM descriptors stay alive for
+  // the store's lifetime (tiny: one per resize) so raw pointers held by
+  // snapshots and in-flight reads never dangle while the store exists.
+  std::vector<std::unique_ptr<LayoutGen>> all_gens_;  // guarded by gen_mu_
+  mutable SpinLock gen_mu_;
+  std::atomic<const LayoutGen*> cur_gen_{nullptr};
+  std::vector<const LayoutGen*> retired_;  // guarded by retired_mu_
+  mutable SpinLock retired_mu_;
+  // Reader gate state (see reader_lane_enter above).
+  static constexpr std::size_t kReadLanes = 8;
+  struct alignas(kCacheLineSize) ReadLane {
+    std::atomic<std::int64_t> n{0};
+  };
+  mutable std::array<ReadLane, kReadLanes> read_lanes_{};
+  mutable std::atomic<int> struct_writers_{0};
 
   // PM mirror for the metadata-on-PM ablation (cost emulation only).
   std::uint64_t mirror_off_ = 0;
@@ -353,98 +380,80 @@ class DgapStore {
   std::unique_ptr<pmem::TxJournal> tx_journal_;  // ablation: PMDK-style tx
 
   std::atomic<std::uint32_t> next_writer_{0};
-  mutable std::atomic<int> active_readers_{0};
-  mutable std::atomic<bool> growth_pending_{false};
   std::uint64_t instance_id_;
-  DgapStats stats_;
+  // Mutable: const read/snapshot paths bump their own counters (StatCell
+  // increments are relaxed atomics, so this is safe from any thread).
+  mutable DgapStats stats_;
 };
 
 // ---------------------------------------------------------------------------
-// Template implementations
+// Template implementations (snapshot read path)
 // ---------------------------------------------------------------------------
 
-// NOTE: the vertex table is pinned by the Snapshot that calls this (reader
-// gate held for the snapshot's lifetime); section locks below protect the
-// PM arrays from concurrent structural changes.
+// Correctness without section locks: while the reader gate is held no
+// structural op can move data, and plain writers only ever (a) write a
+// fresh slot then release-publish arr_count, (b) store an elog entry then
+// release-publish el_head_p1 (publish_u32/acquire_u32 above), so an
+// acquired count/head never indexes unpublished data — it can only
+// UNDER-read the live state, and the frozen `limit` caps everything at
+// the snapshot's cut.
 template <typename F>
-void DgapStore::read_edges(NodeId v, std::uint32_t limit, F&& emit) const {
+void DgapStore::read_frozen(NodeId v, std::uint32_t limit, F&& emit) const {
   if (limit == 0) return;
-  VertexEntry e;
-  const LockedRange r = lock_vertex_shared(v, limit, e);
-
-  const std::uint32_t arr_take =
-      std::min<std::uint32_t>(limit, e.arr_count);
-  const Slot* run = slots_ + e.start + 1;
-  for (std::uint32_t i = 0; i < arr_take; ++i) {
-    const Slot s = run[i];
-    emit(edge_dst(s), edge_tombstone(s));
-  }
-
-  std::uint32_t remaining = limit - arr_take;
-  if (remaining > 0) {
-    // Walk the back-pointer chain (newest first) into a FIFO buffer, then
-    // emit the oldest `remaining` entries in chronological order
-    // (paper §3.1.3's FIFO buffer of size rest_t(v)).
-    const std::uint64_t home = sec_of(e.start);
-    const ElogEntry* log = elog(home);
-    std::vector<const ElogEntry*> chain;
-    chain.reserve(e.el_count);
-    std::uint32_t idx_p1 = e.el_head_p1;
-    while (idx_p1 != 0 && chain.size() < e.el_count) {
-      const ElogEntry* entry = log + (idx_p1 - 1);
-      chain.push_back(entry);
-      idx_p1 = entry->prev_p1;
-    }
-    if (remaining > chain.size())
-      remaining = static_cast<std::uint32_t>(chain.size());
-    // chain is newest-first; the oldest `remaining` are at the back.
-    for (std::uint32_t i = 0; i < remaining; ++i) {
-      const ElogEntry* entry = chain[chain.size() - 1 - i];
-      emit(elog_dst(*entry), elog_tombstone(*entry));
-    }
-  }
-  unlock_shared(r);
-}
-
-template <typename F>
-void DgapStore::read_edges_fast(NodeId v, std::uint32_t limit,
-                                F&& emit) const {
-  if (limit == 0) return;
-  VertexEntry e;
-  const LockedRange r = lock_vertex_shared(v, limit, e);
-
-  const std::uint32_t arr_take = std::min<std::uint32_t>(limit, e.arr_count);
-  const Slot* run = slots_ + e.start + 1;
+  const std::size_t lane = reader_lane_enter();
+  const VertexEntry& ent = entries_[v];
+  // Acquire the published count BEFORE touching slots: pairs with the
+  // writer's release in publish_u32, so every slot under arr_count is
+  // fully stored by the time we index it (free on x86).
+  const std::uint32_t arr_count = acquire_u32(ent.arr_count);
+  const std::uint64_t start = ent.start;  // gate-ordered (structural only)
+  const std::uint32_t arr_take = std::min<std::uint32_t>(limit, arr_count);
   bool stopped = false;
-  for (std::uint32_t i = 0; i < arr_take; ++i) {
-    // No tombstones on this path: plain decode.
-    if (emit_stop(emit, static_cast<NodeId>(run[i] - 1))) {
-      stopped = true;
-      break;
+  if (DGAP_LIKELY(start + 1 + arr_take <= capacity_)) {
+    const Slot* run = slots_ + start + 1;
+    for (std::uint32_t i = 0; i < arr_take; ++i) {
+      if (emit_stop(emit, run[i])) {
+        stopped = true;
+        break;
+      }
+    }
+    std::uint32_t remaining = limit - arr_take;
+    const std::uint32_t head_p1 =
+        remaining > 0 && !stopped ? acquire_u32(ent.el_head_p1) : 0;
+    if (DGAP_UNLIKELY(head_p1 != 0)) {
+      // Walk the back-pointer chain (newest first) into a FIFO buffer,
+      // then emit the oldest `remaining` entries in chronological order
+      // (paper §3.1.3's FIFO buffer of size rest_t(v)). The walk runs the
+      // FULL chain, not the first el_count hops: the racy entry copy can
+      // pair a stale el_count with a newer head (a concurrent append
+      // publishes count before head), and a count-bounded walk from a
+      // newer head would collect the newest entries instead of the oldest.
+      // The chain's oldest entries are immutable, so taking `remaining`
+      // from the back is exact for the frozen cut regardless of how many
+      // newer entries the head has grown. Back-pointers strictly decrease
+      // (an entry chains to an earlier index), so the walk terminates.
+      const ElogEntry* log = elog(sec_of(start));
+      thread_local std::vector<Slot> chain;  // newest-first scratch
+      chain.clear();
+      std::uint32_t idx_p1 = head_p1;
+      while (idx_p1 != 0 && idx_p1 <= elog_entries_) {
+        const ElogEntry entry = log[idx_p1 - 1];
+        chain.push_back(encode_edge(elog_dst(entry), elog_tombstone(entry)));
+        if (entry.prev_p1 >= idx_p1) break;  // corrupt chain: stop short
+        idx_p1 = entry.prev_p1;
+      }
+      if (remaining > chain.size())
+        remaining = static_cast<std::uint32_t>(chain.size());
+      for (std::uint32_t i = 0; i < remaining; ++i)
+        if (emit_stop(emit, chain[chain.size() - 1 - i])) break;
     }
   }
-
-  std::uint32_t remaining = limit - arr_take;
-  if (DGAP_UNLIKELY(remaining > 0 && !stopped)) {
-    const ElogEntry* log = elog(sec_of(e.start));
-    std::vector<const ElogEntry*> chain;
-    chain.reserve(e.el_count);
-    std::uint32_t idx_p1 = e.el_head_p1;
-    while (idx_p1 != 0 && chain.size() < e.el_count) {
-      const ElogEntry* entry = log + (idx_p1 - 1);
-      chain.push_back(entry);
-      idx_p1 = entry->prev_p1;
-    }
-    if (remaining > chain.size())
-      remaining = static_cast<std::uint32_t>(chain.size());
-    for (std::uint32_t i = 0; i < remaining; ++i)
-      if (emit_stop(emit, elog_dst(*chain[chain.size() - 1 - i]))) break;
-  }
-  unlock_shared(r);
+  reader_lane_exit(lane);
 }
 
 template <typename F>
 void Snapshot::for_each_out(NodeId v, F&& fn) const {
+  check_open();
   const auto limit = degree_[v];
   if (limit == 0) return;
   if (DGAP_UNLIKELY(tomb_[v] != 0)) {
@@ -453,7 +462,10 @@ void Snapshot::for_each_out(NodeId v, F&& fn) const {
       if (emit_stop(fn, d)) return;
     return;
   }
-  store_->read_edges_fast(v, limit, fn);
+  // No tombstones on this vertex at the cut: every emitted slot is a live
+  // edge, decode destinations straight through.
+  store_->read_frozen(
+      v, limit, [&](Slot s) { return emit_stop(fn, edge_dst(s)); });
 }
 
 }  // namespace dgap::core

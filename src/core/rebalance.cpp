@@ -287,6 +287,11 @@ void DgapStore::clear_window_elogs(std::uint64_t begin_seg,
 void DgapStore::rebalance_window_locked(std::uint64_t begin_seg,
                                         std::uint64_t end_seg,
                                         std::uint32_t tid) {
+  // Snapshot readers take no section locks: the structural gate drains the
+  // in-flight per-vertex reads and turns new ones away while this window's
+  // slots/elogs/entries are in flux (snapshot.hpp). RAII so a throw (tx
+  // journal allocation, staging vectors) cannot wedge the gate shut.
+  const StructGateHold gate(*this);
   const std::uint64_t wb = begin_seg * seg_slots_;
   const std::uint64_t we = std::min(end_seg * seg_slots_, capacity_);
 
@@ -408,18 +413,18 @@ void DgapStore::rebalance_window_locked(std::uint64_t begin_seg,
 // ---------------------------------------------------------------------------
 
 void DgapStore::resize_and_rebuild(std::uint64_t extra_slots) {
-  // Quiesce everyone: writers via global exclusive, analysis readers by
-  // taking every (old) section lock exclusively — readers always hold a
-  // shared section lock while touching the arrays, and re-validate their
-  // view after reacquiring. rebalance_mu_ (held by the caller) excludes
-  // other structural operations. NOTE: the reader *gate* must not be used
-  // here — long-lived snapshots hold it, and they are exactly the readers
-  // that must be able to continue across a resize.
+  // Quiesce WRITERS only: global exclusive plus every (old) section lock.
+  // rebalance_mu_ (held by the caller) excludes other structural
+  // operations. Analysis readers never block this call beyond one
+  // in-flight per-vertex read: the structural gate below drains them
+  // around the flip, and the old arrays are RETIRED rather than freed —
+  // reclamation happens when the last snapshot captured against them is
+  // destroyed (snapshot.hpp). A snapshot HELD across this call never
+  // blocks it.
   global_mu_.lock();
   const std::uint64_t old_segments = num_segments_;
   lock_sections_upto(old_segments);
 
-  const DgapLayout old = *pool_.at<DgapLayout>(root_->layout_off);
   const std::vector<GatheredRun> runs = gather_runs(0, capacity_);
 
   std::uint64_t needed = extra_slots;
@@ -488,37 +493,45 @@ void DgapStore::resize_and_rebuild(std::uint64_t extra_slots) {
   *pool_.at<DgapLayout>(nl_off) = nl;
   pool_.persist(pool_.at<DgapLayout>(nl_off), sizeof(DgapLayout));
 
-  // The atomic flip: crash lands entirely before or entirely after.
-  pool_.store_persist(&root_->layout_off, nl_off);
+  // The atomic flip: crash lands entirely before or entirely after. The
+  // structural gate (RAII: adopt_layout/tree rebuild can allocate and
+  // throw) brackets the volatile handoff so lock-free readers never mix
+  // old-generation entries with the new arrays (or vice versa).
+  const LayoutGen* old_gen = cur_gen_.load(std::memory_order_acquire);
+  {
+    const StructGateHold gate(*this);
+    pool_.store_persist(&root_->layout_off, nl_off);
 
-  adopt_layout(nl);
-  tree_ = std::make_unique<pma::SegmentTree>(num_segments_, seg_slots_,
-                                             opts_.density);
-  for (std::uint64_t s = 0; s < num_segments_; ++s) {
-    sections_[s].elog_raw = 0;
-    sections_[s].elog_live = 0;
-  }
-  for (std::size_t i = 0; i < plan.size(); ++i) {
-    VertexEntry& e = entries_[plan[i].vertex];
-    e.start = plan[i].new_start;
-    e.arr_count = runs[i].arr_count + runs[i].el_count;
-    e.el_count = 0;
-    e.el_head_p1 = 0;
-    std::uint64_t pos = plan[i].new_start;
-    std::uint64_t left = plan[i].count;
-    while (left > 0) {
-      const std::uint64_t seg = sec_of(pos);
-      const std::uint64_t in_seg =
-          std::min(left, (seg + 1) * seg_slots_ - pos);
-      tree_->add(seg, static_cast<std::int64_t>(in_seg));
-      pos += in_seg;
-      left -= in_seg;
+    adopt_layout(nl);
+    tree_ = std::make_unique<pma::SegmentTree>(num_segments_, seg_slots_,
+                                               opts_.density);
+    for (std::uint64_t s = 0; s < num_segments_; ++s) {
+      sections_[s].elog_raw = 0;
+      sections_[s].elog_live = 0;
+    }
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      VertexEntry& e = entries_[plan[i].vertex];
+      e.start = plan[i].new_start;
+      e.arr_count = runs[i].arr_count + runs[i].el_count;
+      e.el_count = 0;
+      e.el_head_p1 = 0;
+      std::uint64_t pos = plan[i].new_start;
+      std::uint64_t left = plan[i].count;
+      while (left > 0) {
+        const std::uint64_t seg = sec_of(pos);
+        const std::uint64_t in_seg =
+            std::min(left, (seg + 1) * seg_slots_ - pos);
+        tree_->add(seg, static_cast<std::int64_t>(in_seg));
+        pos += in_seg;
+        left -= in_seg;
+      }
     }
   }
-
-  alloc.free(old.edge_array_off, old.capacity_slots * sizeof(Slot));
-  alloc.free(old.elog_region_off,
-             old.num_segments * old.elog_entries * sizeof(ElogEntry));
+  // Epoch reclamation instead of an immediate free: the old arrays stay
+  // mapped until every snapshot / in-flight read pinned to them is gone.
+  // With no readers outstanding this frees them right here, same as the
+  // pre-refactor behavior.
+  retire_layout(old_gen);
   ++stats_.resizes;
 
   unlock_sections_upto(old_segments);

@@ -52,8 +52,7 @@ void DgapStore::recover(bool crashed) {
   tree_ = std::make_unique<pma::SegmentTree>(num_segments_, seg_slots_,
                                              opts_.density);
   const std::uint64_t nv = root_->num_vertices;
-  entries_.assign(std::max<std::size_t>(static_cast<std::size_t>(nv) * 2, 32),
-                  VertexEntry{});
+  entries_.reset(std::max<std::size_t>(static_cast<std::size_t>(nv) * 2, 32));
   num_vertices_.store(nv, std::memory_order_release);
 
   if (!crashed && load_shutdown_image()) {
@@ -220,7 +219,7 @@ void DgapStore::rebuild_volatile_from_scan() {
     if (is_pivot(s)) {
       const NodeId v = pivot_vertex(s);
       if (static_cast<std::size_t>(v) >= entries_.size())
-        entries_.resize(ceil_pow2(static_cast<std::uint64_t>(v) + 1) * 2);
+        entries_.ensure(ceil_pow2(static_cast<std::uint64_t>(v) + 1) * 2);
       entries_[v] = VertexEntry{pos, 0, 0, 0, 0};
       cur = v;
       max_vertex = std::max(max_vertex, v);
@@ -322,8 +321,7 @@ bool DgapStore::load_shutdown_image() {
     return false;
 
   const std::uint64_t nv = hdr->num_vertices;
-  entries_.assign(std::max<std::size_t>(static_cast<std::size_t>(nv) * 2, 32),
-                  VertexEntry{});
+  entries_.reset(std::max<std::size_t>(static_cast<std::size_t>(nv) * 2, 32));
   const auto* pe =
       reinterpret_cast<const PackedEntry*>(base + sizeof(ImageHeader));
   for (std::uint64_t v = 0; v < nv; ++v) {

@@ -1,5 +1,7 @@
 // SectionTable: a growable, pointer-stable, read-race-free array of
-// per-section metadata (locks + edge-log cursors).
+// per-section metadata (locks + edge-log cursors) — also reused as the
+// vertex table (DgapStore::entries_), whose growth must never invalidate
+// the lock-free snapshot readers indexing it.
 //
 // Readers index it concurrently with growth, so neither std::vector
 // (relocation) nor std::deque (internal block-map reallocation) is safe.
@@ -10,6 +12,7 @@
 // slots each, a 64-billion-slot edge array — far past any pool here).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstddef>
@@ -52,6 +55,17 @@ class SectionTable {
     while (cur < n &&
            !size_.compare_exchange_weak(cur, n, std::memory_order_release)) {
     }
+  }
+
+  // Re-default every allocated element and guarantee capacity >= n. Only
+  // legal while no concurrent readers or writers exist (recovery / image
+  // load at open time); size() never shrinks.
+  void reset(std::size_t n) {
+    for (auto& c : chunks_) {
+      T* p = c.load(std::memory_order_relaxed);
+      if (p != nullptr) std::fill_n(p, kChunkSize, T{});
+    }
+    ensure(n);
   }
 
  private:

@@ -221,8 +221,18 @@ ShardedSnapshot ShardedStore::consistent_view() const {
   ShardedSnapshot snap;
   snap.geo_ = geo_;
   snap.shards_.reserve(shards_.size());
+  // Two-phase cross-shard freeze (the ROADMAP's "two-phase degree freeze"
+  // follow-up): phase 1 briefly gates every shard's writers in ascending
+  // shard order (deadlock-free against concurrent freezes), phase 2
+  // captures every degree cache while ALL gates are held, then releases.
+  // The composition is therefore a single point-in-time cut — an update
+  // sequence absorbed across shards can never appear with a later edge
+  // visible but an earlier one missing, which the old shard-by-shard
+  // composition allowed.
+  for (const StoreHandle& h : shards_) h.store->freeze_begin();
   for (const StoreHandle& h : shards_)
-    snap.shards_.push_back(h.store->consistent_view());
+    snap.shards_.push_back(h.store->capture_frozen());
+  for (const StoreHandle& h : shards_) h.store->freeze_end();
   NodeId nodes = 0;
   std::uint64_t total = 0;
   for (std::size_t k = 0; k < snap.shards_.size(); ++k) {

@@ -27,11 +27,12 @@
 // when the call returns — every shard group has flushed and fenced in its
 // own pool. A crash mid-call may keep any per-vertex chronological prefix of
 // the in-flight batch, exactly like DgapStore::insert_batch, independently
-// per shard. consistent_view() composes per-shard degree-cache snapshots:
-// each shard's view is a frozen consistent prefix of that shard's stream;
-// the composition is NOT a single cross-shard point in time (concurrent
-// writers may land in shard j after shard i was snapped), matching the
-// unspecified cross-producer ordering of concurrent batch ingestion.
+// per shard. consistent_view() is a two-phase cross-shard freeze: phase 1
+// gates every shard's writers, phase 2 captures all degree caches while
+// every gate is held — the composition IS a single point-in-time cut (a
+// sequential writer's updates can never appear with a later edge visible
+// but an earlier one missing). Nothing is held once consistent_view
+// returns, so held snapshots block no shard's ingestion, growth or resizes.
 #pragma once
 
 #include <cstdint>
@@ -71,8 +72,12 @@ struct ShardGeometry {
 
 // Composed analysis view: one degree-cache Snapshot per shard behind the
 // same GraphView surface as core::Snapshot, so PageRank/BFS/CC/BC run
-// unchanged over a sharded store. Move-only (per-shard snapshots pin their
-// shard's vertex table); must not outlive the ShardedStore.
+// unchanged over a sharded store. Captured as a single cross-shard cut
+// (two-phase freeze, see consistent_view). Move-only; per-shard snapshots
+// pin only their creation-time layout generations — a held ShardedSnapshot
+// never blocks any shard's writers, growth or resizes, and use after the
+// ShardedStore is destroyed fails fast instead of dereferencing freed
+// memory (snapshot.hpp).
 class ShardedSnapshot {
  public:
   ShardedSnapshot() = default;

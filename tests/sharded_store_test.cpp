@@ -342,6 +342,70 @@ TEST(ShardedStore, DerivedGeometryPopulatesEveryShard) {
   }
 }
 
+// Two-phase freeze: consistent_view() must be a single cross-shard
+// point-in-time cut. A sequential writer lands edge i (dst payload = i,
+// source rotating across shards) fully before edge i+1 starts, so every
+// legal cut is a PREFIX of the stream: if edge i is visible, so is every
+// edge < i. The pre-refactor shard-by-shard composition violated this
+// (shard k snapped early missed edges that a later-snapped shard already
+// showed); with phase-1 gating all shards before any capture, the prefix
+// property must hold for every snapshot taken mid-stream.
+TEST(ShardedStore, TwoPhaseFreezeYieldsPointInTimeCut) {
+  constexpr std::size_t kShards = 4;
+  constexpr NodeId kEdges = 3000;
+  auto store = ShardedStore::create(sharded_opts(kShards, 1024, kEdges));
+  const int shift = store->shard_shift();
+  std::vector<NodeId> srcs(kShards);
+  for (std::size_t k = 0; k < kShards; ++k)
+    srcs[k] = static_cast<NodeId>(k) << shift;  // one source per shard
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (NodeId i = 0; i < kEdges; ++i) {
+      store->insert_edge(srcs[static_cast<std::size_t>(i) % kShards], i);
+      // Periodic yields guarantee the snapshot loop interleaves even on a
+      // loaded single-core host (mid-stream cuts are the point here).
+      if ((i & 63) == 0) std::this_thread::yield();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::uint64_t cuts = 0;
+  std::uint64_t mid_stream_cuts = 0;
+  std::string violation;
+  while (violation.empty() && !done.load(std::memory_order_acquire)) {
+    const ShardedSnapshot snap = store->consistent_view();
+    // Collect the cut: all dst payloads across all per-shard sources.
+    std::uint64_t count = 0;
+    NodeId max_dst = -1;
+    for (const NodeId s : srcs) {
+      snap.for_each_out(s, [&](NodeId d) {
+        ++count;
+        max_dst = std::max(max_dst, d);
+      });
+    }
+    if (count != static_cast<std::uint64_t>(max_dst + 1)) {
+      // Record and break (the writer must be joined before asserting, or
+      // a failure would terminate() on the joinable thread).
+      violation = "cut is not a prefix: " + std::to_string(count) +
+                  " edges but max payload " + std::to_string(max_dst);
+      break;
+    }
+    ++cuts;
+    if (count > 0 && count < kEdges) ++mid_stream_cuts;
+  }
+  writer.join();
+  ASSERT_TRUE(violation.empty()) << violation;
+  EXPECT_GT(cuts, 0u);
+  // The loop must have observed genuinely concurrent cuts, not just the
+  // empty/full states (the writer inserts 3000 edges; snapshots are fast).
+  EXPECT_GT(mid_stream_cuts, 0u);
+
+  const ShardedSnapshot final_snap = store->consistent_view();
+  EXPECT_EQ(final_snap.num_edges_directed(),
+            static_cast<std::uint64_t>(kEdges));
+}
+
 // S=1 is the degenerate case: identical observable behavior to DgapStore.
 TEST(ShardedStore, SingleShardDegeneratesToFlatStore) {
   const auto stream = symmetrize(generate_rmat(100, 2500, 77));

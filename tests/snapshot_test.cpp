@@ -1,6 +1,8 @@
-// Snapshot semantics: move-only lifetime (reader-gate pinning), multiple
+// Snapshot semantics: move-only lifetime (generation pinning), multiple
 // concurrent snapshots at different times, early-exit iteration, and the
-// interaction between snapshots and vertex-table growth.
+// interaction between snapshots and vertex-table growth (which a held
+// snapshot must NOT block — the epoch-versioned read path replaced the old
+// reader gate).
 #include <gtest/gtest.h>
 
 #include <optional>
@@ -41,7 +43,7 @@ TEST_F(SnapFixture, MultipleSnapshotsSeeDifferentTimes) {
   EXPECT_EQ(s3.neighbors(1), (std::vector<NodeId>{10, 11, 12}));
 }
 
-TEST_F(SnapFixture, MoveTransfersGateOwnership) {
+TEST_F(SnapFixture, MoveTransfersPinOwnership) {
   store->insert_edge(2, 3);
   Snapshot a = store->consistent_view();
   Snapshot b = std::move(a);
@@ -50,12 +52,13 @@ TEST_F(SnapFixture, MoveTransfersGateOwnership) {
   c = std::move(b);
   EXPECT_EQ(c.out_degree(2), 1);
   EXPECT_EQ(c.neighbors(2), (std::vector<NodeId>{3}));
-  // a and b are moved-from; destruction must not double-release the gate —
-  // verified implicitly: vertex growth below would deadlock if the reader
-  // count leaked.
+  // a and b are moved-from; destruction must not double-drop the
+  // generation pin (a leaked negative pin count would wedge layout
+  // reclamation). Growth and further snapshots must keep working.
   c = Snapshot{};
   store->insert_edge(3000, 5);  // forces vertex-table growth
   EXPECT_GT(store->num_nodes(), 3000);
+  EXPECT_EQ(store->retired_layouts(), 0u);
 }
 
 TEST_F(SnapFixture, TotalEdgesMatchesSum) {
@@ -88,20 +91,24 @@ TEST_F(SnapFixture, EarlyExitIteration) {
   EXPECT_EQ(visited, 1);
 }
 
-TEST_F(SnapFixture, SnapshotBlocksVertexGrowthUntilReleased) {
+TEST_F(SnapFixture, SnapshotDoesNotBlockVertexGrowth) {
+  // Before the epoch-versioned refactor a held snapshot pinned the reader
+  // gate, so vertex-table growth (and with it any flood ingest minting new
+  // ids) stalled until the snapshot died. Now growth proceeds under a held
+  // snapshot — and the frozen view stays frozen.
   store->insert_edge(1, 2);
   std::optional<Snapshot> snap(store->consistent_view());
   std::atomic<bool> grew{false};
   std::thread grower([&] {
-    store->insert_vertex(3000);  // needs table growth: waits on the gate
+    store->insert_vertex(3000);  // needs table growth: must NOT wait
     grew = true;
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  EXPECT_FALSE(grew.load());  // still pinned by the snapshot
-  snap.reset();               // release the gate
-  grower.join();
+  grower.join();  // completes while `snap` is still alive
   EXPECT_TRUE(grew.load());
   EXPECT_GT(store->num_nodes(), 3000);
+  EXPECT_EQ(snap->num_nodes(), 64);  // frozen pre-growth view
+  EXPECT_EQ(snap->neighbors(1), (std::vector<NodeId>{2}));
+  snap.reset();
 }
 
 TEST_F(SnapFixture, ReadsOfGrownVerticesAfterSnapshot) {
