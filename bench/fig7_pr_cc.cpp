@@ -12,6 +12,11 @@
 // snapshot twice — raw, and through the cached CSR materialization of the
 // same cut — with results verified identical and the second-kernel speedup
 // reported.
+// --dram-cache=MB adds the DRAM hot-tier section: PR and CC run cache-off
+// vs cache-on under a read-charged media model (--pm-read-ns per line),
+// with the uncharged static CSR as the DRAM-speed floor; the hit rate and
+// the fraction of the PM-vs-CSR gap closed are reported, and cache-on
+// results are verified identical to cache-off.
 // --live-ingest adds the HTAP section: async producers flood the second
 // half of the stream while the analysis thread snapshots + runs PageRank
 // in a loop; both sides' throughput is reported (pre-refactor, ingest
@@ -125,6 +130,26 @@ int main(int argc, char** argv) {
         std::cout);
     if (!ok) {
       std::cerr << "csr-cache: kernel results diverge from the uncached "
+                   "path\n";
+      return 1;
+    }
+  }
+
+  // --- DRAM hot tier (--dram-cache=MB): read-charged PR+CC ------------------
+  if (cfg.tuning.dram_cache_mb != 0 &&
+      (cfg.only_system.empty() || cfg.only_system == "dgap")) {
+    const bool ok = print_dram_cache_section(
+        cfg, "PR", "CC",
+        [&](const std::string& name) -> const EdgeStream& {
+          return streams.at(name);
+        },
+        [](const auto& g, NodeId) { return algorithms::pagerank(g); },
+        [](const auto& g, NodeId) {
+          return algorithms::connected_components(g);
+        },
+        std::cout);
+    if (!ok) {
+      std::cerr << "dram-cache: kernel results diverge from the uncached "
                    "path\n";
       return 1;
     }

@@ -9,6 +9,8 @@
 // half of the stream while the analysis thread snapshots + runs PageRank
 // in a loop (the epoch-versioned snapshot refactor makes both sides
 // proceed without blocking each other).
+// --dram-cache=MB adds a dgap-cache row (DRAM hot tier on) and fills the
+// hit% column with the tier's hit rate over the row's kernel traffic.
 #include <iostream>
 #include <map>
 
@@ -63,6 +65,16 @@ int main(int argc, char** argv) {
       store->finalize();
       stores.emplace_back(sys, std::move(store));
     }
+    // --dram-cache=MB: one extra DGAP row with the DRAM hot tier on; its
+    // hit rate lands in the hit% column (every other row prints "-").
+    if (cfg.tuning.dram_cache_mb != 0 &&
+        (cfg.only_system.empty() || cfg.only_system == "dgap")) {
+      pools.push_back(fresh_pool(cfg.pool_mb));
+      auto store = make_store("dgap", *pools.back(), stream.num_vertices(),
+                              stream.num_edges(), 1, cfg.tuning);
+      for (const Edge& e : stream.edges()) store->insert(e.src, e.dst);
+      stores.emplace_back("dgap-cache", std::move(store));
+    }
     // --shards=a,b: kernels over composed per-shard snapshots (analysis
     // scalability must survive partitioned ingestion).
     if (cfg.only_system.empty() || cfg.only_system == "dgap") {
@@ -76,7 +88,7 @@ int main(int argc, char** argv) {
 
     std::cout << "\n--- " << name << " ---\n";
     TablePrinter table({"System", "PR.T1", "PR.T16", "BFS.T1", "BFS.T16",
-                        "BC.T1", "BC.T16", "CC.T1", "CC.T16"});
+                        "BC.T1", "BC.T16", "CC.T1", "CC.T16", "hit%"});
     for (auto& [sys, store] : stores) {
       IStore* s = store ? store.get() : csr.get();
       std::vector<std::string> row = {sys};
@@ -90,6 +102,12 @@ int main(int argc, char** argv) {
           row.push_back(TablePrinter::fmt(t, 3));
         }
       }
+      // Read the tier counters AFTER the kernels so the column reflects
+      // this row's analysis traffic.
+      const tier::CacheStats cs = s->cache_stats();
+      row.push_back(cs.hits + cs.misses > 0
+                        ? TablePrinter::fmt(100.0 * cs.hit_rate(), 1)
+                        : "-");
       table.add_row(std::move(row));
     }
     table.print(std::cout);

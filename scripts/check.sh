@@ -40,6 +40,11 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"
 ./build/fig8_bfs_bc --csr-cache --datasets=orkut --scale=0.02 \
   --system=dgap --pool-mb=256
 
+# Smoke-run the DRAM hot tier: read-charged kernels, cache-off vs cache-on
+# (the section also verifies cache-on results match cache-off exactly).
+./build/fig7_pr_cc --dram-cache=64 --eviction=clock --datasets=orkut \
+  --scale=0.02 --system=dgap --pool-mb=256
+
 # The CLIs must refuse nonsensical knob values instead of misbehaving.
 expect_reject() {
   if "$@" > /dev/null 2>&1; then
@@ -79,5 +84,11 @@ expect_reject ./build/fig7_pr_cc --live-producers=0
 expect_reject ./build/fig7_pr_cc --live-producers=nope
 expect_reject ./build/fig7_pr_cc --live-producers=-2
 expect_reject ./build/table4_analysis_scalability --live-producers=0
+expect_reject ./build/fig7_pr_cc --dram-cache=nope
+expect_reject ./build/fig7_pr_cc --dram-cache=-8
+expect_reject ./build/fig7_pr_cc --eviction=turbo
+expect_reject ./build/fig8_bfs_bc --dram-cache=0x
+expect_reject ./build/table4_analysis_scalability --eviction=mru
+expect_reject ./build/fig7_pr_cc --pm-read-ns=nope
 
 echo "check.sh: all good"

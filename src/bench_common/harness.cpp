@@ -72,6 +72,15 @@ BenchConfig parse_common(const Cli& cli, double default_scale,
   if (cli.has("absorb-min"))
     cfg.absorb_min = static_cast<std::size_t>(
         parse_positive_int(cli.get("absorb-min", ""), "--absorb-min"));
+  if (cli.has("dram-cache"))
+    cfg.tuning.dram_cache_mb =
+        static_cast<std::uint32_t>(parse_positive_int_capped(
+            cli.get("dram-cache", ""), "--dram-cache", 1 << 20));
+  if (cli.has("eviction"))
+    cfg.tuning.eviction = tier::parse_eviction(cli.get("eviction", ""));
+  if (cli.has("pm-read-ns"))
+    cfg.pm_read_ns = static_cast<std::uint64_t>(parse_positive_int_capped(
+        cli.get("pm-read-ns", ""), "--pm-read-ns", 1000000));
   cfg.csr_cache = cli.get_bool("csr-cache", false);
   cfg.live_ingest = cli.get_bool("live-ingest", false);
   if (cli.has("live-producers"))
@@ -265,12 +274,17 @@ void print_live_ingest_section(
 }
 
 LoadedDgap load_dgap_for_analysis(const EdgeStream& stream,
-                                  std::uint64_t pool_mb) {
+                                  std::uint64_t pool_mb,
+                                  const StoreTuning& tuning) {
   LoadedDgap l;
   l.pool = fresh_pool(pool_mb);
   core::DgapOptions o;
   o.init_vertices = stream.num_vertices();
   o.init_edges = stream.num_edges();
+  o.ingest_profile = tuning.profile;
+  o.section_slots_hint = tuning.section_slots;
+  o.dram_cache_mb = tuning.dram_cache_mb;
+  o.eviction = tuning.eviction;
   l.store = core::DgapStore::create(*l.pool, o);
   constexpr std::size_t kChunk = 8192;
   const auto all = stream.all();
@@ -282,6 +296,14 @@ LoadedDgap load_dgap_for_analysis(const EdgeStream& stream,
 void configure_latency(bool enabled) {
   pmem::LatencyConfig lc;  // Optane-like defaults from the header
   lc.enabled = enabled;
+  pmem::latency_model().configure(lc);
+}
+
+void configure_latency_with_read(bool enabled,
+                                 std::uint64_t read_ns_per_line) {
+  pmem::LatencyConfig lc;
+  lc.enabled = enabled || read_ns_per_line != 0;
+  lc.read_ns_per_line = read_ns_per_line;
   pmem::latency_model().configure(lc);
 }
 
@@ -302,6 +324,9 @@ void print_banner(const std::string& title, const BenchConfig& cfg) {
     std::cout << " autotune=on";
   else if (cfg.absorb_min != 0)
     std::cout << " absorb-min=" << cfg.absorb_min;
+  if (cfg.tuning.dram_cache_mb != 0)
+    std::cout << " dram-cache=" << cfg.tuning.dram_cache_mb
+              << "MB eviction=" << tier::eviction_name(cfg.tuning.eviction);
   if (cfg.csr_cache) std::cout << " csr-cache=on";
   if (cfg.live_ingest)
     std::cout << " live-ingest=on live-producers=" << cfg.live_producers;
@@ -356,6 +381,8 @@ class DgapModel final : public IStore {
         static_cast<std::uint32_t>(std::max(writer_threads, 1) + 1);
     o.ingest_profile = tuning.profile;
     o.section_slots_hint = tuning.section_slots;
+    o.dram_cache_mb = tuning.dram_cache_mb;
+    o.eviction = tuning.eviction;
     store_ = core::DgapStore::create(pool, o);
   }
   void insert(NodeId s, NodeId d) override { store_->insert_edge(s, d); }
@@ -370,6 +397,9 @@ class DgapModel final : public IStore {
   [[nodiscard]] bool concurrent_batch_safe() const override { return true; }
   [[nodiscard]] std::uint64_t num_edges() const override {
     return store_->num_edge_slots();
+  }
+  [[nodiscard]] tier::CacheStats cache_stats() const override {
+    return store_->cache_stats();
   }
   NodeId pick_source() override {
     return algorithms::max_degree_vertex(store_->consistent_view());
@@ -416,6 +446,9 @@ class ShardedDgapModel final : public IStore {
   [[nodiscard]] bool concurrent_batch_safe() const override { return true; }
   [[nodiscard]] std::uint64_t num_edges() const override {
     return store_->num_edge_slots();
+  }
+  [[nodiscard]] tier::CacheStats cache_stats() const override {
+    return store_->cache_stats();
   }
   NodeId pick_source() override {
     return algorithms::max_degree_vertex(store_->consistent_view());
@@ -566,6 +599,9 @@ std::unique_ptr<IStore> make_sharded_store(int shards, NodeId vertices,
   core::ShardedStore::Options o;
   o.dgap.ingest_profile = tuning.profile;
   o.dgap.section_slots_hint = tuning.section_slots;
+  // Global budget: shard_options slices it evenly across shards.
+  o.dgap.dram_cache_mb = tuning.dram_cache_mb;
+  o.dgap.eviction = tuning.eviction;
   o.shards = static_cast<std::size_t>(std::max(shards, 1));
   // Split the budget so every shard count runs with the same TOTAL pool
   // memory as the S=1 baseline (a bigger aggregate would skew the

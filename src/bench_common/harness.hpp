@@ -16,6 +16,7 @@
 #include <omp.h>
 
 #include "src/algorithms/graph_view.hpp"
+#include "src/baselines/pmem_csr.hpp"
 #include "src/common/cli.hpp"
 #include "src/common/table.hpp"
 #include "src/common/timer.hpp"
@@ -29,10 +30,13 @@
 namespace dgap::bench {
 
 // DGAP-specific store tuning surfaced on the bench CLIs (--ingest-profile,
-// --section-slots). Baseline systems ignore it.
+// --section-slots, --dram-cache, --eviction). Baseline systems ignore it.
 struct StoreTuning {
   core::IngestProfile profile = core::IngestProfile::balanced;
   std::uint64_t section_slots = 0;  // explicit hint; 0 = profile default
+  // DRAM hot tier over the pmem edge array (src/tier/): 0 disables.
+  std::uint32_t dram_cache_mb = 0;
+  tier::Eviction eviction = tier::Eviction::lru;
 };
 
 struct BenchConfig {
@@ -67,6 +71,11 @@ struct BenchConfig {
   // sets the submit-thread count.
   bool live_ingest = false;
   int live_producers = 2;
+  // --pm-read-ns=N: per-cache-line read charge applied INSIDE the
+  // --dram-cache section only (fig7/fig8), so cache-off vs cache-on runs
+  // both pay the media's read cost and the tier's win is visible. The main
+  // tables never charge reads (read_ns_per_line stays 0 there).
+  std::uint64_t pm_read_ns = 60;
 };
 
 // Parse --scale, --datasets=a,b,c, --latency, --pool-mb, --system,
@@ -109,6 +118,13 @@ void print_sharded_sweep(
 // Enable/disable the process-global PM latency model with Optane-like
 // defaults (see pmem/latency_model.hpp for the parameters).
 void configure_latency(bool enabled);
+
+// Same, plus a per-line READ charge (the --dram-cache section's media
+// model). read_ns_per_line > 0 forces the model on even under
+// --latency=off, so the section's comparison is always charged; pass 0 to
+// drop back to the write-only default.
+void configure_latency_with_read(bool enabled,
+                                 std::uint64_t read_ns_per_line);
 
 // Fresh anonymous pool (benches do not need cross-process durability).
 std::unique_ptr<pmem::PmemPool> fresh_pool(std::uint64_t mb);
@@ -273,7 +289,8 @@ struct LoadedDgap {
   std::unique_ptr<core::DgapStore> store;
 };
 LoadedDgap load_dgap_for_analysis(const EdgeStream& stream,
-                                  std::uint64_t pool_mb);
+                                  std::uint64_t pool_mb,
+                                  const StoreTuning& tuning = {});
 
 // --- --csr-cache section (fig7/fig8) ----------------------------------------
 
@@ -356,6 +373,93 @@ bool print_csr_cache_section(
   return all_identical;
 }
 
+// --- --dram-cache section (fig7/fig8) ---------------------------------------
+
+// The DRAM hot-tier report: per dataset, run kernel A and kernel B over a
+// cache-OFF store and a cache-ON store under a read-charged media model
+// (--pm-read-ns per line), next to the static-CSR floor which stays
+// uncharged (the DRAM-speed target the tier chases). Reports the hit rate
+// and how much of the PM-vs-CSR gap the tier closed; returns false if
+// cache-on kernel results diverge from cache-off (hard failure — the tier
+// must be semantically invisible).
+template <typename KernelA, typename KernelB>
+bool print_dram_cache_section(
+    const BenchConfig& cfg, const char* a_label, const char* b_label,
+    const std::function<const EdgeStream&(const std::string&)>& stream_for,
+    KernelA&& kernel_a, KernelB&& kernel_b, std::ostream& os) {
+  os << "\n--- DGAP DRAM hot tier: " << a_label << " + " << b_label
+     << " (--dram-cache=" << cfg.tuning.dram_cache_mb
+     << "MB eviction=" << tier::eviction_name(cfg.tuning.eviction)
+     << " pm-read-ns=" << cfg.pm_read_ns << ", 1 thread) ---\n";
+  TablePrinter table({"Graph", "csr(s)", "pm(s)", "cached(s)", "speedup",
+                      "hit%", "gap closed", "identical"});
+  const int saved_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+  bool all_identical = true;
+  tier::CacheStats totals;
+  for (const auto& name : cfg.datasets) {
+    const EdgeStream& stream = stream_for(name);
+
+    // Static CSR floor: immutable, sequential, effectively DRAM-speed —
+    // deliberately NOT read-charged (see BenchConfig::pm_read_ns).
+    auto csr_pool = fresh_pool(cfg.pool_mb);
+    const auto csr = baselines::PmemCsr::build(*csr_pool, stream);
+    const NodeId source = algorithms::max_degree_vertex(*csr);
+    Timer tc;
+    (void)kernel_a(*csr, source);
+    (void)kernel_b(*csr, source);
+    const double csr_s = tc.seconds();
+
+    // Cache OFF: every adjacency read pays the media's read cost.
+    StoreTuning off = cfg.tuning;
+    off.dram_cache_mb = 0;
+    const LoadedDgap pm = load_dgap_for_analysis(stream, cfg.pool_mb, off);
+    const core::Snapshot pm_view = pm.store->consistent_view();
+    configure_latency_with_read(cfg.latency, cfg.pm_read_ns);
+    Timer tp;
+    const auto pm_a = kernel_a(pm_view, source);
+    const auto pm_b = kernel_b(pm_view, source);
+    const double pm_s = tp.seconds();
+    configure_latency_with_read(cfg.latency, 0);
+
+    // Cache ON: kernel A populates on miss (bulk sequential reads, cheap
+    // per line); kernel B mostly hits resident sections.
+    const LoadedDgap hot =
+        load_dgap_for_analysis(stream, cfg.pool_mb, cfg.tuning);
+    const core::Snapshot hot_view = hot.store->consistent_view();
+    configure_latency_with_read(cfg.latency, cfg.pm_read_ns);
+    Timer th;
+    const auto hot_a = kernel_a(hot_view, source);
+    const auto hot_b = kernel_b(hot_view, source);
+    const double hot_s = th.seconds();
+    configure_latency_with_read(cfg.latency, 0);
+    const tier::CacheStats cs = hot.store->cache_stats();
+    totals += cs;
+
+    const bool identical = pm_a == hot_a && pm_b == hot_b;
+    all_identical = all_identical && identical;
+    const double gap = pm_s - csr_s;
+    table.add_row(
+        {name, TablePrinter::fmt(csr_s, 3), TablePrinter::fmt(pm_s, 3),
+         TablePrinter::fmt(hot_s, 3), TablePrinter::fmt(pm_s / hot_s),
+         TablePrinter::fmt(100.0 * cs.hit_rate(), 1),
+         gap > 1e-9 ? TablePrinter::fmt(100.0 * (pm_s - hot_s) / gap, 1) + "%"
+                    : "-",
+         identical ? "yes" : "NO (BUG)"});
+    if (!identical) break;
+  }
+  omp_set_num_threads(saved_threads);
+  table.print(os);
+  os << "# dram-cache counters: populates=" << totals.populates
+     << " evictions=" << totals.evictions
+     << " admit_rejects=" << totals.admit_rejects
+     << " resident=" << totals.resident << "/" << totals.frames << "\n";
+  if (all_identical)
+    os << "# dram-cache: kernel results verified identical cache-on vs "
+          "cache-off; csr column is the uncharged DRAM-speed floor\n";
+  return all_identical;
+}
+
 // --- type-erased store ------------------------------------------------------
 
 // Uniform handle over every system. Kernel timers run the shared GAPBS-style
@@ -391,6 +495,9 @@ class IStore {
   // Make all inserted edges analysis-visible (snapshot/flush/archive).
   virtual void finalize() {}
   [[nodiscard]] virtual std::uint64_t num_edges() const = 0;
+  // DRAM hot-tier counters; zero-valued for systems without the tier
+  // (hits + misses == 0 means "no cache ran here").
+  [[nodiscard]] virtual tier::CacheStats cache_stats() const { return {}; }
   virtual NodeId pick_source() = 0;
   virtual double time_pagerank(int threads) = 0;
   virtual double time_bfs(int threads, NodeId source) = 0;

@@ -80,6 +80,19 @@ class alignas(kCacheLineSize) RWSpinLock {
     state_.store(0, std::memory_order_release);
   }
 
+  // Non-blocking exclusive acquire that leaves `pending` alone: safe from
+  // contexts that must never wait (the DRAM-tier populate path runs inside
+  // a snapshot reader lane, where blocking on a lock a structural op holds
+  // while it drains the lanes would deadlock). Pair with
+  // unlock_no_pending(): a try-holder never set pending, and clearing it in
+  // unlock() could erase a rebalance's range announcement.
+  bool try_lock() {
+    std::int32_t expected = 0;
+    return state_.compare_exchange_strong(expected, -1,
+                                          std::memory_order_acquire);
+  }
+  void unlock_no_pending() { state_.store(0, std::memory_order_release); }
+
  private:
   static void cpu_relax() {
 #if defined(__x86_64__)

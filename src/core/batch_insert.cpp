@@ -203,6 +203,18 @@ void DgapStore::update_batch_internal(std::span<const Edge> all,
             if (pos > run_begin) {
               pool_.flush(slots_ + run_begin,
                           (pos - run_begin) * sizeof(Slot));
+              // Mirror the appended range into the DRAM tier (per touched
+              // section, under the locks held for this group) BEFORE the
+              // count publish that makes the slots readable.
+              if (cache_) {
+                for (std::uint64_t p = run_begin; p < pos;) {
+                  const std::uint64_t sec = p >> shift;
+                  const std::uint64_t end = std::min(pos, (sec + 1) << shift);
+                  cache_->write_through_range(sec, p - (sec << shift),
+                                              slots_ + p, end - p);
+                  p = end;
+                }
+              }
               // Release-publish after the slot stores: lock-free snapshot
               // readers acquire the count before indexing the run.
               publish_u32(live.arr_count,

@@ -80,6 +80,18 @@ void DgapStore::adopt_layout(const DgapLayout& l) {
   elog_entries_ = l.elog_entries;
   sections_.ensure(num_segments_);
 
+  // (Re)shape the DRAM hot tier for this layout's section geometry. Every
+  // adopt happens either inside the structural gate (resize flip) or before
+  // readers exist (create/open/recover), so dropping all frames here is the
+  // natural epoch invalidation — stale section ids can never be re-read.
+  if (const std::uint64_t cache_bytes = resolve_cache_bytes(opts_);
+      cache_bytes != 0) {
+    if (!cache_)
+      cache_ = std::make_unique<tier::SectionCache>(cache_bytes,
+                                                    opts_.eviction);
+    cache_->configure(num_segments_, seg_slots_);
+  }
+
   // Publish the matching generation descriptor (epoch identity + deferred
   // reclamation bookkeeping — see LayoutGen in snapshot.hpp; reads use the
   // mirrors above). Callers flip inside the structural gate (resize) or
@@ -298,6 +310,8 @@ void DgapStore::append_vertex_locked(NodeId v) {
       continue;
     }
     pool_.store_persist(&slots_[pos], encode_pivot(v));
+    if (cache_)
+      cache_->write_through(sec, pos & (seg_slots_ - 1), encode_pivot(v));
     entries_[v] = VertexEntry{pos, 0, 0, 0, 0};
     tree_->add(sec, +1);
     if (!opts_.metadata_in_dram) mirror_vertex(v);
@@ -368,6 +382,11 @@ void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
       // the edge in place with a single atomic 8-byte persist, then
       // release-publish the count for the lock-free snapshot readers.
       pool_.store_persist(&slots_[pos], encode_edge(dst, tombstone));
+      // Write-through BEFORE the count publish: a reader whose acquired
+      // count covers this slot must find it in the DRAM frame too.
+      if (cache_)
+        cache_->write_through(pos / ss, pos & (ss - 1),
+                              encode_edge(dst, tombstone));
       publish_u32(entries_[src].arr_count, e.arr_count + 1);
       if (tombstone) entries_[src].has_tombstone = 1;
       tree_->add(pos / ss, +1);
@@ -505,6 +524,11 @@ void DgapStore::nearby_shift_insert(NodeId src, Slot value, std::uint64_t pos,
     if (is_pivot(slots_[p]))
       entries_[pivot_vertex(slots_[p])].start = p;
   }
+  // The shift rewrote [pos, gap] in place: drop the stale frame(s) while
+  // the gate still excludes readers.
+  if (cache_)
+    for (std::uint64_t s = sec_of(pos); s <= sec_of(gap); ++s)
+      cache_->invalidate(s);
   ++stats_.shift_inserts;
   stats_.shift_slots_moved += gap - pos;
 }

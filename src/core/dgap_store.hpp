@@ -36,10 +36,13 @@
 #include "src/core/persistent_layout.hpp"
 #include "src/core/section_table.hpp"
 #include "src/core/snapshot.hpp"
+#include "src/core/structural_budget.hpp"
 #include "src/graph/types.hpp"
 #include "src/pma/segment_tree.hpp"
+#include "src/pmem/latency_model.hpp"
 #include "src/pmem/pool.hpp"
 #include "src/pmem/tx.hpp"
+#include "src/tier/dram_cache.hpp"
 
 namespace dgap::core {
 
@@ -154,6 +157,18 @@ class DgapStore {
   [[nodiscard]] std::uint64_t layout_epoch() const;
   [[nodiscard]] std::size_t retired_layouts() const;
 
+  // DRAM hot-tier counters (src/tier); zeroed struct when the tier is off.
+  [[nodiscard]] tier::CacheStats cache_stats() const {
+    return cache_ ? cache_->stats() : tier::CacheStats{};
+  }
+
+  // Install a shared resize token gate (structural_budget.hpp). ShardedStore
+  // hands every shard the same budget so a global resize storm is staggered.
+  // Call before concurrent use; nullptr (the default) means ungated.
+  void set_structural_budget(std::shared_ptr<StructuralBudget> b) {
+    struct_budget_ = std::move(b);
+  }
+
   // Deep structural audit for tests: run shape, tree counts, chain sanity.
   [[nodiscard]] bool check_invariants(std::string* why = nullptr) const;
 
@@ -236,6 +251,13 @@ class DgapStore {
   // a comment.
   template <typename F>
   void read_frozen(NodeId v, std::uint32_t limit, F&& emit) const;
+  // Emit `count` frozen slots starting at array position `first`, section
+  // piece by section piece: DRAM tier on a hit, latency-charged pmem read
+  // (with opportunistic tier population) on a miss. Returns false when the
+  // emitter stopped early.
+  template <typename F>
+  bool emit_run_frozen(std::uint64_t first, std::uint32_t count,
+                       F&& emit) const;
 
   // Striped reader/writer gate between snapshot reads and STRUCTURAL ops
   // (window rebalance, resize flip, ablation nearby-shift) — the brlock
@@ -379,6 +401,13 @@ class DgapStore {
 
   std::unique_ptr<pmem::TxJournal> tx_journal_;  // ablation: PMDK-style tx
 
+  // DRAM hot tier (null when dram_cache is 0). Mutable: the read path
+  // populates frames from const methods; the cache is internally
+  // synchronized per the contract in dram_cache.hpp.
+  mutable std::unique_ptr<tier::SectionCache> cache_;
+  // Shared resize token gate; null = ungated (see set_structural_budget).
+  std::shared_ptr<StructuralBudget> struct_budget_;
+
   std::atomic<std::uint32_t> next_writer_{0};
   std::uint64_t instance_id_;
   // Mutable: const read/snapshot paths bump their own counters (StatCell
@@ -410,13 +439,7 @@ void DgapStore::read_frozen(NodeId v, std::uint32_t limit, F&& emit) const {
   const std::uint32_t arr_take = std::min<std::uint32_t>(limit, arr_count);
   bool stopped = false;
   if (DGAP_LIKELY(start + 1 + arr_take <= capacity_)) {
-    const Slot* run = slots_ + start + 1;
-    for (std::uint32_t i = 0; i < arr_take; ++i) {
-      if (emit_stop(emit, run[i])) {
-        stopped = true;
-        break;
-      }
-    }
+    stopped = !emit_run_frozen(start + 1, arr_take, emit);
     std::uint32_t remaining = limit - arr_take;
     const std::uint32_t head_p1 =
         remaining > 0 && !stopped ? acquire_u32(ent.el_head_p1) : 0;
@@ -437,6 +460,9 @@ void DgapStore::read_frozen(NodeId v, std::uint32_t limit, F&& emit) const {
       chain.clear();
       std::uint32_t idx_p1 = head_p1;
       while (idx_p1 != 0 && idx_p1 <= elog_entries_) {
+        // Elog entries are never tiered into DRAM (they churn by design),
+        // so each chain hop is a charged pmem read.
+        pmem::latency_model().on_read(log + (idx_p1 - 1), 1);
         const ElogEntry entry = log[idx_p1 - 1];
         chain.push_back(encode_edge(elog_dst(entry), elog_tombstone(entry)));
         if (entry.prev_p1 >= idx_p1) break;  // corrupt chain: stop short
@@ -449,6 +475,62 @@ void DgapStore::read_frozen(NodeId v, std::uint32_t limit, F&& emit) const {
     }
   }
   reader_lane_exit(lane);
+}
+
+// Section-piece emission with the DRAM hot tier interposed. Correctness of
+// serving a frame instead of pmem: a frame is only (a) populated under the
+// section's writer lock — so the copy can't miss an append it races with —
+// and (b) kept in sync by writers mirroring every slot store under that
+// same lock BEFORE release-publishing arr_count. The acquire of arr_count
+// in read_frozen therefore covers the frame copy exactly as it covers the
+// pmem slots; structural moves invalidate frames under the structural gate
+// before any reader can re-enter. Misses fall back to the latency-charged
+// pmem read, so cache-off and cache-on runs are comparable.
+template <typename F>
+bool DgapStore::emit_run_frozen(std::uint64_t first, std::uint32_t count,
+                                F&& emit) const {
+  std::uint64_t pos = first;
+  std::uint32_t left = count;
+  while (left > 0) {
+    const std::uint64_t sec = sec_of(pos);
+    const std::uint64_t sec_base = sec << seg_shift_;
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(left, sec_base + seg_slots_ - pos));
+    const Slot* src = nullptr;
+    tier::SectionCache::Pin pin;
+    if (DGAP_UNLIKELY(cache_ != nullptr)) {
+      pin = cache_->acquire(sec);
+      if (!pin && cache_->should_admit(sec)) {
+        // Populate needs the section's writer lock to exclude appenders for
+        // the copy window — but never block for it inside a reader lane (a
+        // structural op may hold the lock while draining the lanes we sit
+        // in). try_lock keeps the miss path deadlock-free.
+        if (sections_[sec].lock.try_lock()) {
+          pin = cache_->populate(sec, slots_ + sec_base);
+          sections_[sec].lock.unlock_no_pending();
+        }
+      }
+      if (pin) src = pin.data + (pos - sec_base);
+    }
+    if (src == nullptr) {
+      pmem::latency_model().on_read(
+          slots_ + pos,
+          (n * sizeof(Slot) + kCacheLineSize - 1) / kCacheLineSize);
+      src = slots_ + pos;
+    }
+    bool stop = false;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (emit_stop(emit, src[i])) {
+        stop = true;
+        break;
+      }
+    }
+    if (pin) cache_->release(pin);
+    if (stop) return false;
+    pos += n;
+    left -= n;
+  }
+  return true;
 }
 
 template <typename F>

@@ -7,6 +7,7 @@
 #include "src/common/platform.hpp"
 #include "src/graph/types.hpp"
 #include "src/pma/thresholds.hpp"
+#include "src/tier/eviction.hpp"
 
 namespace dgap::core {
 
@@ -72,6 +73,17 @@ struct DgapOptions {
   // never use on data you care about.
   bool protect_structural_ops = true;
 
+  // --- DRAM hot tier (src/tier/dram_cache.hpp) ------------------------------
+  // DRAM budget for the section read cache; 0 disables the tier entirely
+  // (no hooks on any path). Purely volatile: the knob is not persisted and
+  // may differ between runs over the same pool — pmem stays the only source
+  // of truth and recovery never sees the cache.
+  std::uint32_t dram_cache_mb = 0;
+  // Byte-granular override (takes precedence when non-zero); ShardedStore
+  // uses it to split one user-facing budget across shards.
+  std::uint64_t dram_cache_bytes = 0;
+  tier::Eviction eviction = tier::Eviction::lru;
+
   // --- ablation switches (paper Table 5) -----------------------------------
   // false => "No EL": inserts landing on occupied slots do a nearby shift.
   bool use_elog = true;
@@ -99,6 +111,12 @@ inline constexpr std::uint64_t kIngestHeavyTargetSections = 16;
 // Sections stop growing past this many slots even under ingest_heavy
 // resizes (past this, section count grows again like the balanced profile).
 inline constexpr std::uint64_t kMaxSegmentSlots = 1ull << 22;
+
+// Effective DRAM hot-tier budget in bytes (0 = tier disabled).
+inline std::uint64_t resolve_cache_bytes(const DgapOptions& o) {
+  if (o.dram_cache_bytes != 0) return o.dram_cache_bytes;
+  return static_cast<std::uint64_t>(o.dram_cache_mb) << 20;
+}
 
 // Resolve the effective create-time geometry for the chosen profile /
 // section-size hint. Called once, at store create — open adopts the

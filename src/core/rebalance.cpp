@@ -378,6 +378,11 @@ void DgapStore::rebalance_window_locked(std::uint64_t begin_seg,
     clear_window_elogs(begin_seg, end_seg, tid);
   }
 
+  // The window's slots were rewritten: drop the stale DRAM frames while the
+  // gate still excludes readers (they re-populate from the new image).
+  if (cache_)
+    for (std::uint64_t s = begin_seg; s < end_seg; ++s) cache_->invalidate(s);
+
   // Volatile metadata: vertex entries, section logs, tree counts.
   for (std::size_t i = 0; i < plan.size(); ++i) {
     VertexEntry& e = entries_[plan[i].vertex];
@@ -413,6 +418,12 @@ void DgapStore::rebalance_window_locked(std::uint64_t begin_seg,
 // ---------------------------------------------------------------------------
 
 void DgapStore::resize_and_rebuild(std::uint64_t extra_slots) {
+  // Resize token gate (structural_budget.hpp): when a ShardedStore's shards
+  // all hit their growth threshold together, only `tokens` of them rebuild
+  // at once — the rest keep absorbing into their still-valid old layout
+  // while they wait here, BEFORE taking global_mu_, so waiting never blocks
+  // this shard's writers. Unsharded stores have no budget (null = free).
+  const StructuralBudgetHold tokens(struct_budget_.get());
   // Quiesce WRITERS only: global exclusive plus every (old) section lock.
   // rebalance_mu_ (held by the caller) excludes other structural
   // operations. Analysis readers never block this call beyond one

@@ -9,9 +9,25 @@
 
 namespace dgap::core {
 
-ShardedStore::ShardedStore(std::vector<StoreHandle> shards, int shift)
+ShardedStore::ShardedStore(std::vector<StoreHandle> shards, int shift,
+                           std::uint32_t resize_tokens)
     : shards_(std::move(shards)) {
   geo_ = {shift, shards_.size()};
+  if (shards_.size() > 1) {
+    // Shared resize gate: all shards fill at roughly the same rate under
+    // uniform ingest, so unstaggered resize storms line up — S shards
+    // stop-the-world at once (and, cache on, S full invalidations at
+    // once). Default max(1, S-1) only bites when every shard wants to
+    // resize simultaneously; deferring is always safe (a resize only
+    // grows capacity).
+    const auto tokens =
+        resize_tokens != 0
+            ? resize_tokens
+            : static_cast<std::uint32_t>(shards_.size() - 1);
+    struct_budget_ = std::make_shared<StructuralBudget>(tokens);
+    for (StoreHandle& h : shards_)
+      h.store->set_structural_budget(struct_budget_);
+  }
 }
 
 void ShardedStore::validate(const Options& opts) {
@@ -55,6 +71,10 @@ std::vector<DgapOptions> ShardedStore::shard_options(const Options& opts,
     // Destination ids are global payloads; their vertex entries live in
     // their own shard (routed explicitly by update_edge/update_batch).
     per[k].ensure_dst_vertices = false;
+    // The DRAM hot-tier budget is a GLOBAL figure: slice it evenly so S
+    // shards together never exceed what one unsharded store would use.
+    per[k].dram_cache_mb = 0;
+    per[k].dram_cache_bytes = resolve_cache_bytes(opts.dgap) / opts.shards;
   }
   return per;
 }
@@ -108,7 +128,7 @@ std::unique_ptr<ShardedStore> ShardedStore::create_on(
          static_cast<std::uint32_t>(opts.shards),
          static_cast<std::uint32_t>(shift)});
   return std::unique_ptr<ShardedStore>(
-      new ShardedStore(std::move(handles), shift));
+      new ShardedStore(std::move(handles), shift, opts.resize_tokens));
 }
 
 std::unique_ptr<ShardedStore> ShardedStore::open_on(
@@ -138,7 +158,8 @@ std::unique_ptr<ShardedStore> ShardedStore::open_on(
           " identity mismatch (pools shuffled or from another store)");
   }
   return std::unique_ptr<ShardedStore>(
-      new ShardedStore(std::move(handles), static_cast<int>(first.shift)));
+      new ShardedStore(std::move(handles), static_cast<int>(first.shift),
+                       opts.resize_tokens));
 }
 
 // ---------------------------------------------------------------------------
@@ -242,6 +263,15 @@ ShardedSnapshot ShardedStore::consistent_view() const {
   }
   snap.num_nodes_ = nodes;
   snap.total_ = total;
+  // Cache identity (SnapshotCsrCache::get): shard 0's capture sequence is
+  // process-unique per cut; the epoch folds in every shard's layout
+  // generation so a resize anywhere forces a rebuild.
+  snap.seq_ =
+      snap.shards_.empty() ? 0 : snap.shards_[0].capture_seq();
+  std::uint64_t mix = 0;
+  for (const Snapshot& s : snap.shards_)
+    mix = mix * 1099511628211ull + s.layout_epoch() + 1;
+  snap.epoch_ = mix;
   return snap;
 }
 
@@ -346,6 +376,12 @@ std::uint64_t ShardedStore::num_edge_slots() const {
   std::uint64_t total = 0;
   for (const StoreHandle& h : shards_) total += h.store->num_edge_slots();
   return total;
+}
+
+tier::CacheStats ShardedStore::cache_stats() const {
+  tier::CacheStats agg;
+  for (const StoreHandle& h : shards_) agg += h.store->cache_stats();
+  return agg;
 }
 
 bool ShardedStore::check_invariants(std::string* why) const {

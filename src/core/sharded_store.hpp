@@ -127,6 +127,14 @@ class ShardedSnapshot {
     return shards_[k];
   }
 
+  // --- versioning ----------------------------------------------------------
+  // Cache identity for SnapshotCsrCache: shard 0's capture sequence is
+  // drawn from the process-global counter (unique per consistent_view
+  // call), and the epoch mixes every shard's layout generation so a resize
+  // in ANY shard yields a new key. Stamped by consistent_view.
+  [[nodiscard]] std::uint64_t capture_seq() const { return seq_; }
+  [[nodiscard]] std::uint64_t layout_epoch() const { return epoch_; }
+
  private:
   friend class ShardedStore;
 
@@ -135,15 +143,21 @@ class ShardedSnapshot {
     geo_ = other.geo_;
     num_nodes_ = other.num_nodes_;
     total_ = other.total_;
+    seq_ = other.seq_;
+    epoch_ = other.epoch_;
     other.shards_.clear();
     other.num_nodes_ = 0;
     other.total_ = 0;
+    other.seq_ = 0;
+    other.epoch_ = 0;
   }
 
   std::vector<Snapshot> shards_;
   ShardGeometry geo_;
   NodeId num_nodes_ = 0;
   std::uint64_t total_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 class ShardedStore {
@@ -165,6 +179,11 @@ class ShardedStore {
     // shard's root, and open() validates and adopts the persisted value
     // (changed estimates must not remap ids).
     int shard_shift = -1;
+    // Cap on concurrent whole-array resizes across shards (all shards fill
+    // at roughly the same rate under uniform ingest, so unstaggered their
+    // resize storms line up). 0 => max(1, S-1) when S > 1 — a gentle
+    // stagger that only bites when ALL shards want to resize at once.
+    std::uint32_t resize_tokens = 0;
     // Per-shard store knobs. init_vertices/init_edges are GLOBAL estimates;
     // create() slices them across shards.
     DgapOptions dgap;
@@ -244,10 +263,19 @@ class ShardedStore {
   [[nodiscard]] pmem::PmemPool& shard_pool(std::size_t k) {
     return *shards_[k].pool;
   }
+  // Aggregated DRAM hot-tier counters across all shards (each shard runs
+  // its own SectionCache over its slice of the budget).
+  [[nodiscard]] tier::CacheStats cache_stats() const;
+  // The shared resize gate (nullptr when S == 1); tests read its
+  // high_watermark to prove storms are staggered.
+  [[nodiscard]] const StructuralBudget* structural_budget() const {
+    return struct_budget_.get();
+  }
   [[nodiscard]] bool check_invariants(std::string* why = nullptr) const;
 
  private:
-  ShardedStore(std::vector<StoreHandle> shards, int shift);
+  ShardedStore(std::vector<StoreHandle> shards, int shift,
+               std::uint32_t resize_tokens);
 
   static void validate(const Options& opts);
   static int derive_shift(const Options& opts);
@@ -266,6 +294,7 @@ class ShardedStore {
 
   std::vector<StoreHandle> shards_;
   ShardGeometry geo_;
+  std::shared_ptr<StructuralBudget> struct_budget_;
 };
 
 }  // namespace dgap::core

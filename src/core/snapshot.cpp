@@ -63,18 +63,4 @@ std::vector<NodeId> Snapshot::neighbors(NodeId v) const {
   return out;
 }
 
-const SnapshotCsr& SnapshotCsrCache::get(const Snapshot& snap) {
-  if (have_ && key_seq_ == snap.capture_seq() &&
-      key_epoch_ == snap.layout_epoch()) {
-    ++hits_;
-    return csr_;
-  }
-  ++misses_;
-  csr_ = SnapshotCsr::build(snap);
-  key_seq_ = snap.capture_seq();
-  key_epoch_ = snap.layout_epoch();
-  have_ = true;
-  return csr_;
-}
-
 }  // namespace dgap::core

@@ -231,11 +231,27 @@ class SnapshotCsr {
 // One-entry CSR cache keyed by (capture sequence, layout epoch): repeated
 // kernels over the SAME snapshot hit; a new cut (or a snapshot from another
 // layout generation) rebuilds. get() itself is not thread-safe — build
-// once, then hand the returned view to parallel kernels.
+// once, then hand the returned view to parallel kernels. Works for any
+// snapshot-shaped view that exposes capture_seq()/layout_epoch() — a
+// Snapshot, or a ShardedSnapshot (whose key is shard 0's process-unique
+// capture sequence plus the shards' combined layout epochs).
 class SnapshotCsrCache {
  public:
   // Returns the materialized view for `snap`, building it on a key miss.
-  const SnapshotCsr& get(const Snapshot& snap);
+  template <typename View>
+  const SnapshotCsr& get(const View& snap) {
+    if (have_ && key_seq_ == snap.capture_seq() &&
+        key_epoch_ == snap.layout_epoch()) {
+      ++hits_;
+      return csr_;
+    }
+    ++misses_;
+    csr_ = SnapshotCsr::build(snap);
+    key_seq_ = snap.capture_seq();
+    key_epoch_ = snap.layout_epoch();
+    have_ = true;
+    return csr_;
+  }
 
   void invalidate() { have_ = false; }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }

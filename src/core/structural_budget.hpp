@@ -1,0 +1,78 @@
+// Token gate staggering whole-array resizes across shards (ROADMAP
+// carried-over item). All shards of a ShardedStore grow at roughly the same
+// fill under uniform ingest, so without a gate the resize storms line up:
+// S shards simultaneously stop-the-world rebuild, S-wide ingest latency
+// spike — and, with the DRAM hot tier on, S simultaneous full-cache
+// invalidations. A shared StructuralBudget caps how many resizes run at
+// once; the others keep absorbing into their (still valid) old layout until
+// a token frees up, because a resize only *grows* capacity — deferring it
+// is always safe, merely denser.
+//
+// Tokens are held for the duration of one resize_and_rebuild call. The
+// holder never waits on another shard's locks (shards are independent
+// stores), so the gate cannot deadlock, only serialize.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "src/common/stat_cell.hpp"
+
+namespace dgap::core {
+
+class StructuralBudget {
+ public:
+  explicit StructuralBudget(std::uint32_t tokens)
+      : avail_(tokens == 0 ? 1 : tokens) {}
+
+  void acquire() {
+    std::uint32_t cur = avail_.load(std::memory_order_relaxed);
+    for (;;) {
+      while (cur == 0) {
+        std::this_thread::yield();
+        cur = avail_.load(std::memory_order_relaxed);
+      }
+      if (avail_.compare_exchange_weak(cur, cur - 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed))
+        break;
+    }
+    const std::uint32_t now =
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    waits_.max_with(now);  // high watermark of concurrent holders
+  }
+
+  void release() {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    avail_.fetch_add(1, std::memory_order_release);
+  }
+
+  // Peak number of resizes ever running concurrently under this budget —
+  // the test oracle: with T tokens it can never exceed T.
+  [[nodiscard]] std::uint32_t high_watermark() const { return waits_.load(); }
+
+ private:
+  std::atomic<std::uint32_t> avail_;
+  std::atomic<std::uint32_t> inflight_{0};
+  StatCell<std::uint32_t> waits_;
+};
+
+// Nullable RAII hold: stores without a budget (unsharded default) pass
+// nullptr and pay nothing.
+class StructuralBudgetHold {
+ public:
+  explicit StructuralBudgetHold(StructuralBudget* b) : b_(b) {
+    if (b_ != nullptr) b_->acquire();
+  }
+  ~StructuralBudgetHold() {
+    if (b_ != nullptr) b_->release();
+  }
+  StructuralBudgetHold(const StructuralBudgetHold&) = delete;
+  StructuralBudgetHold& operator=(const StructuralBudgetHold&) = delete;
+
+ private:
+  StructuralBudget* b_;
+};
+
+}  // namespace dgap::core

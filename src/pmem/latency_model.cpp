@@ -9,6 +9,9 @@ namespace {
 // Previous XPLine touched by this thread's flushes; models the sequential
 // write-combining behaviour of the on-DIMM buffer.
 thread_local std::uintptr_t t_last_xpline = ~std::uintptr_t{0};
+// Same idea for reads: the media fetches whole 256B XPLines, so a read
+// landing on the previous XPLine is already buffered.
+thread_local std::uintptr_t t_last_read_xpline = ~std::uintptr_t{0};
 }  // namespace
 
 void LatencyModel::on_flush(const void* addr, std::uint64_t lines) {
@@ -49,9 +52,18 @@ void LatencyModel::on_fence() {
 }
 
 void LatencyModel::on_read(const void* addr, std::uint64_t lines) {
-  (void)addr;
-  if (cfg_.enabled && cfg_.read_ns_per_line > 0)
-    spin_wait_ns(lines * cfg_.read_ns_per_line);
+  if (!cfg_.enabled || cfg_.read_ns_per_line == 0) return;
+  std::uintptr_t line = line_of(addr);
+  std::uint64_t xp_misses = 0;
+  for (std::uint64_t i = 0; i < lines; ++i, line += kCacheLineSize) {
+    const std::uintptr_t xpline = round_down(line, kXPLineSize);
+    if (xpline != t_last_read_xpline) {
+      ++xp_misses;
+      t_last_read_xpline = xpline;
+    }
+  }
+  spin_wait_ns(lines * cfg_.read_ns_per_line +
+               xp_misses * cfg_.read_xpline_miss_ns);
 }
 
 LatencyModel& latency_model() {

@@ -37,7 +37,14 @@ struct LatencyConfig {
   // the paper's ~7x ratio compresses — see EXPERIMENTS.md).
   std::uint64_t inplace_flush_ns = 250;
   std::uint64_t fence_ns = 25;
-  std::uint64_t read_ns_per_line = 0;  // opt-in, via on_read()
+  // Read-side charges, opt-in via on_read(): base cost per 64B line plus an
+  // extra cost when a read opens a different 256B XPLine than this thread's
+  // previous read (Optane random reads are ~2-3x sequential — the media
+  // fetches whole XPLines, so scattered small reads pay the fetch per line
+  // while streams amortize it 4:1). Both stay inert while read_ns_per_line
+  // is 0, so write-focused benches are unaffected.
+  std::uint64_t read_ns_per_line = 0;
+  std::uint64_t read_xpline_miss_ns = 180;
   std::uint64_t recency_window_ns = 600;
 };
 

@@ -1,0 +1,32 @@
+// Eviction policy selector for the DRAM hot tier (src/tier/dram_cache.hpp).
+// Lives in its own tiny header so DgapOptions can carry the knob without
+// pulling the whole cache implementation into every core translation unit.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dgap::tier {
+
+enum class Eviction : std::uint8_t {
+  lru = 0,    // exact recency order (list under a spinlock; hits demote
+              // lazily via try_lock so the read path never blocks on it)
+  clock = 1,  // second-chance ref bits; hits are lock-free
+};
+
+inline const char* eviction_name(Eviction e) {
+  return e == Eviction::clock ? "clock" : "lru";
+}
+
+// Shared parse path for CLI flags and tests: unknown names throw, so every
+// front-end rejects `--eviction=turbo` identically.
+inline Eviction parse_eviction(std::string_view s) {
+  if (s == "lru") return Eviction::lru;
+  if (s == "clock") return Eviction::clock;
+  throw std::invalid_argument("unknown eviction policy '" + std::string(s) +
+                              "' (expected lru|clock)");
+}
+
+}  // namespace dgap::tier

@@ -289,8 +289,12 @@ INSTANTIATE_TEST_SUITE_P(
 // prefix of its share), never a torn edge and never a duplicate.
 class BatchCrashSweep : public ::testing::TestWithParam<int> {};
 
-TEST_P(BatchCrashSweep, RecoversToAcknowledgedBatches) {
-  const int band = GetParam();
+// Shared body, parameterized on store options so the DRAM hot-tier variant
+// (write-through cache on, CLOCK eviction) runs the identical sweep: the
+// cache is volatile and must change NOTHING about what survives a crash,
+// and the post-recovery oracle check reads through a fresh cache, so a
+// stale or torn frame would surface as a multiset difference.
+void run_batch_crash_sweep(int band, const DgapOptions& store_opts) {
   constexpr std::size_t kBatch = 64;
   const auto stream = symmetrize(generate_rmat(48, 1500, 4321));
   const auto& edges = stream.edges();
@@ -300,7 +304,7 @@ TEST_P(BatchCrashSweep, RecoversToAcknowledgedBatches) {
         static_cast<std::uint64_t>(band) * 1200 + offset * 151;
     auto pool =
         PmemPool::create({.path = "", .size = 8 << 20, .shadow = true});
-    auto store = DgapStore::create(*pool, crash_opts());
+    auto store = DgapStore::create(*pool, store_opts);
     pool->arm_crash_after(crash_at);
 
     std::size_t acked = 0;  // edges in fully acknowledged batches
@@ -335,7 +339,7 @@ TEST_P(BatchCrashSweep, RecoversToAcknowledgedBatches) {
 
     store.reset();
     pool->simulate_crash();
-    auto recovered = DgapStore::open(*pool, crash_opts());
+    auto recovered = DgapStore::open(*pool, store_opts);
 
     std::string why;
     ASSERT_TRUE(recovered->check_invariants(&why))
@@ -357,7 +361,32 @@ TEST_P(BatchCrashSweep, RecoversToAcknowledgedBatches) {
   }
 }
 
+TEST_P(BatchCrashSweep, RecoversToAcknowledgedBatches) {
+  run_batch_crash_sweep(GetParam(), crash_opts());
+}
+
 INSTANTIATE_TEST_SUITE_P(Bands, BatchCrashSweep, ::testing::Range(0, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Band" + std::to_string(info.param);
+                         });
+
+// DRAM hot tier on: a deliberately tiny budget keeps eviction churning
+// through the whole sweep, and CLOCK covers the non-default policy.
+DgapOptions cached_crash_opts() {
+  DgapOptions o = crash_opts();
+  o.dram_cache_bytes = 4 << 10;  // 16 frames over 256-byte sections
+  o.eviction = tier::Eviction::clock;
+  return o;
+}
+
+class CachedBatchCrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CachedBatchCrashSweep, RecoversToAcknowledgedBatches) {
+  run_batch_crash_sweep(GetParam(), cached_crash_opts());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, CachedBatchCrashSweep,
+                         ::testing::Range(0, 8),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return "Band" + std::to_string(info.param);
                          });
@@ -545,8 +574,11 @@ std::map<std::pair<NodeId, NodeId>, int> sharded_extra(
 
 class ShardedBatchCrashSweep : public ::testing::TestWithParam<int> {};
 
-TEST_P(ShardedBatchCrashSweep, EveryShardRecoversToAcknowledgedBatches) {
-  const int band = GetParam();
+// Shared body (see run_batch_crash_sweep): `mutate` adjusts the sharded
+// options so the cached variant reruns the identical sweep with each
+// shard's slice of the DRAM hot tier active.
+template <typename MutateFn>
+void run_sharded_batch_crash_sweep(int band, MutateFn&& mutate) {
   constexpr std::size_t kShards = 3;
   constexpr std::size_t kBatch = 96;  // spans all three shards
   const auto stream = symmetrize(generate_rmat(96, 2000, 2468));
@@ -558,8 +590,9 @@ TEST_P(ShardedBatchCrashSweep, EveryShardRecoversToAcknowledgedBatches) {
     // Alternate which shard's pool the crash fires in, so the sweep
     // interrupts groups at different positions of the batch loop.
     const std::size_t crash_shard = (band + offset) % kShards;
-    const ShardedStore::Options opts = sharded_crash_opts(
+    ShardedStore::Options opts = sharded_crash_opts(
         kShards, stream.num_vertices(), edges.size());
+    mutate(opts);
     auto store = ShardedStore::create_on(shadow_pools(kShards), opts);
     store->shard_pool(crash_shard).arm_crash_after(crash_at);
 
@@ -612,7 +645,26 @@ TEST_P(ShardedBatchCrashSweep, EveryShardRecoversToAcknowledgedBatches) {
   }
 }
 
+TEST_P(ShardedBatchCrashSweep, EveryShardRecoversToAcknowledgedBatches) {
+  run_sharded_batch_crash_sweep(GetParam(), [](ShardedStore::Options&) {});
+}
+
 INSTANTIATE_TEST_SUITE_P(Bands, ShardedBatchCrashSweep,
+                         ::testing::Range(0, 6),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Band" + std::to_string(info.param);
+                         });
+
+class CachedShardedBatchCrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CachedShardedBatchCrashSweep, EveryShardRecoversToAcknowledgedBatches) {
+  run_sharded_batch_crash_sweep(GetParam(), [](ShardedStore::Options& o) {
+    o.dgap.dram_cache_bytes = 12 << 10;  // split 3 ways: 16 frames/shard
+    o.dgap.eviction = tier::Eviction::clock;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, CachedShardedBatchCrashSweep,
                          ::testing::Range(0, 6),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return "Band" + std::to_string(info.param);
