@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   configure_latency(cfg.latency);
   print_banner("Figure 6: insertion throughput (MEPS), 1 writer thread",
                cfg);
+  const ObsSession obs(cfg);
 
   // Batched runs are always compared against the per-edge path.
   std::vector<std::size_t> batches = cfg.batches;

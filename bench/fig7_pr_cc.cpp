@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   configure_latency(cfg.latency);
   print_banner(
       "Figure 7: PR and CC time normalized to CSR on PM (1 thread)", cfg);
+  const ObsSession obs(cfg);
 
   // Load each dataset once; the kernel loops and the sharded section reuse
   // the streams, and the CSR baselines are cached for the sharded rows.

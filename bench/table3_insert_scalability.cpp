@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   configure_latency(cfg.latency);
   print_banner("Table 3: insert scalability (MEPS) across writer threads",
                cfg);
+  const ObsSession obs(cfg);
 
   std::vector<int> thread_counts = {1, 8, 16};
   if (cli.has("threads")) {

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   cfg.latency = cli.get_bool("latency", false);
   configure_latency(cfg.latency);
   print_banner("Table 4: kernel runtime (s) at T1 and T16", cfg);
+  const ObsSession obs(cfg);
 
   std::vector<int> thread_counts = {1, 16};
   if (cli.has("threads")) {

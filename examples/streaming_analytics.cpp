@@ -19,6 +19,8 @@
 // Run:  ./examples/streaming_analytics [--events 200000] [--rounds 5]
 //                                      [--producers 2] [--async-writers 2]
 //                                      [--autotune] [--ingest-profile ...]
+//                                      [--metrics-out F [--metrics-interval-ms N]]
+//                                      [--trace-out F]
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -82,6 +84,14 @@ int main(int argc, char** argv) {
   }
   const NodeId cells = 4096;  // cell towers in the region
 
+  // Live exporters (src/obs): JSON-lines metrics samples + a Prometheus
+  // dump, and a chrome://tracing dump of structural events at exit.
+  const std::string metrics_out = cli.get("metrics-out", "");
+  const auto metrics_interval_ms = static_cast<std::uint64_t>(
+      require_positive(cli, "metrics-interval-ms", 500));
+  const std::string trace_out = cli.get("trace-out", "");
+  const bench::ObsSession obs(metrics_out, metrics_interval_ms, trace_out);
+
   auto pool = pmem::PmemPool::create({.path = "", .size = 256 << 20});
   core::DgapOptions options;
   options.init_vertices = cells;
@@ -128,11 +138,18 @@ int main(int argc, char** argv) {
     });
   }
 
-  std::cout << "round  absorbed   clusters  top hotspots (cell:score)\n";
+  std::cout << "round  absorbed   rate(e/s)  p99(us)  clusters  "
+               "top hotspots (cell:score)\n";
   // Held across the whole stream: ingestion must never stall behind it.
   std::optional<core::Snapshot> round0_snap;
   std::uint64_t round0_edges = 0;
   std::uint64_t round0_checksum = 0;
+  // Per-round live telemetry: absorbed rate since the previous round and
+  // the absorb-batch p99 over the same interval (histogram-snapshot delta).
+  Timer live_timer;
+  double prev_t = 0;
+  std::uint64_t prev_absorbed = 0;
+  obs::HistogramSnapshot prev_absorb_hist = ingestor->absorb_latency();
   for (int round = 0; round < rounds; ++round) {
     // Wait until roughly the next chunk of traffic has been absorbed.
     const std::size_t target =
@@ -177,8 +194,21 @@ int main(int argc, char** argv) {
       }
     }
 
+    const std::uint64_t absorbed_now = ingestor->stats().absorbed_edges;
+    const double now = live_timer.seconds();
+    const double rate = static_cast<double>(absorbed_now - prev_absorbed) /
+                        std::max(now - prev_t, 1e-9);
+    const obs::HistogramSnapshot absorb_now = ingestor->absorb_latency();
+    const double p99_us =
+        (absorb_now - prev_absorb_hist).percentile(0.99) / 1e3;
+    prev_t = now;
+    prev_absorbed = absorbed_now;
+    prev_absorb_hist = absorb_now;
+
     std::cout << std::setw(5) << round << "  " << std::setw(8)
-              << ingestor->stats().absorbed_edges << "  " << std::setw(8)
+              << absorbed_now << "  " << std::setw(9) << std::fixed
+              << std::setprecision(0) << rate << "  " << std::setw(7)
+              << std::setprecision(1) << p99_us << "  " << std::setw(8)
               << clusters << "  ";
     for (int k = 0; k < 3; ++k)
       std::cout << order[k] << ":" << std::fixed << std::setprecision(5)

@@ -45,6 +45,39 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"
 ./build/fig7_pr_cc --dram-cache=64 --eviction=clock --datasets=orkut \
   --scale=0.02 --system=dgap --pool-mb=256
 
+# Smoke-run the observability exporters: fig6 and streaming_analytics with
+# the metrics sampler and structural trace ring on. Every artifact must be
+# non-empty, parseable JSON (JSON-lines for metrics, chrome://tracing for
+# the trace, Prometheus text for the .prom dump).
+OBS_DIR=$(mktemp -d /tmp/dgap_check_obs.XXXXXX)
+./build/fig6_insert_throughput --datasets=orkut --scale=0.02 --batch=256 \
+  --system=dgap --pool-mb=256 \
+  --metrics-out="$OBS_DIR/fig6_metrics.jsonl" --metrics-interval-ms=100 \
+  --trace-out="$OBS_DIR/fig6_trace.json"
+./build/streaming_analytics --events 20000 --rounds 2 --producers 2 \
+  --async-writers 2 --metrics-out "$OBS_DIR/sa_metrics.jsonl" \
+  --metrics-interval-ms 100 --trace-out "$OBS_DIR/sa_trace.json"
+for f in fig6_metrics.jsonl sa_metrics.jsonl; do
+  test -s "$OBS_DIR/$f" || { echo "check.sh: empty metrics: $f" >&2; exit 1; }
+  python3 - "$OBS_DIR/$f" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "no samples"
+for l in lines:
+    s = json.loads(l)
+    assert "t_ms" in s and "counters" in s and "hist" in s, s.keys()
+EOF
+done
+for f in fig6_trace.json sa_trace.json; do
+  test -s "$OBS_DIR/$f" || { echo "check.sh: empty trace: $f" >&2; exit 1; }
+  python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert 'traceEvents' in d" "$OBS_DIR/$f"
+done
+test -s "$OBS_DIR/fig6_metrics.jsonl.prom" || {
+  echo "check.sh: empty Prometheus dump" >&2; exit 1; }
+grep -q '^# TYPE ' "$OBS_DIR/fig6_metrics.jsonl.prom"
+rm -rf "$OBS_DIR"
+
 # The CLIs must refuse nonsensical knob values instead of misbehaving.
 expect_reject() {
   if "$@" > /dev/null 2>&1; then
@@ -90,5 +123,9 @@ expect_reject ./build/fig7_pr_cc --eviction=turbo
 expect_reject ./build/fig8_bfs_bc --dram-cache=0x
 expect_reject ./build/table4_analysis_scalability --eviction=mru
 expect_reject ./build/fig7_pr_cc --pm-read-ns=nope
+expect_reject ./build/fig6_insert_throughput --metrics-interval-ms=0
+expect_reject ./build/fig6_insert_throughput --metrics-interval-ms=nope
+expect_reject ./build/streaming_analytics --metrics-interval-ms=0
+expect_reject ./build/streaming_analytics --metrics-interval-ms=nope
 
 echo "check.sh: all good"

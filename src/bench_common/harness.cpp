@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <thread>
@@ -22,6 +23,7 @@
 #include "src/common/timer.hpp"
 #include "src/core/dgap_store.hpp"
 #include "src/core/sharded_store.hpp"
+#include "src/obs/trace_ring.hpp"
 #include "src/pmem/latency_model.hpp"
 
 namespace dgap::bench {
@@ -86,7 +88,36 @@ BenchConfig parse_common(const Cli& cli, double default_scale,
   if (cli.has("live-producers"))
     cfg.live_producers = static_cast<int>(parse_positive_int_capped(
         cli.get("live-producers", ""), "--live-producers", 256));
+  cfg.metrics_out = cli.get("metrics-out", "");
+  if (cli.has("metrics-interval-ms"))
+    cfg.metrics_interval_ms = static_cast<std::uint64_t>(
+        parse_positive_int_capped(cli.get("metrics-interval-ms", ""),
+                                  "--metrics-interval-ms", 3600000));
+  cfg.trace_out = cli.get("trace-out", "");
   return cfg;
+}
+
+ObsSession::ObsSession(const std::string& metrics_out,
+                       std::uint64_t interval_ms,
+                       const std::string& trace_out)
+    : metrics_out_(metrics_out), trace_out_(trace_out) {
+  if (!metrics_out_.empty())
+    sampler_ = std::make_unique<obs::MetricsSampler>(metrics_out_,
+                                                     interval_ms);
+  if (!trace_out_.empty()) obs::structural_trace().enable(1 << 16);
+}
+
+ObsSession::~ObsSession() {
+  if (sampler_) {
+    sampler_->stop();
+    std::ofstream prom(metrics_out_ + ".prom", std::ios::trunc);
+    if (prom) obs::write_prometheus(prom);
+  }
+  if (!trace_out_.empty()) {
+    std::ofstream out(trace_out_, std::ios::trunc);
+    if (out) obs::structural_trace().dump_chrome_json(out);
+    obs::structural_trace().disable();
+  }
 }
 
 core::IngestProfile parse_ingest_profile(const std::string& value) {
@@ -221,12 +252,27 @@ LiveIngestResult run_live_ingest(IStore& store, std::span<const Edge> body,
 
   // Analysis loop on the calling thread: snapshot + PageRank per round,
   // concurrently with producers, absorbers, growth and resizes. At least
-  // one round runs even if ingest wins the race.
+  // one round runs even if ingest wins the race. Per-round latency
+  // percentiles come from histogram-snapshot deltas bracketing the round.
   double kernel_total = 0;
   int rounds = 0;
+  obs::HistogramSnapshot absorb_prev = ing->absorb_latency();
+  obs::HistogramSnapshot freeze_prev = store.freeze_hist();
   do {
     kernel_total += store.time_pagerank(1);
     ++rounds;
+    const obs::HistogramSnapshot absorb_now = ing->absorb_latency();
+    const obs::HistogramSnapshot freeze_now = store.freeze_hist();
+    const obs::HistogramSnapshot da = absorb_now - absorb_prev;
+    const obs::HistogramSnapshot df = freeze_now - freeze_prev;
+    absorb_prev = absorb_now;
+    freeze_prev = freeze_now;
+    LiveRound lr;
+    lr.absorb_p50_us = da.percentile(0.50) / 1e3;
+    lr.absorb_p99_us = da.percentile(0.99) / 1e3;
+    lr.absorb_p999_us = da.percentile(0.999) / 1e3;
+    lr.freeze_p99_us = df.percentile(0.99) / 1e3;
+    r.rounds.push_back(lr);
   } while (!ingested.load(std::memory_order_acquire));
   for (auto& f : feeds) f.join();
   monitor.join();
@@ -269,6 +315,15 @@ void print_live_ingest_section(
          TablePrinter::fmt(r.quiescent_kernel_seconds, 3),
          TablePrinter::fmt(r.avg_kernel_seconds /
                            std::max(r.quiescent_kernel_seconds, 1e-9))});
+    for (std::size_t i = 0; i < r.rounds.size(); ++i) {
+      const LiveRound& lr = r.rounds[i];
+      os << "# " << name << " round " << (i + 1)
+         << ": absorb p50/p99/p999 = " << TablePrinter::fmt(lr.absorb_p50_us)
+         << "/" << TablePrinter::fmt(lr.absorb_p99_us) << "/"
+         << TablePrinter::fmt(lr.absorb_p999_us)
+         << " us, freeze p99 = " << TablePrinter::fmt(lr.freeze_p99_us)
+         << " us\n";
+    }
   }
   table.print(os);
 }
@@ -330,6 +385,10 @@ void print_banner(const std::string& title, const BenchConfig& cfg) {
   if (cfg.csr_cache) std::cout << " csr-cache=on";
   if (cfg.live_ingest)
     std::cout << " live-ingest=on live-producers=" << cfg.live_producers;
+  if (!cfg.metrics_out.empty())
+    std::cout << " metrics-out=" << cfg.metrics_out
+              << " metrics-interval-ms=" << cfg.metrics_interval_ms;
+  if (!cfg.trace_out.empty()) std::cout << " trace-out=" << cfg.trace_out;
   std::cout << "\n";
 }
 
@@ -401,6 +460,9 @@ class DgapModel final : public IStore {
   [[nodiscard]] tier::CacheStats cache_stats() const override {
     return store_->cache_stats();
   }
+  [[nodiscard]] obs::HistogramSnapshot freeze_hist() const override {
+    return store_->freeze_latency();
+  }
   NodeId pick_source() override {
     return algorithms::max_degree_vertex(store_->consistent_view());
   }
@@ -449,6 +511,9 @@ class ShardedDgapModel final : public IStore {
   }
   [[nodiscard]] tier::CacheStats cache_stats() const override {
     return store_->cache_stats();
+  }
+  [[nodiscard]] obs::HistogramSnapshot freeze_hist() const override {
+    return store_->freeze_latency();
   }
   NodeId pick_source() override {
     return algorithms::max_degree_vertex(store_->consistent_view());

@@ -25,6 +25,7 @@
 #include "src/graph/edge_stream.hpp"
 #include "src/graph/types.hpp"
 #include "src/ingest/async_ingestor.hpp"
+#include "src/obs/sampler.hpp"
 #include "src/pmem/pool.hpp"
 
 namespace dgap::bench {
@@ -76,6 +77,14 @@ struct BenchConfig {
   // both pay the media's read cost and the tier's win is visible. The main
   // tables never charge reads (read_ns_per_line stays 0 there).
   std::uint64_t pm_read_ns = 60;
+  // Observability exporters (src/obs): --metrics-out=FILE streams registry
+  // samples as JSON-lines every --metrics-interval-ms (plus a Prometheus
+  // text dump to FILE.prom at exit); --trace-out=FILE enables the
+  // structural trace ring and dumps chrome://tracing JSON at exit. Empty
+  // paths disable each exporter.
+  std::string metrics_out;
+  std::uint64_t metrics_interval_ms = 500;
+  std::string trace_out;
 };
 
 // Parse --scale, --datasets=a,b,c, --latency, --pool-mb, --system,
@@ -90,6 +99,28 @@ BenchConfig parse_common(const Cli& cli, double default_scale,
 // Parse an --ingest-profile value; throws std::invalid_argument on unknown
 // names (shared with the examples so spellings cannot drift).
 core::IngestProfile parse_ingest_profile(const std::string& value);
+
+// RAII exporter lifecycle for a bench/example run: starts the background
+// MetricsSampler when `metrics_out` is non-empty and enables the structural
+// trace ring when `trace_out` is non-empty. The destructor stops the
+// sampler (final JSON-lines flush), writes a one-shot Prometheus dump to
+// `<metrics_out>.prom`, and dumps the trace ring as chrome://tracing JSON
+// to `trace_out`. Construct once, right after parse_common/print_banner.
+class ObsSession {
+ public:
+  ObsSession(const std::string& metrics_out, std::uint64_t interval_ms,
+             const std::string& trace_out);
+  explicit ObsSession(const BenchConfig& cfg)
+      : ObsSession(cfg.metrics_out, cfg.metrics_interval_ms, cfg.trace_out) {}
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  std::string metrics_out_;
+  std::string trace_out_;
+  std::unique_ptr<obs::MetricsSampler> sampler_;
+};
 
 // AsyncIngestor options for a bench run: absorber count plus the config's
 // absorb-tuning knobs (autotune / fixed absorb-min), one place so fig6 and
@@ -259,12 +290,24 @@ AsyncInsertResult time_inserts_async(const EdgeStream& stream, int producers,
 // PageRank over it. Exercises exactly what the epoch-versioned snapshot
 // refactor bought: analysis rounds proceed through vertex growth, window
 // rebalances and resizes, and ingest never stalls behind a held snapshot.
+// Per-analysis-round latency percentiles (microseconds), computed from
+// histogram-snapshot deltas taken around each snapshot+PageRank round: the
+// absorb-batch distribution the flood saw during THAT round, and the
+// snapshot-freeze p99 over the round's captures.
+struct LiveRound {
+  double absorb_p50_us = 0;
+  double absorb_p99_us = 0;
+  double absorb_p999_us = 0;
+  double freeze_p99_us = 0;
+};
+
 struct LiveIngestResult {
   double ingest_seconds = 0;   // submit start -> everything absorbed
   double ingest_meps = 0;      // body.size() over ingest_seconds
   int analysis_rounds = 0;     // completed snapshot+PageRank rounds
   double avg_kernel_seconds = 0;        // mean PR time while ingest ran
   double quiescent_kernel_seconds = 0;  // PR time after the drain
+  std::vector<LiveRound> rounds;        // one entry per analysis round
 };
 
 class IStore;
@@ -498,6 +541,12 @@ class IStore {
   // DRAM hot-tier counters; zero-valued for systems without the tier
   // (hits + misses == 0 means "no cache ran here").
   [[nodiscard]] virtual tier::CacheStats cache_stats() const { return {}; }
+  // Snapshot-freeze latency distribution (ns); empty for systems without
+  // the obs histograms. DGAP-backed models override (sharded: the merged
+  // cross-shard cut distribution).
+  [[nodiscard]] virtual obs::HistogramSnapshot freeze_hist() const {
+    return {};
+  }
   virtual NodeId pick_source() = 0;
   virtual double time_pagerank(int threads) = 0;
   virtual double time_bfs(int threads, NodeId source) = 0;

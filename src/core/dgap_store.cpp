@@ -9,6 +9,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "src/obs/scoped_latency.hpp"
+#include "src/obs/trace_ring.hpp"
 #include "src/pma/layout.hpp"
 #include "src/pmem/alloc.hpp"
 
@@ -127,6 +129,7 @@ std::unique_ptr<DgapStore> DgapStore::create(pmem::PmemPool& pool,
     throw std::invalid_argument("segment_slots must be a power of two");
   std::unique_ptr<DgapStore> store(new DgapStore(pool, opts));
   store->init_fresh(opts);
+  store->register_metrics();
   return store;
 }
 
@@ -243,7 +246,40 @@ std::unique_ptr<DgapStore> DgapStore::open(pmem::PmemPool& pool,
   // have grown it); mirror it into the volatile options for introspection.
   store->opts_.segment_slots = store->seg_slots_;
   pool.mark_running();
+  store->register_metrics();
   return store;
+}
+
+void DgapStore::register_metrics() {
+  // Registry readers over the existing stats cells + the latency
+  // histograms. Named per instance so concurrent stores (shards, A/B
+  // benches) stay distinguishable in the exporters.
+  const std::string p = "dgap" + std::to_string(instance_id_) + "_";
+  obs::MetricsRegistry& reg = obs::registry();
+  const auto counter = [&](const char* name,
+                           const StatCell<std::uint64_t>& cell) {
+    metric_handles_.push_back(reg.add_counter(
+        p + name, [&cell] { return static_cast<double>(cell.load()); }));
+  };
+  counter("array_inserts", stats_.array_inserts);
+  counter("elog_inserts", stats_.elog_inserts);
+  counter("rebalances", stats_.rebalances);
+  counter("resizes", stats_.resizes);
+  counter("merges", stats_.merges);
+  counter("batch_inserts", stats_.batch_inserts);
+  counter("flush_epochs", stats_.flush_epochs);
+  counter("snapshot_captures", stats_.snapshot_captures);
+  counter("snapshot_read_retries", stats_.snapshot_read_retries);
+  metric_handles_.push_back(reg.add_gauge(p + "num_edge_slots", [this] {
+    return static_cast<double>(num_edge_slots());
+  }));
+  metric_handles_.push_back(reg.add_histogram(
+      p + "freeze_ns", [this] { return freeze_hist_.snapshot(); }));
+  metric_handles_.push_back(reg.add_histogram(
+      p + "rebalance_ns", [this] { return rebalance_hist_.snapshot(); }));
+  metric_handles_.push_back(reg.add_histogram(
+      p + "resize_ns", [this] { return resize_hist_.snapshot(); }));
+  if (cache_) cache_->register_metrics(p + "cache_");
 }
 
 // ---------------------------------------------------------------------------
@@ -581,6 +617,8 @@ Snapshot DgapStore::consistent_view() const {
   // column — the paper's "temporarily holds the graph updates" (§3.1.3).
   // Nothing is held afterwards: the snapshot's lifetime blocks no store
   // operation, including vertex-table growth and resizes.
+  // One freeze-duration sample per view: lock wait + degree-column copy.
+  const obs::ScopedLatency lat(&freeze_hist_);
   freeze_begin();
   Snapshot snap = capture_frozen();
   freeze_end();
@@ -650,6 +688,7 @@ void DgapStore::struct_mutation_end() const {
 // ---------------------------------------------------------------------------
 
 void DgapStore::retire_layout(const LayoutGen* gen) {
+  obs::trace_instant(obs::TraceKind::layout_retire, gen->epoch);
   {
     std::lock_guard<SpinLock> g(retired_mu_);
     retired_.push_back(gen);

@@ -38,6 +38,8 @@
 #include "src/core/snapshot.hpp"
 #include "src/core/structural_budget.hpp"
 #include "src/graph/types.hpp"
+#include "src/obs/latency_histogram.hpp"
+#include "src/obs/metrics_registry.hpp"
 #include "src/pma/segment_tree.hpp"
 #include "src/pmem/latency_model.hpp"
 #include "src/pmem/pool.hpp"
@@ -160,6 +162,20 @@ class DgapStore {
   // DRAM hot-tier counters (src/tier); zeroed struct when the tier is off.
   [[nodiscard]] tier::CacheStats cache_stats() const {
     return cache_ ? cache_->stats() : tier::CacheStats{};
+  }
+
+  // Latency distributions (ns): snapshot-freeze duration (one sample per
+  // consistent_view/capture), window-rebalance duration, and resize
+  // duration. Snapshots diff (operator-) for per-round views and merge
+  // (operator+=) across shards.
+  [[nodiscard]] obs::HistogramSnapshot freeze_latency() const {
+    return freeze_hist_.snapshot();
+  }
+  [[nodiscard]] obs::HistogramSnapshot rebalance_latency() const {
+    return rebalance_hist_.snapshot();
+  }
+  [[nodiscard]] obs::HistogramSnapshot resize_latency() const {
+    return resize_hist_.snapshot();
   }
 
   // Install a shared resize token gate (structural_budget.hpp). ShardedStore
@@ -413,6 +429,15 @@ class DgapStore {
   // Mutable: const read/snapshot paths bump their own counters (StatCell
   // increments are relaxed atomics, so this is safe from any thread).
   mutable DgapStats stats_;
+
+  // Observability (src/obs): latency histograms recorded on the structural
+  // paths plus registry handles exposing the stats cells above. Declared
+  // last so the registry readers deregister before anything they read.
+  mutable obs::LatencyHistogram freeze_hist_;
+  obs::LatencyHistogram rebalance_hist_;
+  obs::LatencyHistogram resize_hist_;
+  std::vector<obs::MetricsRegistry::Handle> metric_handles_;
+  void register_metrics();
 };
 
 // ---------------------------------------------------------------------------

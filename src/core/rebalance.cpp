@@ -39,6 +39,8 @@
 #include <mutex>
 
 #include "src/core/dgap_store.hpp"
+#include "src/obs/scoped_latency.hpp"
+#include "src/obs/trace_ring.hpp"
 #include "src/pma/layout.hpp"
 #include "src/pmem/alloc.hpp"
 
@@ -287,6 +289,11 @@ void DgapStore::clear_window_elogs(std::uint64_t begin_seg,
 void DgapStore::rebalance_window_locked(std::uint64_t begin_seg,
                                         std::uint64_t end_seg,
                                         std::uint32_t tid) {
+  // One rebalance-duration sample + trace span per window (begin/end
+  // segment in the event args) — recorded around the gated region so the
+  // timeline shows exactly how long snapshot readers were turned away.
+  const obs::ScopedLatency lat(&rebalance_hist_);
+  const std::uint64_t trace_t0 = obs::trace_begin();
   // Snapshot readers take no section locks: the structural gate drains the
   // in-flight per-vertex reads and turns new ones away while this window's
   // slots/elogs/entries are in flux (snapshot.hpp). RAII so a throw (tx
@@ -411,6 +418,7 @@ void DgapStore::rebalance_window_locked(std::uint64_t begin_seg,
     }
   }
   ++stats_.rebalances;
+  obs::trace_end(obs::TraceKind::rebalance, trace_t0, begin_seg, end_seg);
 }
 
 // ---------------------------------------------------------------------------
@@ -424,6 +432,12 @@ void DgapStore::resize_and_rebuild(std::uint64_t extra_slots) {
   // while they wait here, BEFORE taking global_mu_, so waiting never blocks
   // this shard's writers. Unsharded stores have no budget (null = free).
   const StructuralBudgetHold tokens(struct_budget_.get());
+  // One resize-duration sample + trace span per rebuild (old/new slot
+  // capacities in the event args); includes token-gate and lock waits, so
+  // the timeline shows resize storms as overlapping spans.
+  const obs::ScopedLatency lat(&resize_hist_);
+  const std::uint64_t trace_t0 = obs::trace_begin();
+  const std::uint64_t trace_old_cap = capacity_;
   // Quiesce WRITERS only: global exclusive plus every (old) section lock.
   // rebalance_mu_ (held by the caller) excludes other structural
   // operations. Analysis readers never block this call beyond one
@@ -544,6 +558,7 @@ void DgapStore::resize_and_rebuild(std::uint64_t extra_slots) {
   // pre-refactor behavior.
   retire_layout(old_gen);
   ++stats_.resizes;
+  obs::trace_end(obs::TraceKind::resize, trace_t0, trace_old_cap, capacity_);
 
   unlock_sections_upto(old_segments);
   global_mu_.unlock();

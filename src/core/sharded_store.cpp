@@ -1,11 +1,13 @@
 #include "src/core/sharded_store.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "src/common/platform.hpp"
+#include "src/obs/scoped_latency.hpp"
 
 namespace dgap::core {
 
@@ -28,6 +30,36 @@ ShardedStore::ShardedStore(std::vector<StoreHandle> shards, int shift,
     for (StoreHandle& h : shards_)
       h.store->set_structural_budget(struct_budget_);
   }
+  register_metrics();
+}
+
+void ShardedStore::register_metrics() {
+  // One merged registry view per distribution: per-shard histograms summed
+  // at sample time, so exporters see the deployment, not S disjoint rows.
+  static std::atomic<std::uint64_t> next_instance{0};
+  const std::string p =
+      "sharded" + std::to_string(next_instance.fetch_add(1)) + "_";
+  obs::MetricsRegistry& reg = obs::registry();
+  metric_handles_.push_back(reg.add_gauge(
+      p + "shards", [this] { return static_cast<double>(shards_.size()); }));
+  metric_handles_.push_back(reg.add_histogram(
+      p + "freeze_ns", [this] { return freeze_hist_.snapshot(); }));
+  metric_handles_.push_back(reg.add_histogram(
+      p + "rebalance_ns", [this] { return merged_rebalance_latency(); }));
+  metric_handles_.push_back(reg.add_histogram(
+      p + "resize_ns", [this] { return merged_resize_latency(); }));
+}
+
+obs::HistogramSnapshot ShardedStore::merged_rebalance_latency() const {
+  obs::HistogramSnapshot m;
+  for (const StoreHandle& h : shards_) m += h.store->rebalance_latency();
+  return m;
+}
+
+obs::HistogramSnapshot ShardedStore::merged_resize_latency() const {
+  obs::HistogramSnapshot m;
+  for (const StoreHandle& h : shards_) m += h.store->resize_latency();
+  return m;
 }
 
 void ShardedStore::validate(const Options& opts) {
@@ -239,6 +271,8 @@ void ShardedStore::update_batch(std::span<const Edge> edges, bool tombstone) {
 // ---------------------------------------------------------------------------
 
 ShardedSnapshot ShardedStore::consistent_view() const {
+  // One cross-shard freeze-duration sample per cut (all phases).
+  const obs::ScopedLatency lat(&freeze_hist_);
   ShardedSnapshot snap;
   snap.geo_ = geo_;
   snap.shards_.reserve(shards_.size());

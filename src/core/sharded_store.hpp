@@ -266,6 +266,16 @@ class ShardedStore {
   // Aggregated DRAM hot-tier counters across all shards (each shard runs
   // its own SectionCache over its slice of the budget).
   [[nodiscard]] tier::CacheStats cache_stats() const;
+  // Merged latency distributions across shards (per-shard histograms summed
+  // via HistogramSnapshot::operator+=), plus the cross-shard cut duration
+  // recorded by consistent_view itself (phase 1 + 2 + release over ALL
+  // shards — the number a serving layer would SLO on). The merged views are
+  // also published to the metrics registry as sharded_* entries.
+  [[nodiscard]] obs::HistogramSnapshot freeze_latency() const {
+    return freeze_hist_.snapshot();
+  }
+  [[nodiscard]] obs::HistogramSnapshot merged_rebalance_latency() const;
+  [[nodiscard]] obs::HistogramSnapshot merged_resize_latency() const;
   // The shared resize gate (nullptr when S == 1); tests read its
   // high_watermark to prove storms are staggered.
   [[nodiscard]] const StructuralBudget* structural_budget() const {
@@ -292,9 +302,14 @@ class ShardedStore {
   // translate + absorb, generic update_batch fallback for mixed chunks.
   void absorb_routed(std::span<const Edge> edges, bool tombstone);
 
+  void register_metrics();
+
   std::vector<StoreHandle> shards_;
   ShardGeometry geo_;
   std::shared_ptr<StructuralBudget> struct_budget_;
+
+  mutable obs::LatencyHistogram freeze_hist_;
+  std::vector<obs::MetricsRegistry::Handle> metric_handles_;
 };
 
 }  // namespace dgap::core

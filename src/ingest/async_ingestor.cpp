@@ -1,10 +1,13 @@
 #include "src/ingest/async_ingestor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <utility>
 
 #include "src/core/dgap_store.hpp"
+#include "src/obs/scoped_latency.hpp"
+#include "src/obs/trace_ring.hpp"
 
 namespace dgap::ingest {
 
@@ -41,6 +44,40 @@ AsyncIngestor::AsyncIngestor(BatchFn sink, Options opts)
   workers_.reserve(opts_.absorbers);
   for (std::size_t i = 0; i < opts_.absorbers; ++i)
     workers_.emplace_back([this, i] { absorber_main(i); });
+
+  // Publish this instance's counters/gauges/histograms as registry readers
+  // over the cells above (metric_handles_ is the last member, so the
+  // readers deregister before anything they read is torn down).
+  static std::atomic<std::uint64_t> next_instance{0};
+  const std::string p =
+      "ingest" + std::to_string(next_instance.fetch_add(1)) + "_";
+  obs::MetricsRegistry& reg = obs::registry();
+  metric_handles_.push_back(reg.add_counter(
+      p + "submitted_edges",
+      [this] { return static_cast<double>(submitted_edges_.load()); }));
+  metric_handles_.push_back(reg.add_counter(
+      p + "absorbed_edges",
+      [this] { return static_cast<double>(absorbed_edges_.load()); }));
+  metric_handles_.push_back(reg.add_counter(
+      p + "absorb_batches",
+      [this] { return static_cast<double>(absorb_batches_.load()); }));
+  metric_handles_.push_back(reg.add_counter(
+      p + "stalls", [this] { return static_cast<double>(stalls_.load()); }));
+  metric_handles_.push_back(reg.add_gauge(
+      p + "queue_high_watermark",
+      [this] { return static_cast<double>(queue_high_watermark_.load()); }));
+  // Autotune telemetry (sampled via stats() so queue locks are only taken
+  // at export time): JSON-lines of these show convergence over a run.
+  metric_handles_.push_back(reg.add_gauge(
+      p + "arrival_rate_eps", [this] { return stats().arrival_rate_eps; }));
+  metric_handles_.push_back(reg.add_gauge(
+      p + "absorb_min_effective", [this] {
+        return static_cast<double>(stats().absorb_min_effective);
+      }));
+  metric_handles_.push_back(reg.add_histogram(
+      p + "absorb_ns", [this] { return absorb_hist_.snapshot(); }));
+  metric_handles_.push_back(reg.add_histogram(
+      p + "wait_durable_ns", [this] { return wait_hist_.snapshot(); }));
 }
 
 AsyncIngestor::~AsyncIngestor() {
@@ -151,12 +188,16 @@ void AsyncIngestor::push_item(std::size_t queue_idx, Item item) {
   const std::size_t n = item.edges.size();
   {
     std::unique_lock<std::mutex> l(q.mu);
-    if (q.edges != 0 && q.edges + n > opts_.queue_capacity_edges)
+    std::uint64_t stall_t0 = 0;
+    if (q.edges != 0 && q.edges + n > opts_.queue_capacity_edges) {
       ++stalls_;  // one stall per blocking episode
+      stall_t0 = obs::trace_begin();
+    }
     q.not_full.wait(l, [&] {
       return q.edges == 0 || q.edges + n <= opts_.queue_capacity_edges ||
              stopping_.load(std::memory_order_acquire);
     });
+    obs::trace_end(obs::TraceKind::backpressure_stall, stall_t0, queue_idx, n);
     if (opts_.autotune) {
       const auto now = std::chrono::steady_clock::now();
       if (q.saw_arrival) {
@@ -302,11 +343,16 @@ void AsyncIngestor::absorb_items(std::vector<Item>& items) {
     }
     if (run.empty()) continue;
     try {
-      if (opts_.serialize_sink) {
-        std::lock_guard<std::mutex> g(sink_mu_);
-        sink_(run, tomb);
-      } else {
-        sink_(run, tomb);
+      {
+        // One absorb-latency sample per sink call (per chunk, never per
+        // edge); includes sink serialization wait where configured.
+        const obs::ScopedLatency lat(&absorb_hist_);
+        if (opts_.serialize_sink) {
+          std::lock_guard<std::mutex> g(sink_mu_);
+          sink_(run, tomb);
+        } else {
+          sink_(run, tomb);
+        }
       }
       absorbed_edges_ += run.size();
       ++absorb_batches_;
@@ -335,6 +381,7 @@ void AsyncIngestor::retire_items(const std::vector<Item>& items) {
       open_.empty() ? last_submitted_ : open_.begin()->first - 1;
   if (now_durable > durable_) {
     durable_ = now_durable;
+    obs::trace_instant(obs::TraceKind::epoch_close, now_durable);
     durable_cv_.notify_all();
   }
 }
@@ -393,6 +440,7 @@ void AsyncIngestor::absorber_main(std::size_t worker) {
 }
 
 void AsyncIngestor::wait_durable(Epoch e) {
+  const obs::ScopedLatency lat(&wait_hist_);
   std::unique_lock<std::mutex> l(epoch_mu_);
   durable_cv_.wait(l, [&] { return durable_ >= e || !error_.empty(); });
   if (!error_.empty())

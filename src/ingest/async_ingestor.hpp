@@ -54,6 +54,8 @@
 
 #include "src/common/stat_cell.hpp"
 #include "src/graph/types.hpp"
+#include "src/obs/latency_histogram.hpp"
+#include "src/obs/metrics_registry.hpp"
 
 namespace dgap::core {
 class DgapStore;
@@ -171,6 +173,15 @@ class AsyncIngestor {
   [[nodiscard]] std::size_t num_queues() const { return queues_.size(); }
   [[nodiscard]] std::size_t num_absorbers() const { return workers_.size(); }
 
+  // Latency distributions (ns): one sample per sink call (absorb) and one
+  // per wait_durable call. Snapshots diff (operator-) for per-round views.
+  [[nodiscard]] obs::HistogramSnapshot absorb_latency() const {
+    return absorb_hist_.snapshot();
+  }
+  [[nodiscard]] obs::HistogramSnapshot wait_durable_latency() const {
+    return wait_hist_.snapshot();
+  }
+
  private:
   struct Item {
     Epoch epoch = 0;
@@ -256,6 +267,10 @@ class AsyncIngestor {
   StatCell<std::uint64_t> absorb_batches_;
   StatCell<std::uint64_t> stalls_;
   StatCell<std::uint64_t> queue_high_watermark_;
+
+  obs::LatencyHistogram absorb_hist_;
+  obs::LatencyHistogram wait_hist_;
+  std::vector<obs::MetricsRegistry::Handle> metric_handles_;
 };
 
 // The canonical DGAP absorption sink: tombstones to delete_batch, the rest

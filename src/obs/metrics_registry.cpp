@@ -1,0 +1,95 @@
+#include "src/obs/metrics_registry.hpp"
+
+#include "src/pmem/stats.hpp"
+
+namespace dgap::obs {
+
+MetricsRegistry::Handle MetricsRegistry::add(std::string name, MetricKind kind,
+                                             ValueFn value, HistFn hist) {
+  const std::size_t start = scan_hint_.load(std::memory_order_relaxed);
+  for (std::size_t probe = 0; probe < kCapacity; ++probe) {
+    const std::size_t i = (start + probe) % kCapacity;
+    std::uint8_t expected = kFree;
+    if (!slots_[i].state.compare_exchange_strong(expected, kClaiming,
+                                                 std::memory_order_acq_rel)) {
+      continue;
+    }
+    Slot& slot = slots_[i];
+    slot.name = std::move(name);
+    slot.kind = kind;
+    slot.value = std::move(value);
+    slot.hist = std::move(hist);
+    slot.state.store(kLive, std::memory_order_release);
+    scan_hint_.store((i + 1) % kCapacity, std::memory_order_relaxed);
+    return Handle(this, i);
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  return Handle();
+}
+
+void MetricsRegistry::unregister_slot(std::size_t slot) {
+  // The visit lock guarantees no sampler is mid-callback on this slot's
+  // reader while we tear it down.
+  std::lock_guard<std::mutex> g(visit_mu_);
+  Slot& s = slots_[slot];
+  s.name.clear();
+  s.value = {};
+  s.hist = {};
+  s.state.store(kFree, std::memory_order_release);
+}
+
+void MetricsRegistry::visit(
+    const std::function<void(const std::string&, MetricKind, const ValueFn&,
+                             const HistFn&)>& fn) {
+  std::lock_guard<std::mutex> g(visit_mu_);
+  for (Slot& slot : slots_) {
+    if (slot.state.load(std::memory_order_acquire) != kLive) continue;
+    fn(slot.name, slot.kind, slot.value, slot.hist);
+  }
+}
+
+std::size_t MetricsRegistry::live_count() const {
+  std::size_t n = 0;
+  for (const Slot& slot : slots_)
+    if (slot.state.load(std::memory_order_acquire) == kLive) ++n;
+  return n;
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry reg;
+  // Bootstrap the process-wide pmem traffic counters once; the handles are
+  // static so these entries live for the whole process.
+  static MetricsRegistry::Handle pmem_handles[] = {
+      reg.add_counter("pmem_flush_calls",
+                      [] {
+                        return static_cast<double>(
+                            pmem::stats().snapshot().flush_calls);
+                      }),
+      reg.add_counter("pmem_lines_flushed",
+                      [] {
+                        return static_cast<double>(
+                            pmem::stats().snapshot().lines_flushed);
+                      }),
+      reg.add_counter("pmem_fences",
+                      [] {
+                        return static_cast<double>(
+                            pmem::stats().snapshot().fences);
+                      }),
+      reg.add_counter("pmem_media_bytes_written",
+                      [] {
+                        return static_cast<double>(
+                            pmem::stats().snapshot().media_bytes_written());
+                      }),
+      reg.add_counter("pmem_xpline_misses",
+                      [] {
+                        return static_cast<double>(
+                            pmem::stats().snapshot().xpline_misses);
+                      }),
+      reg.add_counter("pmem_inplace_flushes", [] {
+        return static_cast<double>(pmem::stats().snapshot().inplace_flushes);
+      })};
+  (void)pmem_handles;
+  return reg;
+}
+
+}  // namespace dgap::obs

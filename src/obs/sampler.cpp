@@ -1,0 +1,157 @@
+#include "src/obs/sampler.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/timer.hpp"
+#include "src/obs/metrics_registry.hpp"
+
+namespace dgap::obs {
+
+namespace {
+
+std::string sanitize_prom(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+// JSON number formatting: finite doubles only (NaN/Inf are not JSON).
+void put_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  os << v;
+}
+
+}  // namespace
+
+MetricsSampler::MetricsSampler(const std::string& path,
+                               std::uint64_t interval_ms)
+    : out_(path, std::ios::out | std::ios::trunc),
+      interval_ms_(interval_ms == 0 ? 1 : interval_ms),
+      t_start_ns_(now_ns()) {
+  if (!out_) throw std::runtime_error("cannot open metrics output: " + path);
+  thread_ = std::thread([this] { run(); });
+}
+
+MetricsSampler::~MetricsSampler() { stop(); }
+
+void MetricsSampler::stop() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  write_sample();  // final flush-on-stop sample
+  out_.flush();
+}
+
+void MetricsSampler::run() {
+  std::unique_lock<std::mutex> l(mu_);
+  for (;;) {
+    if (cv_.wait_for(l, std::chrono::milliseconds(interval_ms_),
+                     [this] { return stopping_; }))
+      return;
+    l.unlock();
+    write_sample();
+    l.lock();
+  }
+}
+
+void MetricsSampler::write_sample() {
+  std::ostringstream line;
+  line << "{\"t_ms\":" << (now_ns() - t_start_ns_) / 1000000
+       << ",\"counters\":{";
+  std::ostringstream gauges;
+  std::ostringstream hists;
+  bool first_c = true;
+  bool first_g = true;
+  bool first_h = true;
+  registry().visit([&](const std::string& name, MetricKind kind,
+                       const ValueFn& value, const HistFn& hist) {
+    switch (kind) {
+      case MetricKind::counter:
+      case MetricKind::gauge: {
+        std::ostringstream& os = kind == MetricKind::counter ? line : gauges;
+        bool& first = kind == MetricKind::counter ? first_c : first_g;
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << name << "\":";
+        put_json_number(os, value());
+        break;
+      }
+      case MetricKind::histogram: {
+        const HistogramSnapshot s = hist();
+        if (!first_h) hists << ",";
+        first_h = false;
+        hists << "\"" << name << "\":{\"count\":" << s.count << ",\"p50\":";
+        put_json_number(hists, s.percentile(0.50));
+        hists << ",\"p90\":";
+        put_json_number(hists, s.percentile(0.90));
+        hists << ",\"p99\":";
+        put_json_number(hists, s.percentile(0.99));
+        hists << ",\"p999\":";
+        put_json_number(hists, s.percentile(0.999));
+        hists << ",\"mean\":";
+        put_json_number(hists, s.mean());
+        hists << "}";
+        break;
+      }
+    }
+  });
+  line << "},\"gauges\":{" << gauges.str() << "},\"hist\":{" << hists.str()
+       << "}}";
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    out_ << line.str() << "\n";
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void write_prometheus(std::ostream& out) {
+  registry().visit([&](const std::string& name, MetricKind kind,
+                       const ValueFn& value, const HistFn& hist) {
+    const std::string prom = sanitize_prom(name);
+    switch (kind) {
+      case MetricKind::counter:
+        out << "# TYPE " << prom << " counter\n"
+            << prom << " " << value() << "\n";
+        break;
+      case MetricKind::gauge:
+        out << "# TYPE " << prom << " gauge\n"
+            << prom << " " << value() << "\n";
+        break;
+      case MetricKind::histogram: {
+        const HistogramSnapshot s = hist();
+        out << "# TYPE " << prom << " summary\n";
+        for (const auto& [label, q] :
+             {std::pair<const char*, double>{"0.5", 0.50},
+              {"0.9", 0.90},
+              {"0.99", 0.99},
+              {"0.999", 0.999}}) {
+          out << prom << "{quantile=\"" << label << "\"} " << s.percentile(q)
+              << "\n";
+        }
+        out << prom << "_sum " << s.sum << "\n"
+            << prom << "_count " << s.count << "\n";
+        break;
+      }
+    }
+  });
+}
+
+}  // namespace dgap::obs

@@ -1,0 +1,42 @@
+// RAII latency probe: stamps fast_now_ns() on construction and records the
+// elapsed nanoseconds into a LatencyHistogram on destruction. Compiles to
+// two clock reads and two relaxed fetch_adds; with -DDGAP_OBS_OFF the whole
+// class is an empty shell the optimizer deletes.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/timer.hpp"
+#include "src/obs/latency_histogram.hpp"
+
+namespace dgap::obs {
+
+#ifdef DGAP_OBS_OFF
+
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHistogram*) {}
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+};
+
+#else
+
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHistogram* h)
+      : hist_(h), t0_(h ? fast_now_ns() : 0) {}
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency() {
+    if (hist_ != nullptr) hist_->record(fast_now_ns() - t0_);
+  }
+
+ private:
+  LatencyHistogram* hist_;
+  std::uint64_t t0_;
+};
+
+#endif  // DGAP_OBS_OFF
+
+}  // namespace dgap::obs

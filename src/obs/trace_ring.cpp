@@ -1,0 +1,94 @@
+#include "src/obs/trace_ring.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace dgap::obs {
+
+namespace {
+
+std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+}  // namespace
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::rebalance: return "rebalance";
+    case TraceKind::resize: return "resize";
+    case TraceKind::layout_retire: return "layout_retire";
+    case TraceKind::epoch_close: return "epoch_close";
+    case TraceKind::evict_invalidate: return "evict_invalidate";
+    case TraceKind::backpressure_stall: return "backpressure_stall";
+  }
+  return "unknown";
+}
+
+void StructuralTraceRing::enable(std::size_t capacity) {
+  disable();
+  if (capacity == 0) capacity = 1;
+  slots_ = std::vector<Slot>(capacity);
+  head_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void StructuralTraceRing::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void StructuralTraceRing::record(TraceKind kind, std::uint64_t t0_ns,
+                                 std::uint64_t dur_ns, std::uint64_t a,
+                                 std::uint64_t b) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<std::size_t>(ticket % slots_.size())];
+  // Odd sequence marks the slot as mid-write so a concurrent dump skips it;
+  // generation 2*(lap+1) after the write publishes it.
+  const std::uint64_t lap = ticket / slots_.size();
+  slot.seq.store(2 * lap + 1, std::memory_order_release);
+  slot.ev = TraceEvent{t0_ns, dur_ns, a, b, this_thread_id(), kind};
+  slot.seq.store(2 * (lap + 1), std::memory_order_release);
+}
+
+std::vector<TraceEvent> StructuralTraceRing::drain_copy() const {
+  std::vector<TraceEvent> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) continue;  // empty or torn
+    const TraceEvent ev = slot.ev;
+    if (slot.seq.load(std::memory_order_acquire) != before) continue;
+    out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.t0_ns < y.t0_ns;
+            });
+  return out;
+}
+
+void StructuralTraceRing::dump_chrome_json(std::ostream& out) const {
+  const std::vector<TraceEvent> events = drain_copy();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out << ",";
+    first = false;
+    // chrome://tracing wants microseconds; "X" = complete span.
+    out << "{\"name\":\"" << trace_kind_name(ev.kind)
+        << "\",\"ph\":\"X\",\"ts\":" << (ev.t0_ns / 1000)
+        << ",\"dur\":" << (ev.dur_ns / 1000) << ",\"pid\":1,\"tid\":" << ev.tid
+        << ",\"args\":{\"a\":" << ev.a << ",\"b\":" << ev.b << "}}";
+  }
+  out << "]}\n";
+}
+
+StructuralTraceRing& structural_trace() {
+  static StructuralTraceRing ring;
+  return ring;
+}
+
+}  // namespace dgap::obs

@@ -64,6 +64,11 @@ class PmemStats {
     return s;
   }
 
+  // TEST-ONLY. The plain stores below are not coordinated with snapshot():
+  // a reset racing live absorber/writer threads tears the counter set and
+  // silently skews every flush/fence table derived from it. Benches and
+  // examples must never reset — take a StatsSnapshot before and after the
+  // measured region and diff with operator- instead (see fig1_motivation).
   void reset() {
     flush_calls_ = 0;
     lines_flushed_ = 0;

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "src/obs/scoped_latency.hpp"
+#include "src/obs/trace_ring.hpp"
 #include "src/pmem/latency_model.hpp"
 
 namespace dgap::tier {
@@ -285,8 +287,13 @@ SectionCache::Pin SectionCache::populate(std::uint64_t sec,
       return {frame_data(existing - 1), existing};
     fr.readers.fetch_sub(1, std::memory_order_release);
   }
+  // Latency samples start here, past the re-probe hit path above, so the
+  // populate histogram only measures true frame fills (claim + drain +
+  // bulk copy) and the evict histogram just the victim selection/unmap.
+  const obs::ScopedLatency populate_lat(&populate_hist_);
   std::uint32_t f = kNil;
   {
+    const obs::ScopedLatency evict_lat(&evict_hist_);
     std::lock_guard<SpinLock> g(mu_);
     f = claim_frame_locked(sec);
     if (f == kNil) return {};
@@ -354,6 +361,7 @@ void SectionCache::invalidate(std::uint64_t sec) {
   bump_churn(sec);
   const std::uint32_t f1 = frame_p1_[sec].load(std::memory_order_acquire);
   if (f1 == 0) return;
+  obs::trace_instant(obs::TraceKind::evict_invalidate, sec);
   frame_p1_[sec].store(0, std::memory_order_seq_cst);
   Frame& fr = frames_[f1 - 1];
   // Under the structural gate reader lanes are drained, so this returns
@@ -371,6 +379,31 @@ void SectionCache::invalidate(std::uint64_t sec) {
     }
   }
   ++invalidations_;
+}
+
+void SectionCache::register_metrics(const std::string& prefix) {
+  metric_handles_.clear();
+  obs::MetricsRegistry& reg = obs::registry();
+  const auto gauge = [&](const char* name,
+                         const StatCell<std::uint64_t>& cell) {
+    metric_handles_.push_back(reg.add_gauge(
+        prefix + name, [&cell] { return static_cast<double>(cell.load()); }));
+  };
+  // Hit/evict/veto visibility over time (cache warmth), not just the
+  // end-of-run CacheStats aggregate.
+  gauge("hits", hits_);
+  gauge("misses", misses_);
+  gauge("evictions", evictions_);
+  gauge("populates", populates_);
+  gauge("admit_rejects", admit_rejects_);
+  gauge("write_updates", write_updates_);
+  gauge("invalidations", invalidations_);
+  metric_handles_.push_back(reg.add_gauge(
+      prefix + "resident", [this] { return static_cast<double>(stats().resident); }));
+  metric_handles_.push_back(reg.add_histogram(
+      prefix + "populate_ns", [this] { return populate_hist_.snapshot(); }));
+  metric_handles_.push_back(reg.add_histogram(
+      prefix + "evict_ns", [this] { return evict_hist_.snapshot(); }));
 }
 
 CacheStats SectionCache::stats() const {

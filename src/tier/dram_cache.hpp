@@ -43,6 +43,8 @@
 #include "src/common/spinlock.hpp"
 #include "src/common/stat_cell.hpp"
 #include "src/core/encoding.hpp"
+#include "src/obs/latency_histogram.hpp"
+#include "src/obs/metrics_registry.hpp"
 #include "src/tier/eviction.hpp"
 
 namespace dgap::tier {
@@ -133,6 +135,20 @@ class SectionCache {
   [[nodiscard]] Eviction policy() const { return policy_; }
   [[nodiscard]] CacheStats stats() const;
 
+  // Latency distributions (ns): frame fill (populate miss path) and victim
+  // selection/unmap (claim inside populate).
+  [[nodiscard]] obs::HistogramSnapshot populate_latency() const {
+    return populate_hist_.snapshot();
+  }
+  [[nodiscard]] obs::HistogramSnapshot evict_latency() const {
+    return evict_hist_.snapshot();
+  }
+
+  // Publish this cache's counters/gauges/histograms under `prefix` (the
+  // owning store's instance-scoped name). Called once by the owner after
+  // construction; the handles deregister with the cache.
+  void register_metrics(const std::string& prefix);
+
  private:
   static constexpr std::uint64_t kNoSec = ~std::uint64_t{0};
   static constexpr std::uint32_t kNil = ~std::uint32_t{0};
@@ -194,6 +210,10 @@ class SectionCache {
   mutable StatCell<std::uint64_t> admit_rejects_;
   mutable StatCell<std::uint64_t> write_updates_;
   mutable StatCell<std::uint64_t> invalidations_;
+
+  obs::LatencyHistogram populate_hist_;
+  obs::LatencyHistogram evict_hist_;
+  std::vector<obs::MetricsRegistry::Handle> metric_handles_;
 };
 
 }  // namespace dgap::tier
