@@ -159,12 +159,13 @@ int main(int argc, char** argv) {
   // --- analysis concurrent with ingest (--live-ingest) ---------------------
   if (cfg.live_ingest &&
       (cfg.only_system.empty() || cfg.only_system == "dgap")) {
-    print_live_ingest_section(
+    const bool live_ok = print_live_ingest_section(
         cfg,
         [&](const std::string& name) -> const EdgeStream& {
           return streams.at(name);
         },
         std::cout);
+    if (!live_ok) return 1;  // incremental kernels diverged from full
   }
   return 0;
 }

@@ -118,7 +118,7 @@ int main(int argc, char** argv) {
   if (cfg.live_ingest &&
       (cfg.only_system.empty() || cfg.only_system == "dgap")) {
     std::map<std::string, EdgeStream> live_streams;  // loaded on demand
-    print_live_ingest_section(
+    const bool live_ok = print_live_ingest_section(
         cfg,
         [&](const std::string& name) -> const EdgeStream& {
           auto it = live_streams.find(name);
@@ -128,6 +128,7 @@ int main(int argc, char** argv) {
           return it->second;
         },
         std::cout);
+    if (!live_ok) return 1;  // incremental kernels diverged from full
   }
   return 0;
 }

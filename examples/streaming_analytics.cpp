@@ -16,13 +16,23 @@
 // and resizes never wait on a held snapshot — snapshot.hpp), and at the
 // end it still reads its original cut.
 //
+// --incremental switches the per-round analytics to the delta-based
+// kernels (src/algorithms/incremental/): round 0 seeds with a full
+// PR/CC, every later round diffs its cut against the previous round's
+// (core::snapshot_delta) and advances the previous results over the delta
+// only — the report gains delta-size and active-vertex columns, and after
+// the drain the final round's results are verified against full recomputes
+// (CC exactly, PR within the residual bound); divergence exits 1.
+//
 // Run:  ./examples/streaming_analytics [--events 200000] [--rounds 5]
 //                                      [--producers 2] [--async-writers 2]
 //                                      [--autotune] [--ingest-profile ...]
+//                                      [--incremental]
 //                                      [--metrics-out F [--metrics-interval-ms N]]
 //                                      [--trace-out F]
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <iomanip>
@@ -33,7 +43,11 @@
 #include <vector>
 
 #include "src/algorithms/cc.hpp"
+#include "src/algorithms/incremental/cc_incr.hpp"
+#include "src/algorithms/incremental/delta_mirror.hpp"
+#include "src/algorithms/incremental/pagerank_incr.hpp"
 #include "src/algorithms/pagerank.hpp"
+#include "src/core/snapshot_delta.hpp"
 #include "src/bench_common/harness.hpp"
 #include "src/common/cli.hpp"
 #include "src/common/timer.hpp"
@@ -70,6 +84,7 @@ int main(int argc, char** argv) {
   const int absorbers =
       static_cast<int>(require_positive(cli, "async-writers", 2));
   const bool autotune = cli.get_bool("autotune", false);
+  const bool incremental = cli.get_bool("incremental", false);
   std::size_t absorb_min = 0;  // fixed gather threshold; 0 = drain eagerly
   if (cli.has("absorb-min"))
     absorb_min = static_cast<std::size_t>(require_positive(cli, "absorb-min", 0));
@@ -138,8 +153,24 @@ int main(int argc, char** argv) {
     });
   }
 
-  std::cout << "round  absorbed   rate(e/s)  p99(us)  clusters  "
-               "top hotspots (cell:score)\n";
+  if (incremental)
+    std::cout << "round  absorbed   rate(e/s)  p99(us)     delta    active  "
+                 "clusters  top hotspots (cell:score)\n";
+  else
+    std::cout << "round  absorbed   rate(e/s)  p99(us)  clusters  "
+                 "top hotspots (cell:score)\n";
+  // --incremental round-over-round state: the previous round's cut and the
+  // results that advanced over it (full only at round 0).
+  const algorithms::PageRankParams full_pr{.iterations = 50,
+                                           .tolerance = 1e-4};
+  const algorithms::IncrementalPageRankParams incr_pr{
+      .tolerance = full_pr.tolerance, .max_iterations = full_pr.iterations};
+  std::optional<core::Snapshot> prev_cut;
+  std::vector<double> prev_scores;
+  std::vector<NodeId> prev_labels;
+  // Delta-maintained DRAM mirror the incremental kernels sweep (built once
+  // at round 0, advanced in O(delta) per round — see delta_mirror.hpp).
+  std::optional<algorithms::DeltaMirror> mirror;
   // Held across the whole stream: ingestion must never stall behind it.
   std::optional<core::Snapshot> round0_snap;
   std::uint64_t round0_edges = 0;
@@ -170,7 +201,7 @@ int main(int argc, char** argv) {
     }
     if (ingest_failed) break;
 
-    const core::Snapshot snap = graph->consistent_view();
+    core::Snapshot snap = graph->consistent_view();
     if (!round0_snap) {
       round0_snap.emplace(graph->consistent_view());
       round0_edges = round0_snap->num_edges_directed();
@@ -178,8 +209,29 @@ int main(int argc, char** argv) {
         round0_snap->for_each_out(
             v, [&](NodeId d) { round0_checksum += static_cast<std::uint64_t>(d) * 31 + 1; });
     }
-    const auto pr = algorithms::pagerank(snap, {.iterations = 10});
-    const auto comp = algorithms::connected_components(snap);
+    std::vector<double> pr;
+    std::vector<NodeId> comp;
+    std::uint64_t delta_edges = 0;
+    std::uint64_t active = 0;
+    if (!incremental) {
+      pr = algorithms::pagerank(snap, {.iterations = 10});
+      comp = algorithms::connected_components(snap);
+    } else if (!prev_cut) {
+      // Round 0: full seed at the shared residual target.
+      pr = algorithms::pagerank(snap, full_pr);
+      comp = algorithms::connected_components(snap);
+      mirror.emplace(algorithms::DeltaMirror::build(snap));
+    } else {
+      const core::SnapshotDelta delta = core::snapshot_delta(*prev_cut, snap);
+      mirror->apply(delta, snap);
+      auto ipr = algorithms::incremental_pagerank(*mirror, delta, prev_scores,
+                                                  incr_pr);
+      auto icc = algorithms::incremental_cc(*mirror, delta, prev_labels);
+      delta_edges = delta.delta_edges();
+      active = ipr.active_vertices;
+      pr = std::move(ipr.scores);
+      comp = std::move(icc.labels);
+    }
 
     std::vector<NodeId> order(static_cast<std::size_t>(snap.num_nodes()));
     for (NodeId v = 0; v < snap.num_nodes(); ++v) order[v] = v;
@@ -208,11 +260,21 @@ int main(int argc, char** argv) {
     std::cout << std::setw(5) << round << "  " << std::setw(8)
               << absorbed_now << "  " << std::setw(9) << std::fixed
               << std::setprecision(0) << rate << "  " << std::setw(7)
-              << std::setprecision(1) << p99_us << "  " << std::setw(8)
-              << clusters << "  ";
+              << std::setprecision(1) << p99_us << "  ";
+    if (incremental)
+      std::cout << std::setw(8) << delta_edges << "  " << std::setw(8)
+                << active << "  ";
+    std::cout << std::setw(8) << clusters << "  ";
     for (int k = 0; k < 3; ++k)
       std::cout << order[k] << ":" << std::fixed << std::setprecision(5)
                 << pr[order[k]] << (k < 2 ? ", " : "\n");
+
+    if (incremental) {
+      // This round's results (incremental past round 0) seed the next one.
+      prev_cut.emplace(std::move(snap));
+      prev_scores = std::move(pr);
+      prev_labels = std::move(comp);
+    }
   }
 
   for (auto& f : feeds) f.join();
@@ -239,6 +301,36 @@ int main(int argc, char** argv) {
               << " edges (ingestion never waited on it)\n";
     round0_snap.reset();
   }
+  // --incremental: advance the last round's results over one final delta to
+  // the drained cut, then verify against full recomputes — CC labels must
+  // match exactly, PR must sit within the shared residual bound.
+  if (incremental && prev_cut) {
+    const core::Snapshot final_cut = graph->consistent_view();
+    const core::SnapshotDelta delta =
+        core::snapshot_delta(*prev_cut, final_cut);
+    mirror->apply(delta, final_cut);
+    const auto ipr = algorithms::incremental_pagerank(*mirror, delta,
+                                                      prev_scores, incr_pr);
+    const auto icc =
+        algorithms::incremental_cc(*mirror, delta, prev_labels);
+    const auto fpr = algorithms::pagerank(final_cut, full_pr);
+    const auto fcc = algorithms::connected_components(final_cut);
+    double l1 = 0;
+    for (std::size_t i = 0; i < fpr.size(); ++i)
+      l1 += std::abs(ipr.scores[i] - fpr[i]);
+    const double bound = 2.0 * incr_pr.tolerance / (1.0 - incr_pr.damping);
+    if (icc.labels != fcc || l1 > bound) {
+      std::cerr << "incremental kernels diverged from full recompute "
+                << "(cc " << (icc.labels == fcc ? "match" : "MISMATCH")
+                << ", pr l1=" << l1 << " bound=" << bound << ")\n";
+      return 1;
+    }
+    std::cout << "incremental final check: delta=" << delta.delta_edges()
+              << " cc identical=yes, pr l1=" << std::scientific
+              << std::setprecision(2) << l1 << " (bound " << bound << ")"
+              << std::defaultfloat << "\n";
+  }
+
   const ingest::IngestStats is = ingestor->stats();
   std::cout << "stream drained; total edges " << graph->num_edge_slots()
             << "\n"

@@ -40,6 +40,17 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"
 ./build/fig8_bfs_bc --csr-cache --datasets=orkut --scale=0.02 \
   --system=dgap --pool-mb=256
 
+# Smoke-run incremental analytics: delta-seeded PR/CC rounds racing live
+# ingest (the section verifies every round — CC labels exactly equal to the
+# full kernel, PR within the shared tolerance bound — and the binary exits
+# non-zero on divergence), plus the streaming example's --incremental mode
+# with its final against-full check after the drain.
+./build/fig7_pr_cc --live-ingest --incremental --live-producers=2 \
+  --live-pace-ns=2000 --datasets=orkut --scale=0.02 --system=dgap \
+  --pool-mb=256
+./build/streaming_analytics --events 20000 --rounds 3 --producers 2 \
+  --async-writers 2 --incremental
+
 # Smoke-run the DRAM hot tier: read-charged kernels, cache-off vs cache-on
 # (the section also verifies cache-on results match cache-off exactly).
 ./build/fig7_pr_cc --dram-cache=64 --eviction=clock --datasets=orkut \
@@ -123,6 +134,12 @@ expect_reject ./build/fig7_pr_cc --eviction=turbo
 expect_reject ./build/fig8_bfs_bc --dram-cache=0x
 expect_reject ./build/table4_analysis_scalability --eviction=mru
 expect_reject ./build/fig7_pr_cc --pm-read-ns=nope
+expect_reject ./build/fig7_pr_cc --incremental
+expect_reject ./build/table4_analysis_scalability --incremental
+expect_reject ./build/fig7_pr_cc --live-ingest --live-pace-ns=abc
+expect_reject ./build/fig7_pr_cc --live-ingest --live-pace-ns=-5
+expect_reject ./build/table4_analysis_scalability --live-ingest \
+  --live-pace-ns=0
 expect_reject ./build/fig6_insert_throughput --metrics-interval-ms=0
 expect_reject ./build/fig6_insert_throughput --metrics-interval-ms=nope
 expect_reject ./build/streaming_analytics --metrics-interval-ms=0

@@ -72,6 +72,15 @@ struct BenchConfig {
   // sets the submit-thread count.
   bool live_ingest = false;
   int live_producers = 2;
+  // --incremental (requires --live-ingest): switch the live-ingest section
+  // to the round-over-round delta-analytics driver — each analysis round
+  // diffs the new cut against the previous one (snapshot_delta) and runs
+  // the delta-seeded PR/CC kernels next to the full recomputes, verifying
+  // them every round. --live-pace-ns=N throttles each producer between
+  // 512-edge chunks so trickle-rate streams (small per-round deltas) can
+  // be dialed in; 0 floods.
+  bool incremental = false;
+  std::uint64_t live_pace_ns = 0;
   // --pm-read-ns=N: per-cache-line read charge applied INSIDE the
   // --dram-cache section only (fig7/fig8), so cache-off vs cache-on runs
   // both pay the media's read cost and the tier's win is visible. The main
@@ -319,8 +328,14 @@ LiveIngestResult run_live_ingest(IStore& store, std::span<const Edge> body,
 // MEPS, PR rounds, avg/quiescent PR seconds, slowdown): per dataset,
 // preload the first half of the stream synchronously, then run_live_ingest
 // over the second half. `stream_for` supplies the loaded stream (fig7
-// reuses its cache; table4 loads on demand).
-void print_live_ingest_section(
+// reuses its cache; table4 loads on demand). Under cfg.incremental the
+// section instead runs the round-over-round delta-analytics driver: per
+// round, diff the cut against the previous one, run incremental PR/CC
+// seeded from the previous round's results next to the full recomputes,
+// and verify (CC labels exactly, PR within the shared residual bound).
+// Returns false if any round's verification failed (benches treat that as
+// a hard failure); the plain flood path always returns true.
+[[nodiscard]] bool print_live_ingest_section(
     const BenchConfig& cfg,
     const std::function<const EdgeStream&(const std::string&)>& stream_for,
     std::ostream& os);

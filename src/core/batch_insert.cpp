@@ -188,6 +188,7 @@ void DgapStore::update_batch_internal(std::span<const Edge> all,
           }
 
           std::size_t k = i;
+          const std::uint64_t absorbed_before = group_absorbed;
           // Fig 3(a) in bulk: append into the run's free tail while gaps
           // last, then flush the whole appended range with one call.
           if (live.el_count == 0) {
@@ -260,6 +261,9 @@ void DgapStore::update_batch_internal(std::span<const Edge> all,
             ++group_absorbed;
             ++k;
           }
+          // One touch-map mark per source per group (snapshot-diff change
+          // tracking), not per edge — the mark is idempotent within a cut.
+          if (group_absorbed > absorbed_before) touch_mark(src);
           i = j;
         }
 

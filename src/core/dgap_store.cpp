@@ -424,6 +424,7 @@ void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
         cache_->write_through(pos / ss, pos & (ss - 1),
                               encode_edge(dst, tombstone));
       publish_u32(entries_[src].arr_count, e.arr_count + 1);
+      touch_mark(src);
       if (tombstone) entries_[src].has_tombstone = 1;
       tree_->add(pos / ss, +1);
       if (!opts_.metadata_in_dram) {
@@ -448,6 +449,7 @@ void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
         sm.elog_live += 1;
         entries_[src].el_count += 1;
         publish_u32(entries_[src].el_head_p1, idx + 1);
+        touch_mark(src);
         if (tombstone) entries_[src].has_tombstone = 1;
         tree_->add(home, +1);
         if (!opts_.metadata_in_dram) {
@@ -472,6 +474,7 @@ void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
         if (gap < seg_end) {
           nearby_shift_insert(src, encode_edge(dst, tombstone), pos, gap);
           publish_u32(entries_[src].arr_count, e.arr_count + 1);
+          touch_mark(src);
           if (tombstone) entries_[src].has_tombstone = 1;
           tree_->add(pos / ss, +1);
           if (!opts_.metadata_in_dram) {
@@ -594,8 +597,11 @@ Snapshot DgapStore::capture_frozen() const {
   g->pins.fetch_add(1, std::memory_order_acq_rel);
   snap.gen_ = g;
   snap.epoch_ = g->epoch;
-  static std::atomic<std::uint64_t> g_capture_seq{0};
-  snap.seq_ = g_capture_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  // capture_seq_ is the class-static counter the touch map stamps against
+  // (touch_mark in dgap_store.hpp): the freeze holds global_mu_ exclusive,
+  // so every writer ordered after this capture reads a counter value >=
+  // this snapshot's seq and its marks survive a `mark >= seq` diff test.
+  snap.seq_ = capture_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
 
   const NodeId n = num_nodes();
   snap.degree_.resize(static_cast<std::size_t>(n));
@@ -625,19 +631,63 @@ Snapshot DgapStore::consistent_view() const {
   return snap;
 }
 
-std::size_t DgapStore::reader_lane_enter() const {
+std::size_t DgapStore::reader_lane_enter(NodeId v) const {
   // Stripe in-flight reader counts by thread so concurrent kernels don't
   // serialize on one cache line.
   static std::atomic<std::size_t> next_lane{0};
   thread_local const std::size_t lane =
       next_lane.fetch_add(1, std::memory_order_relaxed) % kReadLanes;
-  auto& n = read_lanes_[lane].n;
+  auto& banks = read_lanes_[lane].n;
   int spins = 0;
   for (;;) {
+    // seq_cst throughout the handshake (here, struct_mutation_begin and
+    // struct_window_begin): the C++ model allows the store-buffering
+    // outcome under acq_rel — reader and structural op each missing the
+    // other's increment — and seq_cst is free on x86 (LOCK RMW).
+    const std::uint64_t era = lane_era_.load(std::memory_order_seq_cst);
+    const std::size_t bank = static_cast<std::size_t>(era & 1);
+    banks[bank].fetch_add(1, std::memory_order_seq_cst);
+    // Era re-validation closes an ABA: a reader stalled between the era
+    // load and the increment may land in a bank that a windowed op has
+    // since flipped AND drained. The monotone era makes the staleness
+    // detectable — if the counter moved, every conclusion below about who
+    // will drain this increment is void, so back out and retry. With the
+    // era confirmed, any later windowed op either flips era -> era+1 after
+    // this increment is visible (its old-bank drain covers us), or was
+    // already announced (struct_writers_ check below turns us away or
+    // window-admits us).
+    if (DGAP_UNLIKELY(lane_era_.load(std::memory_order_seq_cst) != era)) {
+      banks[bank].fetch_sub(1, std::memory_order_release);
+      continue;
+    }
+    if (DGAP_LIKELY(struct_writers_.load(std::memory_order_seq_cst) == 0))
+      return lane * 2 + bank;
+    // A structural op is announced. A WINDOWED op (rebalance) publishes
+    // its slot range and drains only the pre-flip bank: if this read's run
+    // starts outside the window it cannot touch moving slots (windows are
+    // expanded to whole-run boundaries and section locks pin the runs), so
+    // it proceeds, parked in the bank it incremented. Full-exclusion ops
+    // (resize flip, ablation nearby-shift) raise struct_full_ FIRST, so a
+    // reader that owes its writers!=0 to a full op cannot miss it here.
+    if (struct_full_.load(std::memory_order_seq_cst) == 0) {
+      const std::uint64_t wb =
+          struct_win_begin_.load(std::memory_order_acquire);
+      const std::uint64_t we =
+          struct_win_end_.load(std::memory_order_acquire);
+      // The probe must be atomic: v may be IN the window, whose entries the
+      // rebalance is rewriting right now (atomic_ref stores on its side).
+      const std::uint64_t start =
+          std::atomic_ref<std::uint64_t>(
+              const_cast<std::uint64_t&>(entries_[v].start))
+              .load(std::memory_order_relaxed);
+      if (start < wb || start >= we) return lane * 2 + bank;
+    }
+    // In the window (or a full op): back out so the drain can complete,
+    // then wait — this is the writer preference that keeps a PageRank
+    // storm from starving rebalances.
+    banks[bank].fetch_sub(1, std::memory_order_release);
+    ++stats_.snapshot_read_retries;
     while (struct_writers_.load(std::memory_order_acquire) != 0) {
-      // A structural op is (or is about to start) moving data: stay out so
-      // it can drain the lanes — this is the writer preference that keeps
-      // a PageRank storm from starving rebalances.
       if (++spins > 256) {
         std::this_thread::yield();
         spins = 0;
@@ -646,32 +696,59 @@ std::size_t DgapStore::reader_lane_enter() const {
       __builtin_ia32_pause();
 #endif
     }
-    // seq_cst on both sides of the handshake (here and in
-    // struct_mutation_begin): the C++ model allows the store-buffering
-    // outcome under acq_rel — reader and structural op each missing the
-    // other's increment — and seq_cst is free on x86 (LOCK RMW).
-    n.fetch_add(1, std::memory_order_seq_cst);
-    if (DGAP_LIKELY(struct_writers_.load(std::memory_order_seq_cst) == 0))
-      return lane;
-    // A structural op announced itself between our check and increment:
-    // back out so its drain can complete.
-    n.fetch_sub(1, std::memory_order_release);
-    ++stats_.snapshot_read_retries;
   }
 }
 
-void DgapStore::reader_lane_exit(std::size_t lane) const {
-  read_lanes_[lane].n.fetch_sub(1, std::memory_order_release);
+void DgapStore::reader_lane_exit(std::size_t packed) const {
+  read_lanes_[packed / 2].n[packed & 1].fetch_sub(1,
+                                                  std::memory_order_release);
 }
 
 void DgapStore::struct_mutation_begin() const {
-  // Announce, then wait for every in-flight per-vertex read to finish.
+  // Full exclusion: announce, then wait for every in-flight per-vertex
+  // read — both banks, including readers a concurrent windowed rebalance
+  // admitted past its window check. struct_full_ is raised BEFORE
+  // struct_writers_ (both seq_cst): a reader that sees writers != 0 from
+  // this op is therefore guaranteed to also see full != 0 and stay out,
+  // rather than misclassify the resize as a windowed op and self-admit.
   // Reads are microseconds (one vertex's frozen prefix), so the drain is
   // bounded — unlike the pre-refactor design, where the gate was held for
   // a snapshot's LIFETIME and one long analysis wedged every resize.
+  struct_full_.fetch_add(1, std::memory_order_seq_cst);
   struct_writers_.fetch_add(1, std::memory_order_seq_cst);
   for (const ReadLane& l : read_lanes_) {
-    while (l.n.load(std::memory_order_seq_cst) != 0) {
+    for (const auto& bank : l.n) {
+      while (bank.load(std::memory_order_seq_cst) != 0) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+}
+
+void DgapStore::struct_mutation_end() const {
+  struct_writers_.fetch_sub(1, std::memory_order_acq_rel);
+  struct_full_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void DgapStore::struct_window_begin(std::uint64_t begin_slot,
+                                    std::uint64_t end_slot) const {
+  // Windowed admission (callers hold rebalance_mu_, so at most one window
+  // is announced at a time): publish the window, announce, flip the era,
+  // then drain ONLY the old bank — the readers that entered before the
+  // announcement and therefore never saw the window. Readers arriving
+  // after the flip park in the new bank: they either back out (in-window)
+  // or proceed concurrently with the data movement (out-of-window), which
+  // is the whole point — an unrelated section stays readable mid-rebalance.
+  struct_win_begin_.store(begin_slot, std::memory_order_release);
+  struct_win_end_.store(end_slot, std::memory_order_release);
+  struct_writers_.fetch_add(1, std::memory_order_seq_cst);
+  const std::uint64_t old_era =
+      lane_era_.fetch_add(1, std::memory_order_seq_cst);
+  const std::size_t old_bank = static_cast<std::size_t>(old_era & 1);
+  for (const ReadLane& l : read_lanes_) {
+    while (l.n[old_bank].load(std::memory_order_seq_cst) != 0) {
 #if defined(__x86_64__)
       __builtin_ia32_pause();
 #endif
@@ -679,7 +756,10 @@ void DgapStore::struct_mutation_begin() const {
   }
 }
 
-void DgapStore::struct_mutation_end() const {
+void DgapStore::struct_window_end() const {
+  // The window values stay behind (stale): readers consult them only while
+  // struct_writers_ is raised by a windowed op, and the next windowed op
+  // overwrites them before raising it.
   struct_writers_.fetch_sub(1, std::memory_order_acq_rel);
 }
 

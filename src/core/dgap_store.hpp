@@ -159,6 +159,30 @@ class DgapStore {
   [[nodiscard]] std::uint64_t layout_epoch() const;
   [[nodiscard]] std::size_t retired_layouts() const;
 
+  // Change tracking for snapshot diffs (snapshot_delta.cpp): vertices are
+  // tracked in blocks of kTouchBlockVertices; touched_since(v, s) reports
+  // whether ANY vertex in v's block saw an insert/delete at or after capture
+  // seq `s`. Conservative by construction — block granularity plus id
+  // aliasing above kTouchBlocks * kTouchBlockVertices can only over-report
+  // a change, never miss one (argument in snapshot_delta.cpp).
+  static constexpr NodeId kTouchBlockVertices = 256;
+  [[nodiscard]] bool touched_since(NodeId v, std::uint64_t since_seq) const {
+    const std::uint64_t mark =
+        touch_marks_[(static_cast<std::uint64_t>(v) >> kTouchShift) &
+                     (kTouchBlocks - 1)]
+            .load(std::memory_order_relaxed);
+    return mark >= since_seq;
+  }
+
+  // Test hooks: hold the structural gate open with an announced window so a
+  // regression test can prove out-of-window snapshot reads are NOT turned
+  // away mid-rebalance while in-window reads are (tests/incremental_test).
+  void debug_struct_gate_begin(std::uint64_t begin_slot,
+                               std::uint64_t end_slot) const {
+    struct_window_begin(begin_slot, end_slot);
+  }
+  void debug_struct_gate_end() const { struct_window_end(); }
+
   // DRAM hot-tier counters (src/tier); zeroed struct when the tier is off.
   [[nodiscard]] tier::CacheStats cache_stats() const {
     return cache_ ? cache_->stats() : tier::CacheStats{};
@@ -267,6 +291,13 @@ class DgapStore {
   // a comment.
   template <typename F>
   void read_frozen(NodeId v, std::uint32_t limit, F&& emit) const;
+  // Generalization used by the snapshot diff: emit frozen chronological
+  // slots [from, limit) of v. read_frozen is the from == 0 case; the
+  // per-vertex slot sequence is append-only across structural ops (splices
+  // preserve chronological order), so a [d_old, d_new) suffix read is exact.
+  template <typename F>
+  void read_frozen_range(NodeId v, std::uint32_t from, std::uint32_t limit,
+                         F&& emit) const;
   // Emit `count` frozen slots starting at array position `first`, section
   // piece by section piece: DRAM tier on a hit, latency-charged pmem read
   // (with opportunistic tier population) on a miss. Returns false when the
@@ -283,10 +314,26 @@ class DgapStore {
   // new readers away, so a read storm cannot starve a rebalance. This is
   // what lets a snapshot LIFETIME pin nothing: the gate is held per read,
   // never per snapshot.
-  std::size_t reader_lane_enter() const;
-  void reader_lane_exit(std::size_t lane) const;
-  void struct_mutation_begin() const;  // announce + drain in-flight reads
+  //
+  // Windowed admission (bank-flip): a window rebalance announces its slot
+  // range [struct_win_begin_, struct_win_end_) instead of excluding every
+  // read. Each lane keeps TWO counters (banks); the windowed op flips the
+  // active bank and drains only the OLD bank — readers that entered before
+  // the announcement. A reader that arrives while the window is announced
+  // checks its vertex's run start against the window: outside -> it
+  // proceeds, parked in the NEW bank (never drained by this op); inside ->
+  // it backs out and spins, exactly the old behavior. Full-exclusion ops
+  // (resize flip, ablation nearby-shift) additionally raise struct_full_
+  // and drain BOTH banks, so they keep total exclusion.
+  std::size_t reader_lane_enter(NodeId v) const;  // returns lane*2 + bank
+  void reader_lane_exit(std::size_t packed) const;
+  void struct_mutation_begin() const;  // full: announce + drain everything
   void struct_mutation_end() const;
+  // Windowed variant (rebalance only — callers serialize on rebalance_mu_):
+  // turns away only readers whose run starts inside [begin_slot, end_slot).
+  void struct_window_begin(std::uint64_t begin_slot,
+                           std::uint64_t end_slot) const;
+  void struct_window_end() const;
   // RAII hold: a throw inside a gated region (pool exhaustion in the tx
   // ablation, allocation failure mid-resize) must release the gate, or
   // every snapshot read would spin forever on struct_writers_.
@@ -295,12 +342,23 @@ class DgapStore {
     explicit StructGateHold(const DgapStore& s) : s_(s) {
       s_.struct_mutation_begin();
     }
-    ~StructGateHold() { s_.struct_mutation_end(); }
+    StructGateHold(const DgapStore& s, std::uint64_t win_begin,
+                   std::uint64_t win_end)
+        : s_(s), windowed_(true) {
+      s_.struct_window_begin(win_begin, win_end);
+    }
+    ~StructGateHold() {
+      if (windowed_)
+        s_.struct_window_end();
+      else
+        s_.struct_mutation_end();
+    }
     StructGateHold(const StructGateHold&) = delete;
     StructGateHold& operator=(const StructGateHold&) = delete;
 
    private:
     const DgapStore& s_;
+    bool windowed_ = false;
   };
 
   // Generation management: retire the pre-resize layout onto the
@@ -403,13 +461,51 @@ class DgapStore {
   std::atomic<const LayoutGen*> cur_gen_{nullptr};
   std::vector<const LayoutGen*> retired_;  // guarded by retired_mu_
   mutable SpinLock retired_mu_;
-  // Reader gate state (see reader_lane_enter above).
+  // Reader gate state (see reader_lane_enter above). Two counters per lane:
+  // the banks of the bank-flip windowed admission protocol. The bank is
+  // selected by the parity of a MONOTONE era counter (not a toggle bit):
+  // readers re-validate the full era after incrementing, so a stalled
+  // reader can never alias into a later op's undrained bank — a toggle bit
+  // repeats values and admits exactly that ABA (proof sketch at
+  // reader_lane_enter in dgap_store.cpp).
   static constexpr std::size_t kReadLanes = 8;
   struct alignas(kCacheLineSize) ReadLane {
-    std::atomic<std::int64_t> n{0};
+    std::array<std::atomic<std::int64_t>, 2> n{};
   };
   mutable std::array<ReadLane, kReadLanes> read_lanes_{};
+  mutable std::atomic<std::uint64_t> lane_era_{0};
   mutable std::atomic<int> struct_writers_{0};
+  // Full-exclusion structural ops in progress (resize flip, ablation
+  // nearby-shift). Raised BEFORE struct_writers_ so a reader that observes
+  // writers != 0 from a full op must also observe full != 0 (both seq_cst).
+  mutable std::atomic<int> struct_full_{0};
+  // Announced rebalance window [begin, end) in slot coordinates; consulted
+  // by readers only while a windowed op holds struct_writers_ (windowed ops
+  // serialize on rebalance_mu_, so single-writer).
+  mutable std::atomic<std::uint64_t> struct_win_begin_{0};
+  mutable std::atomic<std::uint64_t> struct_win_end_{0};
+
+  // --- snapshot-diff change tracking (snapshot_delta.cpp) -------------------
+  // Monotone capture counter stamping Snapshot::capture_seq(). A static
+  // member (not a function-local in capture_frozen) so the batch-insert TU
+  // can timestamp touch marks against it; global across instances — only
+  // monotonicity matters, per-store uniqueness does not.
+  static inline std::atomic<std::uint64_t> capture_seq_{0};
+  static constexpr int kTouchShift = 8;  // log2(kTouchBlockVertices)
+  static constexpr std::size_t kTouchBlocks = 4096;
+  // Per-block last-mutation marks (value: capture_seq_ at mutation time).
+  // Relaxed is enough: writers hold global_mu_ shared while captures hold
+  // it exclusive, so a writer ordered after capture A reads a counter value
+  // >= A's seq, and its mark is published to the *next* capture's diff by
+  // the freeze's own exclusive acquisition (full argument where consumed,
+  // snapshot_delta.cpp).
+  std::array<std::atomic<std::uint64_t>, kTouchBlocks> touch_marks_{};
+  void touch_mark(NodeId v) {
+    touch_marks_[(static_cast<std::uint64_t>(v) >> kTouchShift) &
+                 (kTouchBlocks - 1)]
+        .store(capture_seq_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  }
 
   // PM mirror for the metadata-on-PM ablation (cost emulation only).
   std::uint64_t mirror_off_ = 0;
@@ -453,18 +549,29 @@ class DgapStore {
 // the snapshot's cut.
 template <typename F>
 void DgapStore::read_frozen(NodeId v, std::uint32_t limit, F&& emit) const {
-  if (limit == 0) return;
-  const std::size_t lane = reader_lane_enter();
+  read_frozen_range(v, 0, limit, std::forward<F>(emit));
+}
+
+template <typename F>
+void DgapStore::read_frozen_range(NodeId v, std::uint32_t from,
+                                  std::uint32_t limit, F&& emit) const {
+  if (limit <= from) return;
+  const std::size_t lane = reader_lane_enter(v);
   const VertexEntry& ent = entries_[v];
   // Acquire the published count BEFORE touching slots: pairs with the
   // writer's release in publish_u32, so every slot under arr_count is
-  // fully stored by the time we index it (free on x86).
+  // fully stored by the time we index it (free on x86). `start` is plain:
+  // it changes only under the structural gate, and a windowed rebalance
+  // rewrites starts only for in-window vertices — which this reader, if
+  // admitted past an announced window, is not (reader_lane_enter probed
+  // the same field atomically to decide).
   const std::uint32_t arr_count = acquire_u32(ent.arr_count);
-  const std::uint64_t start = ent.start;  // gate-ordered (structural only)
+  const std::uint64_t start = ent.start;
   const std::uint32_t arr_take = std::min<std::uint32_t>(limit, arr_count);
   bool stopped = false;
   if (DGAP_LIKELY(start + 1 + arr_take <= capacity_)) {
-    stopped = !emit_run_frozen(start + 1, arr_take, emit);
+    if (from < arr_take)
+      stopped = !emit_run_frozen(start + 1 + from, arr_take - from, emit);
     std::uint32_t remaining = limit - arr_take;
     const std::uint32_t head_p1 =
         remaining > 0 && !stopped ? acquire_u32(ent.el_head_p1) : 0;
@@ -495,7 +602,8 @@ void DgapStore::read_frozen(NodeId v, std::uint32_t limit, F&& emit) const {
       }
       if (remaining > chain.size())
         remaining = static_cast<std::uint32_t>(chain.size());
-      for (std::uint32_t i = 0; i < remaining; ++i)
+      const std::uint32_t skip = from > arr_take ? from - arr_take : 0;
+      for (std::uint32_t i = skip; i < remaining; ++i)
         if (emit_stop(emit, chain[chain.size() - 1 - i])) break;
     }
   }
@@ -573,6 +681,17 @@ void Snapshot::for_each_out(NodeId v, F&& fn) const {
   // edge, decode destinations straight through.
   store_->read_frozen(
       v, limit, [&](Slot s) { return emit_stop(fn, edge_dst(s)); });
+}
+
+template <typename F>
+void Snapshot::for_each_slot_from(NodeId v, std::uint32_t from,
+                                  F&& fn) const {
+  check_open();
+  const std::uint32_t limit = degree_[v];
+  if (limit <= from) return;
+  store_->read_frozen_range(v, from, limit, [&](Slot s) {
+    return emit_stop(fn, edge_dst(s), edge_tombstone(s));
+  });
 }
 
 }  // namespace dgap::core

@@ -34,6 +34,7 @@
 // destination can then only overlap its own old slots or slots already
 // vacated — never an unmoved run.
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstring>
 #include <mutex>
@@ -294,13 +295,19 @@ void DgapStore::rebalance_window_locked(std::uint64_t begin_seg,
   // timeline shows exactly how long snapshot readers were turned away.
   const obs::ScopedLatency lat(&rebalance_hist_);
   const std::uint64_t trace_t0 = obs::trace_begin();
-  // Snapshot readers take no section locks: the structural gate drains the
-  // in-flight per-vertex reads and turns new ones away while this window's
-  // slots/elogs/entries are in flux (snapshot.hpp). RAII so a throw (tx
-  // journal allocation, staging vectors) cannot wedge the gate shut.
-  const StructGateHold gate(*this);
   const std::uint64_t wb = begin_seg * seg_slots_;
   const std::uint64_t we = std::min(end_seg * seg_slots_, capacity_);
+  // Snapshot readers take no section locks: the structural gate drains the
+  // in-flight per-vertex reads and turns away new ones that land in THIS
+  // window — reads of unrelated sections proceed concurrently (windowed
+  // admission, dgap_store.hpp). Safe because the window was expanded to
+  // whole-run boundaries above and its section locks are held: an admitted
+  // reader's run start is outside [wb, we), so every slot, vertex entry and
+  // elog chain it touches is outside the region this op rewrites, and its
+  // run cannot grow into the window while the boundary section locks are
+  // held. RAII so a throw (tx journal allocation, staging vectors) cannot
+  // wedge the gate shut.
+  const StructGateHold gate(*this, wb, we);
 
   const std::vector<GatheredRun> runs = gather_runs(wb, we);
 
@@ -386,17 +393,24 @@ void DgapStore::rebalance_window_locked(std::uint64_t begin_seg,
   }
 
   // The window's slots were rewritten: drop the stale DRAM frames while the
-  // gate still excludes readers (they re-populate from the new image).
+  // gate still excludes in-window readers (they re-populate from the new
+  // image).
   if (cache_)
     for (std::uint64_t s = begin_seg; s < end_seg; ++s) cache_->invalidate(s);
 
-  // Volatile metadata: vertex entries, section logs, tree counts.
+  // Volatile metadata: vertex entries, section logs, tree counts. The gate
+  // only turns away readers whose run is inside the window, and admitted
+  // out-of-window readers probe entries_[v].start atomically while being
+  // admitted — so `start` must be stored through an atomic_ref (a plain
+  // store would race the probe), and the count fields keep the release
+  // publish the lock-free read path pairs with.
   for (std::size_t i = 0; i < plan.size(); ++i) {
     VertexEntry& e = entries_[plan[i].vertex];
-    e.start = plan[i].new_start;
-    e.arr_count = runs[i].arr_count + runs[i].el_count;
+    std::atomic_ref<std::uint64_t>(e.start).store(plan[i].new_start,
+                                                  std::memory_order_relaxed);
+    publish_u32(e.arr_count, runs[i].arr_count + runs[i].el_count);
     e.el_count = 0;
-    e.el_head_p1 = 0;
+    publish_u32(e.el_head_p1, 0);
     if (!opts_.metadata_in_dram) mirror_vertex(plan[i].vertex);
   }
   for (std::uint64_t s = begin_seg; s < end_seg; ++s) {

@@ -126,6 +126,9 @@ class ShardedSnapshot {
   [[nodiscard]] const Snapshot& shard(std::size_t k) const {
     return shards_[k];
   }
+  // First global vertex id owned by shard k (snapshot-diff remaps per-shard
+  // local ids back to global ids with this).
+  [[nodiscard]] NodeId shard_base(std::size_t k) const { return geo_.base(k); }
 
   // --- versioning ----------------------------------------------------------
   // Cache identity for SnapshotCsrCache: shard 0's capture sequence is

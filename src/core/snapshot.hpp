@@ -33,6 +33,7 @@
 // vertex read.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -48,6 +49,12 @@ namespace dgap::core {
 class DgapStore;
 class Snapshot;
 class SnapshotCsrCache;
+struct SnapshotDelta;
+
+// Diff between two snapshots of the same store (snapshot_delta.hpp).
+// Declared here so Snapshot can befriend it: the diff walks the private
+// frozen degree columns of both cuts.
+SnapshotDelta snapshot_delta(const Snapshot& older, const Snapshot& newer);
 
 // One published edge-array layout generation: the epoch identity snapshots
 // and the CSR cache key on, plus the persistent ranges to free when the
@@ -125,6 +132,20 @@ class Snapshot {
   // Exact neighbor list with tombstone cancellation.
   [[nodiscard]] std::vector<NodeId> neighbors(NodeId v) const;
 
+  // Stream v's RAW frozen slots [from, out_degree(v)) in chronological
+  // order as fn(dst, tombstone) — no tombstone cancellation. The suffix
+  // form is what the snapshot diff consumes: per-vertex slot sequences are
+  // append-only across structural ops, so the slots past an older cut's
+  // degree are exactly the events between the cuts.
+  template <typename F>
+  void for_each_slot_from(NodeId v, std::uint32_t from, F&& fn) const;
+
+  // True when both snapshots were captured from the same (still-open)
+  // store — the precondition snapshot_delta validates.
+  [[nodiscard]] bool same_store_as(const Snapshot& other) const {
+    return store_ != nullptr && store_ == other.store_;
+  }
+
   // --- versioning ----------------------------------------------------------
   // Layout generation this snapshot was captured against (advances once per
   // resize) and a process-unique capture sequence number. Together they key
@@ -135,6 +156,8 @@ class Snapshot {
 
  private:
   friend class DgapStore;
+  friend SnapshotDelta snapshot_delta(const Snapshot& older,
+                                      const Snapshot& newer);
 
   void release();
   void move_from(Snapshot& other) {
@@ -228,40 +251,72 @@ class SnapshotCsr {
   std::vector<NodeId> nbrs_;
 };
 
-// One-entry CSR cache keyed by (capture sequence, layout epoch): repeated
+// K-deep CSR cache keyed by (capture sequence, layout epoch): repeated
 // kernels over the SAME snapshot hit; a new cut (or a snapshot from another
-// layout generation) rebuilds. get() itself is not thread-safe — build
+// layout generation) rebuilds into a free slot, evicting the
+// least-recently-used entry once K cuts are resident. K defaults to 2 — the
+// incremental-analytics loop holds the previous cut's CSR for diff-seeded
+// kernels while the current cut's CSR is live, and a one-deep cache would
+// thrash between them every round. get() itself is not thread-safe — build
 // once, then hand the returned view to parallel kernels. Works for any
 // snapshot-shaped view that exposes capture_seq()/layout_epoch() — a
 // Snapshot, or a ShardedSnapshot (whose key is shard 0's process-unique
 // capture sequence plus the shards' combined layout epochs).
 class SnapshotCsrCache {
  public:
-  // Returns the materialized view for `snap`, building it on a key miss.
-  template <typename View>
-  const SnapshotCsr& get(const View& snap) {
-    if (have_ && key_seq_ == snap.capture_seq() &&
-        key_epoch_ == snap.layout_epoch()) {
-      ++hits_;
-      return csr_;
-    }
-    ++misses_;
-    csr_ = SnapshotCsr::build(snap);
-    key_seq_ = snap.capture_seq();
-    key_epoch_ = snap.layout_epoch();
-    have_ = true;
-    return csr_;
+  explicit SnapshotCsrCache(std::size_t capacity = 2)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    // Reserve up front: get() hands out references into entries_, so the
+    // append on a cold miss must never reallocate the vector.
+    entries_.reserve(capacity_);
   }
 
-  void invalidate() { have_ = false; }
+  // Returns the materialized view for `snap`, building it on a key miss.
+  // The reference stays valid until `snap`'s entry is evicted — i.e. for at
+  // least the next capacity()-1 distinct-cut get() calls.
+  template <typename View>
+  const SnapshotCsr& get(const View& snap) {
+    const std::uint64_t seq = snap.capture_seq();
+    const std::uint64_t epoch = snap.layout_epoch();
+    for (Entry& e : entries_) {
+      if (e.seq == seq && e.epoch == epoch) {
+        ++hits_;
+        e.tick = ++tick_;
+        return e.csr;
+      }
+    }
+    ++misses_;
+    Entry* slot;
+    if (entries_.size() < capacity_) {
+      slot = &entries_.emplace_back();
+    } else {
+      slot = &*std::min_element(
+          entries_.begin(), entries_.end(),
+          [](const Entry& a, const Entry& b) { return a.tick < b.tick; });
+    }
+    slot->seq = seq;
+    slot->epoch = epoch;
+    slot->tick = ++tick_;
+    slot->csr = SnapshotCsr::build(snap);
+    return slot->csr;
+  }
+
+  void invalidate() { entries_.clear(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t resident() const { return entries_.size(); }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
 
  private:
-  bool have_ = false;
-  std::uint64_t key_seq_ = 0;
-  std::uint64_t key_epoch_ = 0;
-  SnapshotCsr csr_;
+  struct Entry {
+    std::uint64_t seq = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t tick = 0;  // LRU stamp (bumped on hit and fill)
+    SnapshotCsr csr;
+  };
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -1,0 +1,83 @@
+// Snapshot-to-snapshot structural diff (the substrate for incremental
+// analytics between epochs).
+//
+// Two snapshots of the same store are chronological prefixes of the same
+// slot stream: per-vertex slot sequences are append-only across structural
+// ops (rebalances splice runs chronologically, resizes copy them), so a
+// vertex's frozen degree is monotone non-decreasing between cuts and the
+// newer cut's slots [d_old, d_new) ARE exactly the events that happened in
+// between — an edge slot is an insert, a tombstone slot is a delete.
+//
+// Finding the changed vertices without an O(V) degree compare uses the
+// store's touch map (dgap_store.hpp): writers stamp the current capture
+// sequence into a 4096-entry block map (256 vertex ids per block) on every
+// absorbed edge, so blocks untouched since the older cut's sequence are
+// skipped wholesale. That makes the diff O(V / 256 + touched + |delta|):
+// proportional to the delta for the sparse trickle case this layer exists
+// for, and never worse than the full scan. Block granularity and the
+// process-global sequence only ever yield false positives (a candidate
+// block whose vertices turn out unchanged) — never a missed change.
+//
+// Fallback: if a whole-array resize retired the older cut's layout between
+// the two captures (layout_epoch differs), the pruned walk is abandoned for
+// a documented O(V) exact degree-compare scan over both frozen degree
+// caches — same output, `used_fallback` reports which path ran. Window
+// rebalances do NOT force the fallback (touch marks are keyed by vertex id,
+// not by slot position).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/types.hpp"
+
+namespace dgap::core {
+
+class Snapshot;
+class ShardedSnapshot;
+
+struct DeltaEdge {
+  NodeId src;
+  NodeId dst;
+};
+
+// The diff between an older and a newer cut of one store. `changed` is
+// sorted ascending and parallel to `changed_old_degree` (the vertex's slot
+// count at the OLDER cut — incremental kernels use 0 to detect a formerly
+// dangling vertex). Inserted/deleted edges are grouped by source in
+// `changed` order, chronological within a source.
+struct SnapshotDelta {
+  std::vector<NodeId> changed;
+  std::vector<std::uint32_t> changed_old_degree;
+  std::vector<DeltaEdge> inserted;
+  std::vector<DeltaEdge> deleted;
+  NodeId nodes_before = 0;
+  NodeId nodes_after = 0;
+  // True when a layout retirement forced the O(V) degree-compare scan.
+  bool used_fallback = false;
+  // Vertices whose degree was actually inspected (pruning effectiveness).
+  std::uint64_t scanned_vertices = 0;
+
+  [[nodiscard]] std::size_t delta_edges() const {
+    return inserted.size() + deleted.size();
+  }
+  [[nodiscard]] bool empty() const {
+    return changed.empty() && nodes_after == nodes_before;
+  }
+};
+
+// Diff `newer` against `older`. Both must be open cuts of the SAME store
+// with older.capture_seq() <= newer.capture_seq(); anything else throws
+// std::invalid_argument (a cross-store or reversed diff is meaningless, and
+// silently returning garbage would poison every kernel seeded from it).
+// Equal sequences return an empty delta without touching the store.
+[[nodiscard]] SnapshotDelta snapshot_delta(const Snapshot& older,
+                                           const Snapshot& newer);
+
+// Sharded composition: per-shard diffs remapped to global source ids
+// (destination payloads are already global). Shard counts must match.
+// `changed` stays globally sorted because shards own ascending id ranges.
+[[nodiscard]] SnapshotDelta snapshot_delta(const ShardedSnapshot& older,
+                                           const ShardedSnapshot& newer);
+
+}  // namespace dgap::core

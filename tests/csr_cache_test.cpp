@@ -1,9 +1,10 @@
 // SnapshotCsr / SnapshotCsrCache (src/core/snapshot.hpp): the materialized
 // CSR must be observably IDENTICAL to the snapshot it was built from
 // (same degrees incl. tombstone slots, same surviving neighbors in the
-// same order — kernels produce bit-identical results), and the one-entry
-// cache must hit for repeated kernels over the same cut while a new cut or
-// a new layout generation invalidates.
+// same order — kernels produce bit-identical results), and the K-deep
+// cache (default K=2) must hit for repeated kernels over the same cut,
+// keep alternating cuts resident, evict LRU beyond K, and rebuild on a
+// new cut or a new layout generation.
 #include <gtest/gtest.h>
 
 #include "src/algorithms/cc.hpp"
@@ -111,6 +112,50 @@ TEST(SnapshotCsrCache, RepeatKernelsHitNewCutMisses) {
   // The rebuilt entry serves the new cut.
   (void)cache.get(s2);
   EXPECT_EQ(cache.hits(), 3u);
+}
+
+// The incremental-analytics loop alternates between the previous cut's CSR
+// (diff-seeded kernels) and the current cut's: with the default depth of 2
+// both stay resident; a third distinct cut evicts the least recently used.
+TEST(SnapshotCsrCache, TwoDeepAlternationHitsThirdCutEvictsLru) {
+  auto pool = make_pool(32);
+  auto store = DgapStore::create(*pool, small_opts());
+  store->insert_edge(0, 1);
+  const Snapshot s1 = store->consistent_view();
+  store->insert_edge(0, 2);
+  const Snapshot s2 = store->consistent_view();
+  store->insert_edge(0, 3);
+  const Snapshot s3 = store->consistent_view();
+
+  SnapshotCsrCache cache;
+  EXPECT_EQ(cache.capacity(), 2u);
+  (void)cache.get(s1);
+  (void)cache.get(s2);
+  EXPECT_EQ(cache.misses(), 2u);
+  (void)cache.get(s1);  // prev/current alternation: all hits
+  (void)cache.get(s2);
+  (void)cache.get(s1);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.resident(), 2u);
+
+  (void)cache.get(s3);  // third cut evicts the LRU entry (s2)...
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.resident(), 2u);
+  (void)cache.get(s1);  // ...so s1 still hits...
+  EXPECT_EQ(cache.hits(), 4u);
+  (void)cache.get(s2);  // ...and s2 rebuilds.
+  EXPECT_EQ(cache.misses(), 4u);
+
+  // A deeper cache keeps all three cuts cycling hit-only.
+  SnapshotCsrCache deep(3);
+  (void)deep.get(s1);
+  (void)deep.get(s2);
+  (void)deep.get(s3);
+  (void)deep.get(s1);
+  (void)deep.get(s2);
+  (void)deep.get(s3);
+  EXPECT_EQ(deep.misses(), 3u);
+  EXPECT_EQ(deep.hits(), 3u);
 }
 
 TEST(SnapshotCsrCache, EpochKeyedInvalidationAcrossResize) {

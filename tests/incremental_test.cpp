@@ -1,0 +1,522 @@
+// Incremental analytics between snapshot epochs (snapshot_delta.hpp +
+// src/algorithms/incremental): the diff must reproduce the exact mutation
+// script applied between two cuts (inserts AND deletes, unsharded and
+// sharded), the delta-seeded kernels must track the from-scratch kernels
+// under randomized mutation rounds (CC labels exactly, PR within the
+// published tolerance bound), a layout retirement must flip to the O(V)
+// fallback with identical output, and the windowed structural gate must
+// keep out-of-window snapshot reads flowing mid-rebalance.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <algorithm>
+
+#include "src/algorithms/cc.hpp"
+#include "src/algorithms/incremental/cc_incr.hpp"
+#include "src/algorithms/incremental/delta_mirror.hpp"
+#include "src/algorithms/incremental/pagerank_incr.hpp"
+#include "src/algorithms/pagerank.hpp"
+#include "src/core/dgap_store.hpp"
+#include "src/core/sharded_store.hpp"
+#include "src/core/snapshot_delta.hpp"
+#include "src/graph/generators.hpp"
+
+namespace dgap::core {
+namespace {
+
+using pmem::PmemPool;
+
+std::unique_ptr<PmemPool> make_pool(std::uint64_t mb) {
+  return PmemPool::create({.path = "", .size = mb << 20});
+}
+
+DgapOptions small_opts() {
+  DgapOptions o;
+  o.init_vertices = 64;
+  o.init_edges = 4096;
+  return o;
+}
+
+// Chronological per-source record of every mutation applied through it.
+// Each op — insert or delete — appends exactly one slot to its source, so
+// the expected delta IS the script: per-source insert/delete dst lists in
+// application order, changed = sources with at least one op.
+template <typename Store>
+class ScriptedMutator {
+ public:
+  explicit ScriptedMutator(Store& s) : store_(s) {}
+
+  void insert(NodeId src, NodeId dst) {
+    store_.insert_edge(src, dst);
+    ins_[src].push_back(dst);
+    slots_[src]++;
+  }
+  void remove(NodeId src, NodeId dst) {
+    store_.delete_edge(src, dst);
+    del_[src].push_back(dst);
+    slots_[src]++;
+  }
+  // Forget the script so far (degrees keep accumulating): call at a cut so
+  // the next expect() covers only the ops after it.
+  void cut() {
+    degree_at_cut_ = slots_;
+    ins_.clear();
+    del_.clear();
+  }
+
+  void expect(const SnapshotDelta& d) const {
+    std::set<NodeId> changed;
+    for (const auto& [src, v] : ins_) changed.insert(src);
+    for (const auto& [src, v] : del_) changed.insert(src);
+    ASSERT_EQ(d.changed.size(), changed.size());
+    std::size_t i = 0;
+    std::map<NodeId, std::vector<NodeId>> got_ins, got_del;
+    std::size_t ii = 0, di = 0;
+    for (const NodeId src : changed) {
+      EXPECT_EQ(d.changed[i], src);  // sorted ascending
+      const auto it = degree_at_cut_.find(src);
+      EXPECT_EQ(d.changed_old_degree[i],
+                it == degree_at_cut_.end() ? 0u : it->second)
+          << "vertex " << src;
+      ++i;
+      // inserted/deleted are grouped by source in changed order.
+      while (ii < d.inserted.size() && d.inserted[ii].src == src)
+        got_ins[src].push_back(d.inserted[ii++].dst);
+      while (di < d.deleted.size() && d.deleted[di].src == src)
+        got_del[src].push_back(d.deleted[di++].dst);
+    }
+    EXPECT_EQ(ii, d.inserted.size());
+    EXPECT_EQ(di, d.deleted.size());
+    EXPECT_EQ(got_ins, ins_);
+    EXPECT_EQ(got_del, del_);
+  }
+
+ private:
+  Store& store_;
+  std::map<NodeId, std::uint32_t> slots_;          // lifetime slot counts
+  std::map<NodeId, std::uint32_t> degree_at_cut_;  // frozen at last cut()
+  std::map<NodeId, std::vector<NodeId>> ins_, del_;
+};
+
+TEST(SnapshotDelta, MatchesMutationScriptExactly) {
+  auto pool = make_pool(32);
+  auto store = DgapStore::create(*pool, small_opts());
+  ScriptedMutator<DgapStore> m(*store);
+  std::mt19937 rng(7);
+  for (int i = 0; i < 500; ++i)
+    m.insert(rng() % 64, rng() % 64);
+
+  const Snapshot older = store->consistent_view();
+  m.cut();
+
+  // Interleaved inserts and deletes, including a brand-new vertex range and
+  // a vertex mutated twice (chronological order within a source matters).
+  m.insert(3, 9);
+  m.remove(3, 9);
+  m.insert(3, 9);
+  m.remove(17, 17 % 64);  // may or may not exist; tombstone either way
+  for (int i = 0; i < 40; ++i) m.insert(64 + rng() % 8, rng() % 72);
+  m.insert(5, 71);
+
+  const Snapshot newer = store->consistent_view();
+  const SnapshotDelta d = snapshot_delta(older, newer);
+  EXPECT_FALSE(d.used_fallback);
+  EXPECT_EQ(d.nodes_before, older.num_nodes());
+  EXPECT_EQ(d.nodes_after, newer.num_nodes());
+  EXPECT_GT(d.nodes_after, d.nodes_before);  // the new range grew the table
+  m.expect(d);
+  // The pruned path must not have degraded to a full scan: only touched
+  // blocks (256 ids each) plus the new-vertex range are inspected.
+  EXPECT_LE(d.scanned_vertices, newer.num_nodes());
+}
+
+TEST(SnapshotDelta, EmptyDeltaFastPathScansNothing) {
+  auto pool = make_pool(32);
+  auto store = DgapStore::create(*pool, small_opts());
+  store->insert_edge(1, 2);
+  const Snapshot a = store->consistent_view();
+  const Snapshot b = store->consistent_view();
+
+  // Same snapshot twice: equal capture sequences short-circuit entirely.
+  const SnapshotDelta same = snapshot_delta(a, a);
+  EXPECT_TRUE(same.empty());
+  EXPECT_EQ(same.scanned_vertices, 0u);
+
+  // Two cuts with nothing in between: every touch mark predates the older
+  // cut, so the block pruning skips the whole table.
+  const SnapshotDelta quiet = snapshot_delta(a, b);
+  EXPECT_TRUE(quiet.empty());
+  EXPECT_EQ(quiet.delta_edges(), 0u);
+  EXPECT_EQ(quiet.scanned_vertices, 0u);
+}
+
+TEST(SnapshotDelta, RejectsCrossStoreAndReversedDiffs) {
+  auto pool = make_pool(32);
+  auto store = DgapStore::create(*pool, small_opts());
+  auto pool2 = make_pool(32);
+  auto store2 = DgapStore::create(*pool2, small_opts());
+  store->insert_edge(0, 1);
+  store2->insert_edge(0, 1);
+
+  const Snapshot a = store->consistent_view();
+  const Snapshot other = store2->consistent_view();
+  store->insert_edge(0, 2);
+  const Snapshot b = store->consistent_view();
+
+  EXPECT_THROW((void)snapshot_delta(a, other), std::invalid_argument);
+  EXPECT_THROW((void)snapshot_delta(b, a), std::invalid_argument);
+  EXPECT_NO_THROW((void)snapshot_delta(a, b));
+}
+
+TEST(SnapshotDelta, LayoutRetirementFallsBackWithIdenticalOutput) {
+  auto pool = make_pool(64);
+  auto store = DgapStore::create(*pool, small_opts());
+  ScriptedMutator<DgapStore> m(*store);
+  std::mt19937 rng(11);
+  for (int i = 0; i < 200; ++i) m.insert(rng() % 64, rng() % 64);
+
+  const Snapshot older = store->consistent_view();
+  m.cut();
+
+  // Flood until the array resizes: the older cut's layout is retired, so
+  // the pruned walk must yield to the O(V) degree-compare — and still
+  // report the exact script.
+  const std::uint64_t resizes_before = store->stats().resizes;
+  const auto flood = generate_uniform(256, 20000, 31);
+  for (const Edge& e : flood.edges()) m.insert(e.src, e.dst);
+  ASSERT_GT(store->stats().resizes, resizes_before);
+
+  const Snapshot newer = store->consistent_view();
+  ASSERT_GT(newer.layout_epoch(), older.layout_epoch());
+  const SnapshotDelta d = snapshot_delta(older, newer);
+  EXPECT_TRUE(d.used_fallback);
+  EXPECT_EQ(d.scanned_vertices, newer.num_nodes());  // documented full scan
+  m.expect(d);
+}
+
+TEST(SnapshotDelta, ShardedDiffRemapsToGlobalIds) {
+  ShardedStore::Options so;
+  so.shards = 3;
+  so.pool_bytes = 32ull << 20;
+  so.dgap.init_vertices = 192;
+  so.dgap.init_edges = 4096;
+  auto store = ShardedStore::create(so);
+  ScriptedMutator<ShardedStore> m(*store);
+  std::mt19937 rng(13);
+  for (int i = 0; i < 400; ++i) m.insert(rng() % 192, rng() % 192);
+
+  const ShardedSnapshot older = store->consistent_view();
+  m.cut();
+  // Touch every shard, with deletes in two of them.
+  m.insert(2, 150);
+  m.remove(2, 150);
+  for (int i = 0; i < 60; ++i) m.insert(rng() % 192, rng() % 192);
+  m.insert(180, 11);  // last shard: insert then delete the same edge
+  m.remove(180, 11);
+
+  const ShardedSnapshot newer = store->consistent_view();
+  const SnapshotDelta d = snapshot_delta(older, newer);
+  EXPECT_EQ(d.nodes_before, older.num_nodes());
+  EXPECT_EQ(d.nodes_after, newer.num_nodes());
+  m.expect(d);
+
+  // Reversed and shard-count-mismatched diffs are rejected.
+  EXPECT_THROW((void)snapshot_delta(newer, older), std::invalid_argument);
+}
+
+// The delta-maintained DRAM mirror (the structure the incremental kernels
+// sweep) must stay observably identical to each cut through the nasty
+// cancellation interleavings: same-round insert+delete of one edge, a
+// dangling tombstone followed by a later insert of the same destination
+// (which must SURVIVE — tombstones only cancel prior inserts), partial
+// deletion of parallel duplicate edges, and vertex growth. A stale mirror
+// fed a delta from the wrong base cut must detect the mismatch and rebuild.
+TEST(DeltaMirror, StaysIdenticalThroughInterleavedMutations) {
+  auto pool = make_pool(32);
+  auto store = DgapStore::create(*pool, small_opts());
+  store->insert_edge(0, 1);
+  store->insert_edge(0, 2);
+  store->insert_edge(0, 2);  // parallel duplicate
+  store->insert_edge(1, 0);
+  store->insert_edge(2, 3);
+
+  const auto expect_identical = [](const algorithms::DeltaMirror& m,
+                                   const Snapshot& cut) {
+    ASSERT_EQ(m.num_nodes(), cut.num_nodes());
+    for (NodeId v = 0; v < cut.num_nodes(); ++v) {
+      EXPECT_EQ(m.out_degree(v), cut.out_degree(v)) << "v " << v;
+      std::vector<NodeId> got;
+      m.for_each_out(v, [&](NodeId d) { got.push_back(d); });
+      std::vector<NodeId> want = cut.neighbors(v);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(got, want) << "v " << v;
+    }
+  };
+
+  Snapshot prev = store->consistent_view();
+  auto mirror = algorithms::DeltaMirror::build(prev);
+  expect_identical(mirror, prev);
+
+  // Round 1: dangling tombstone, same-round birth+death, duplicate trim,
+  // and a brand-new vertex beyond the seed node count.
+  store->delete_edge(5, 9);  // never inserted: cancels nothing, ever
+  store->insert_edge(3, 7);
+  store->delete_edge(3, 7);
+  store->delete_edge(0, 2);  // one of the two parallel (0,2) edges
+  store->insert_edge(70, 0);
+  Snapshot c1 = store->consistent_view();
+  mirror.apply(snapshot_delta(prev, c1), c1);
+  expect_identical(mirror, c1);
+  EXPECT_GT(mirror.rebuilt_vertices(), 0u);
+
+  // Round 2: insert (5,9) AFTER the dangling tombstone — the append path
+  // must keep it (the old tombstone pairs only with PRIOR inserts).
+  store->insert_edge(5, 9);
+  store->insert_edge(2, 70);
+  Snapshot c2 = store->consistent_view();
+  mirror.apply(snapshot_delta(c1, c2), c2);
+  expect_identical(mirror, c2);
+  EXPECT_EQ(mirror.full_rebuilds(), 0u);
+  std::vector<NodeId> five;
+  mirror.for_each_out(5, [&](NodeId d) { five.push_back(d); });
+  EXPECT_EQ(five, std::vector<NodeId>{9});
+  EXPECT_EQ(mirror.out_degree(5), 2);  // tombstone slot + live slot
+
+  // A mirror still sitting at `prev` fed the c1->c2 delta: wrong base (the
+  // delta's nodes_before is c1's grown node count), so it must take the
+  // full-rebuild path and still come out identical to c2.
+  auto stale = algorithms::DeltaMirror::build(prev);
+  stale.apply(snapshot_delta(c1, c2), c2);
+  EXPECT_EQ(stale.full_rebuilds(), 1u);
+  expect_identical(stale, c2);
+}
+
+// Randomized mutation rounds: the delta-seeded kernels must track the
+// from-scratch kernels on every cut — CC labels bit-exact (both converge to
+// min-id component labels), PR within the triangle-inequality bound
+// 2*tolerance/(1-damping) that the bench enforces per round.
+TEST(IncrementalKernels, TrackFullKernelsUnderRandomizedRounds) {
+  auto pool = make_pool(64);
+  DgapOptions opts = small_opts();
+  opts.init_vertices = 256;
+  opts.init_edges = 16384;
+  auto store = DgapStore::create(*pool, opts);
+
+  std::mt19937 rng(23);
+  std::vector<Edge> live;  // surviving edges, eligible for deletion
+  const auto seed_stream = symmetrize(generate_rmat(256, 3000, 5));
+  for (const Edge& e : seed_stream.edges()) {
+    store->insert_edge(e.src, e.dst);
+    live.push_back(e);
+  }
+
+  const algorithms::IncrementalPageRankParams ipr{};  // tol 1e-4, d 0.85
+  const algorithms::PageRankParams full_pr{.iterations = 200,
+                                           .damping = ipr.damping,
+                                           .tolerance = ipr.tolerance};
+  const double bound = 2.0 * ipr.tolerance / (1.0 - ipr.damping);
+
+  Snapshot prev = store->consistent_view();
+  std::vector<double> scores = algorithms::pagerank(prev, full_pr);
+  std::vector<NodeId> labels = algorithms::connected_components(prev);
+  // Kernels run over the delta-maintained DRAM mirror, exactly like the
+  // live bench driver; fidelity is re-checked against the raw cut below.
+  auto mirror = algorithms::DeltaMirror::build(prev);
+
+  NodeId next_vertex = prev.num_nodes();
+  for (int round = 0; round < 5; ++round) {
+    // ~120 inserts (some to brand-new vertices) + ~30 deletes of live edges.
+    for (int i = 0; i < 120; ++i) {
+      NodeId u, v;
+      if (i % 24 == 0) {
+        u = next_vertex++;
+        v = rng() % next_vertex;
+      } else {
+        u = rng() % next_vertex;
+        v = rng() % next_vertex;
+      }
+      store->insert_edge(u, v);
+      live.push_back({u, v});
+    }
+    for (int i = 0; i < 30 && !live.empty(); ++i) {
+      const std::size_t k = rng() % live.size();
+      store->delete_edge(live[k].src, live[k].dst);
+      live[k] = live.back();
+      live.pop_back();
+    }
+
+    Snapshot cut = store->consistent_view();
+    const SnapshotDelta delta = snapshot_delta(prev, cut);
+    EXPECT_FALSE(delta.empty());
+
+    mirror.apply(delta, cut);
+    EXPECT_EQ(mirror.full_rebuilds(), 0u) << "round " << round;
+    ASSERT_EQ(mirror.num_nodes(), cut.num_nodes()) << "round " << round;
+    for (NodeId v = 0; v < cut.num_nodes(); ++v) {
+      EXPECT_EQ(mirror.out_degree(v), cut.out_degree(v))
+          << "round " << round << " v " << v;
+      std::vector<NodeId> got;
+      mirror.for_each_out(v, [&](NodeId d) { got.push_back(d); });
+      std::vector<NodeId> want = cut.neighbors(v);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(got, want) << "round " << round << " v " << v;
+    }
+
+    auto ipr_res =
+        algorithms::incremental_pagerank(mirror, delta, scores, ipr);
+    const auto icc_res = algorithms::incremental_cc(mirror, delta, labels);
+    EXPECT_FALSE(ipr_res.full_fallback) << "round " << round;
+    EXPECT_FALSE(icc_res.full_fallback) << "round " << round;
+
+    // From-scratch baselines on the same cut.
+    const std::vector<double> full = algorithms::pagerank(cut, full_pr);
+    const std::vector<NodeId> full_cc = algorithms::connected_components(cut);
+
+    ASSERT_EQ(ipr_res.scores.size(), full.size());
+    double l1 = 0.0;
+    for (std::size_t i = 0; i < full.size(); ++i)
+      l1 += std::abs(ipr_res.scores[i] - full[i]);
+    EXPECT_LE(l1, bound) << "round " << round;
+    EXPECT_EQ(icc_res.labels, full_cc) << "round " << round;
+
+    // Deletes happened every round, so the scoped CC recomputation ran —
+    // and stayed scoped (strictly fewer relabels than a full pass).
+    EXPECT_GT(icc_res.recomputed_vertices, 0u);
+    EXPECT_LT(icc_res.recomputed_vertices, cut.num_nodes());
+
+    prev = std::move(cut);
+    scores = std::move(ipr_res.scores);
+    labels = icc_res.labels;
+  }
+}
+
+TEST(IncrementalKernels, SeedSizeMismatchFallsBackToSeededFull) {
+  auto pool = make_pool(32);
+  auto store = DgapStore::create(*pool, small_opts());
+  const auto stream = symmetrize(generate_rmat(128, 1500, 9));
+  for (const Edge& e : stream.edges()) store->insert_edge(e.src, e.dst);
+
+  const Snapshot a = store->consistent_view();
+  store->insert_edge(0, 1);
+  const Snapshot b = store->consistent_view();
+  const SnapshotDelta d = snapshot_delta(a, b);
+
+  const std::vector<double> wrong_seed(3, 1.0);  // wrong size on purpose
+  const algorithms::IncrementalPageRankParams ipr{};
+  const auto pr = algorithms::incremental_pagerank(b, d, wrong_seed, ipr);
+  EXPECT_TRUE(pr.full_fallback);
+  const std::vector<double> full = algorithms::pagerank(
+      b, {.iterations = 200, .tolerance = ipr.tolerance});
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < full.size(); ++i)
+    l1 += std::abs(pr.scores[i] - full[i]);
+  EXPECT_LE(l1, 2.0 * ipr.tolerance / (1.0 - ipr.damping));
+
+  const std::vector<NodeId> wrong_labels(3, 0);
+  const auto cc = algorithms::incremental_cc(b, d, wrong_labels);
+  EXPECT_TRUE(cc.full_fallback);
+  EXPECT_EQ(cc.labels, algorithms::connected_components(b));
+}
+
+TEST(IncrementalKernels, DeleteSplitsComponentScopedRecompute) {
+  auto pool = make_pool(32);
+  auto store = DgapStore::create(*pool, small_opts());
+  // Two chains joined by a single bridge: 0-1-2-3  bridge(3,4)  4-5-6-7,
+  // plus a far-away clique that must NOT be relabeled by the delete.
+  for (NodeId v = 0; v < 3; ++v) {
+    store->insert_edge(v, v + 1);
+    store->insert_edge(v + 1, v);
+  }
+  for (NodeId v = 4; v < 7; ++v) {
+    store->insert_edge(v, v + 1);
+    store->insert_edge(v + 1, v);
+  }
+  store->insert_edge(3, 4);
+  store->insert_edge(4, 3);
+  for (NodeId u = 40; u < 48; ++u)
+    for (NodeId v = 40; v < 48; ++v)
+      if (u != v) store->insert_edge(u, v);
+
+  const Snapshot a = store->consistent_view();
+  std::vector<NodeId> labels = algorithms::connected_components(a);
+  ASSERT_EQ(labels[7], labels[0]);  // bridged: one component
+
+  store->delete_edge(3, 4);
+  store->delete_edge(4, 3);
+  const Snapshot b = store->consistent_view();
+  const SnapshotDelta d = snapshot_delta(a, b);
+  ASSERT_EQ(d.deleted.size(), 2u);
+
+  const auto r = algorithms::incremental_cc(b, d, labels);
+  EXPECT_FALSE(r.full_fallback);
+  EXPECT_EQ(r.labels, algorithms::connected_components(b));
+  EXPECT_NE(r.labels[0], r.labels[7]);  // split detected
+  // The recompute stayed scoped to the old bridged component (8 vertices):
+  // the clique and the untouched id space were never visited.
+  EXPECT_LE(r.recomputed_vertices, 8u);
+}
+
+// Regression for the windowed structural gate: while a rebalance window is
+// announced, a snapshot read whose run lies OUTSIDE the window proceeds
+// immediately; a read INSIDE the window parks (bumping the retry counter)
+// until the window closes. Uses the store's debug hooks to hold a window
+// open deterministically.
+TEST(WindowedStructGate, OutOfWindowReadsFlowInWindowReadsPark) {
+  auto pool = make_pool(32);
+  auto store = DgapStore::create(*pool, small_opts());
+  const auto stream = generate_uniform(64, 2000, 3);
+  for (const Edge& e : stream.edges()) store->insert_edge(e.src, e.dst);
+  const Snapshot snap = store->consistent_view();
+
+  const auto read_all = [&] {
+    std::uint64_t sum = 0;
+    for (NodeId v = 0; v < snap.num_nodes(); ++v)
+      snap.for_each_out(v, [&](NodeId d) { sum += d; });
+    return sum;
+  };
+  const std::uint64_t expected = read_all();
+
+  // Empty window [0, 0): every vertex's run starts at-or-after the end, so
+  // readers are admitted while the gate is held.
+  store->debug_struct_gate_begin(0, 0);
+  std::atomic<bool> done{false};
+  std::thread out_reader([&] {
+    EXPECT_EQ(read_all(), expected);
+    done.store(true);
+  });
+  for (int i = 0; i < 2000 && !done.load(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(done.load()) << "out-of-window reader blocked by the gate";
+  store->debug_struct_gate_end();
+  out_reader.join();
+
+  // All-covering window: the same read must park until the gate drops, and
+  // each turned-away attempt is counted.
+  const std::uint64_t retries_before = store->stats().snapshot_read_retries;
+  store->debug_struct_gate_begin(0, ~std::uint64_t{0});
+  std::atomic<bool> in_done{false};
+  std::thread in_reader([&] {
+    EXPECT_EQ(read_all(), expected);
+    in_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(in_done.load()) << "in-window reader slipped past the gate";
+  store->debug_struct_gate_end();
+  in_reader.join();
+  EXPECT_TRUE(in_done.load());
+  EXPECT_GT(store->stats().snapshot_read_retries, retries_before);
+}
+
+}  // namespace
+}  // namespace dgap::core
