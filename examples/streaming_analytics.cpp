@@ -28,8 +28,16 @@
 //                                      [--producers 2] [--async-writers 2]
 //                                      [--autotune] [--ingest-profile ...]
 //                                      [--incremental]
+//                                      [--threads N] [--sched]
 //                                      [--metrics-out F [--metrics-interval-ms N]]
 //                                      [--trace-out F]
+//
+// --threads sizes the process TaskScheduler (absorbers, offloaded
+// structural work, and — with --sched — the analysis kernels all share its
+// workers); --sched routes the per-round PR/CC onto the scheduler instead
+// of OpenMP. Each round reports the scheduler's steal rate and queue depth
+// next to the ingest telemetry, and --metrics-out samples the sched_*
+// series alongside the store's.
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -54,6 +62,8 @@
 #include "src/core/dgap_store.hpp"
 #include "src/graph/generators.hpp"
 #include "src/ingest/async_ingestor.hpp"
+#include "src/sched/parallel.hpp"
+#include "src/sched/task_scheduler.hpp"
 
 using namespace dgap;
 
@@ -85,6 +95,20 @@ int main(int argc, char** argv) {
       static_cast<int>(require_positive(cli, "async-writers", 2));
   const bool autotune = cli.get_bool("autotune", false);
   const bool incremental = cli.get_bool("incremental", false);
+  // Scheduler sizing must precede the first TaskScheduler::global() touch
+  // (the ingestor's constructor), or configure() rejects the change.
+  if (cli.has("threads")) {
+    const auto threads = require_positive(cli, "threads", 0);
+    try {
+      sched::TaskScheduler::configure(
+          {.workers = static_cast<std::size_t>(threads)});
+    } catch (const std::exception& ex) {
+      std::cerr << "--threads: " << ex.what() << "\n";
+      return 2;
+    }
+    par::set_num_threads(static_cast<int>(threads));
+  }
+  if (cli.get_bool("sched", false)) par::set_kernel_mode(par::Mode::sched);
   std::size_t absorb_min = 0;  // fixed gather threshold; 0 = drain eagerly
   if (cli.has("absorb-min"))
     absorb_min = static_cast<std::size_t>(require_positive(cli, "absorb-min", 0));
@@ -181,6 +205,7 @@ int main(int argc, char** argv) {
   double prev_t = 0;
   std::uint64_t prev_absorbed = 0;
   obs::HistogramSnapshot prev_absorb_hist = ingestor->absorb_latency();
+  std::uint64_t prev_steals = sched::TaskScheduler::global().stats().steals;
   for (int round = 0; round < rounds; ++round) {
     // Wait until roughly the next chunk of traffic has been absorbed.
     const std::size_t target =
@@ -248,8 +273,9 @@ int main(int argc, char** argv) {
 
     const std::uint64_t absorbed_now = ingestor->stats().absorbed_edges;
     const double now = live_timer.seconds();
-    const double rate = static_cast<double>(absorbed_now - prev_absorbed) /
-                        std::max(now - prev_t, 1e-9);
+    const double interval = std::max(now - prev_t, 1e-9);
+    const double rate =
+        static_cast<double>(absorbed_now - prev_absorbed) / interval;
     const obs::HistogramSnapshot absorb_now = ingestor->absorb_latency();
     const double p99_us =
         (absorb_now - prev_absorb_hist).percentile(0.99) / 1e3;
@@ -268,6 +294,18 @@ int main(int argc, char** argv) {
     for (int k = 0; k < 3; ++k)
       std::cout << order[k] << ":" << std::fixed << std::setprecision(5)
                 << pr[order[k]] << (k < 2 ? ", " : "\n");
+
+    // Scheduler health for the same interval: absorbers, offloaded
+    // structural work and (with --sched) the kernels all share its workers,
+    // so a climbing queue depth here is the first sign analysis is starving
+    // ingest.
+    const sched::SchedStats ss = sched::TaskScheduler::global().stats();
+    const double steals_per_s =
+        static_cast<double>(ss.steals - prev_steals) / interval;
+    prev_steals = ss.steals;
+    std::cout << "       sched: workers=" << ss.workers << " steals/s="
+              << std::fixed << std::setprecision(0) << steals_per_s
+              << " queue-depth=" << ss.queue_depth << "\n";
 
     if (incremental) {
       // This round's results (incremental past round 0) seed the next one.

@@ -22,6 +22,14 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"
 ./build/fig6_insert_throughput --shards=2 --datasets=orkut --scale=0.02 \
   --batch=256 --system=dgap --pool-mb=256
 
+# Smoke-run the task scheduler end to end: a 2-worker pool sized via
+# --threads, absorbers running as scheduler tasks, and the analysis
+# kernels on the sched execution path (--sched) instead of OpenMP.
+./build/fig6_insert_throughput --threads=2 --sched --async-writers=2 \
+  --datasets=orkut --scale=0.02 --batch=256 --system=dgap --pool-mb=256
+./build/streaming_analytics --events 20000 --rounds 2 --producers 2 \
+  --async-writers 2 --threads 2 --sched
+
 # Smoke-run the adaptive ingest tuning path: ingest-heavy section geometry
 # plus arrival-rate absorb autotuning through the async sweep.
 ./build/fig6_insert_throughput --ingest-profile=ingest-heavy --autotune \
@@ -144,5 +152,10 @@ expect_reject ./build/fig6_insert_throughput --metrics-interval-ms=0
 expect_reject ./build/fig6_insert_throughput --metrics-interval-ms=nope
 expect_reject ./build/streaming_analytics --metrics-interval-ms=0
 expect_reject ./build/streaming_analytics --metrics-interval-ms=nope
+expect_reject ./build/fig6_insert_throughput --threads=0
+expect_reject ./build/fig6_insert_throughput --threads=nope
+expect_reject ./build/fig6_insert_throughput --threads=100000
+expect_reject ./build/streaming_analytics --threads=0
+expect_reject ./build/streaming_analytics --threads=nope
 
 echo "check.sh: all good"

@@ -5,6 +5,11 @@
 // the level sets; a backward sweep accumulates dependencies
 // delta(v) = sum_{w : succ} sigma(v)/sigma(w) * (1 + delta(w)).
 // Scores are normalized to [0,1] by the max, as GAPBS does.
+//
+// Parallelism goes through par:: (scheduler or OpenMP). delta accumulates
+// via par::atomic_add — the mode-neutral CAS form of the old
+// `#pragma omp atomic` — and the max-normalization reduces per block in
+// block order, so it is identical across modes and widths.
 #pragma once
 
 #include <atomic>
@@ -14,6 +19,7 @@
 #include "src/algorithms/graph_view.hpp"
 #include "src/common/bitmap.hpp"
 #include "src/common/sliding_queue.hpp"
+#include "src/sched/parallel.hpp"
 
 namespace dgap::algorithms {
 
@@ -29,12 +35,13 @@ std::vector<double> betweenness_centrality(
   std::vector<double> delta(static_cast<std::size_t>(n));
 
   for (const NodeId source : sources) {
-#pragma omp parallel for schedule(static)
-    for (NodeId v = 0; v < n; ++v) {
-      sigma[v].store(0, std::memory_order_relaxed);
-      depth[v] = -1;
-      delta[v] = 0.0;
-    }
+    par::for_blocks(n, 4096, [&](std::int64_t b, std::int64_t e) {
+      for (NodeId v = b; v < e; ++v) {
+        sigma[v].store(0, std::memory_order_relaxed);
+        depth[v] = -1;
+        delta[v] = 0.0;
+      }
+    });
     sigma[source].store(1, std::memory_order_relaxed);
     depth[source] = 0;
 
@@ -45,29 +52,37 @@ std::vector<double> betweenness_centrality(
     std::vector<std::size_t> level_ends;
     std::int32_t level = 0;
     while (!queue.empty()) {
-#pragma omp parallel
-      {
+      const auto qbegin = queue.begin();
+      const std::int64_t qsize = queue.end() - queue.begin();
+      par::BlockSource src(qsize, 64);
+      const int k = static_cast<int>(
+          std::min<std::int64_t>(par::max_threads(), src.num_blocks()));
+      par::team(k, [&](int, int) {
         QueueBuffer<NodeId> lqueue(queue);
-#pragma omp for schedule(dynamic, 64) nowait
-        for (auto it = queue.begin(); it < queue.end(); ++it) {
-          const NodeId u = *it;
-          const std::int64_t sigma_u =
-              sigma[u].load(std::memory_order_relaxed);
-          g.for_each_out(u, [&](NodeId v) {
-            std::int32_t expected = -1;
-            if (depth[v] == -1 &&
-                __atomic_compare_exchange_n(&depth[v], &expected,
-                                            level + 1, false,
-                                            __ATOMIC_ACQ_REL,
-                                            __ATOMIC_ACQUIRE)) {
-              lqueue.push_back(v);
-            }
-            if (depth[v] == level + 1)
-              sigma[v].fetch_add(sigma_u, std::memory_order_relaxed);
-          });
+        std::int64_t b = 0;
+        std::int64_t e = 0;
+        while (src.next(b, e)) {
+          for (std::int64_t i = b; i < e; ++i) {
+            const NodeId u = *(qbegin + i);
+            const std::int64_t sigma_u =
+                sigma[u].load(std::memory_order_relaxed);
+            g.for_each_out(u, [&](NodeId v) {
+              std::int32_t expected = -1;
+              if (depth[v] == -1 &&
+                  __atomic_compare_exchange_n(&depth[v], &expected,
+                                              level + 1, false,
+                                              __ATOMIC_ACQ_REL,
+                                              __ATOMIC_ACQUIRE)) {
+                lqueue.push_back(v);
+              }
+              if (depth[v] == level + 1)
+                sigma[v].fetch_add(sigma_u, std::memory_order_relaxed);
+            });
+          }
+          par::assist_point();
         }
         lqueue.flush();
-      }
+      });
       level_ends.push_back(queue.end() - queue.begin());
       queue.slide_window();
       ++level;
@@ -80,35 +95,45 @@ std::vector<double> betweenness_centrality(
       if (depth[v] >= 0) levels[depth[v]].push_back(v);
     for (std::int32_t l = level; l-- > 0;) {
       const auto& frontier = levels[l + 1];
-#pragma omp parallel for schedule(dynamic, 64)
-      for (std::size_t i = 0; i < frontier.size(); ++i) {
-        const NodeId w = frontier[i];
-        const double coeff =
-            (1.0 + delta[w]) /
-            static_cast<double>(sigma[w].load(std::memory_order_relaxed));
-        g.for_each_out(w, [&](NodeId v) {
-          if (depth[v] == l) {
-            const double add =
-                static_cast<double>(
-                    sigma[v].load(std::memory_order_relaxed)) *
-                coeff;
-#pragma omp atomic
-            delta[v] += add;
-          }
-        });
-      }
+      par::for_blocks(
+          static_cast<std::int64_t>(frontier.size()), 64,
+          [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) {
+              const NodeId w = frontier[static_cast<std::size_t>(i)];
+              const double coeff =
+                  (1.0 + delta[w]) /
+                  static_cast<double>(
+                      sigma[w].load(std::memory_order_relaxed));
+              g.for_each_out(w, [&](NodeId v) {
+                if (depth[v] == l) {
+                  const double add =
+                      static_cast<double>(
+                          sigma[v].load(std::memory_order_relaxed)) *
+                      coeff;
+                  par::atomic_add(delta[v], add);
+                }
+              });
+            }
+          });
     }
-#pragma omp parallel for schedule(static)
-    for (NodeId v = 0; v < n; ++v)
-      if (v != source) scores[v] += delta[v];
+    par::for_blocks(n, 4096, [&](std::int64_t b, std::int64_t e) {
+      for (NodeId v = b; v < e; ++v)
+        if (v != source) scores[v] += delta[v];
+    });
   }
 
-  double biggest = 0.0;
-#pragma omp parallel for reduction(max : biggest) schedule(static)
-  for (NodeId v = 0; v < n; ++v) biggest = std::max(biggest, scores[v]);
+  const double biggest = par::reduce_blocks(
+      n, 4096, 0.0,
+      [&](std::int64_t b, std::int64_t e) {
+        double part = 0.0;
+        for (NodeId v = b; v < e; ++v) part = std::max(part, scores[v]);
+        return part;
+      },
+      [](double a, double b) { return std::max(a, b); });
   if (biggest > 0.0) {
-#pragma omp parallel for schedule(static)
-    for (NodeId v = 0; v < n; ++v) scores[v] /= biggest;
+    par::for_blocks(n, 4096, [&](std::int64_t b, std::int64_t e) {
+      for (NodeId v = b; v < e; ++v) scores[v] /= biggest;
+    });
   }
   return scores;
 }

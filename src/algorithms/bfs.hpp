@@ -6,6 +6,11 @@
 // |E_remaining|, switch to bottom-up steps where every unvisited vertex
 // scans its (symmetric) neighbors for a parent, using bitmaps. Switch back
 // when the frontier shrinks below |V| / beta.
+//
+// Parallelism goes through par:: (scheduler or OpenMP). The integer
+// awake/scout reductions are exact in any combine order; the parent array
+// itself is CAS-races-win at >1 thread in both modes (the bit-identity
+// tests compare parents sequentially and depths at any width).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +19,7 @@
 #include "src/algorithms/graph_view.hpp"
 #include "src/common/bitmap.hpp"
 #include "src/common/sliding_queue.hpp"
+#include "src/sched/parallel.hpp"
 
 namespace dgap::algorithms {
 
@@ -27,54 +33,67 @@ namespace detail {
 template <GraphView G>
 std::int64_t bu_step(const G& g, std::vector<NodeId>& parent,
                      const Bitmap& front, Bitmap& next) {
-  std::int64_t awake = 0;
   const NodeId n = g.num_nodes();
-#pragma omp parallel for reduction(+ : awake) schedule(dynamic, 1024)
-  for (NodeId v = 0; v < n; ++v) {
-    if (parent[v] >= 0) continue;
-    bool found = false;
-    // Early-exit scan: stop at the first frontier neighbor (GAPBS BUStep).
-    g.for_each_out(v, [&](NodeId u) -> bool {
-      if (front.get_bit(static_cast<std::size_t>(u))) {
-        parent[v] = u;
-        found = true;
-        return true;
-      }
-      return false;
-    });
-    if (found) {
-      next.set_bit(static_cast<std::size_t>(v));
-      ++awake;
-    }
-  }
-  return awake;
+  return par::reduce_blocks(
+      n, 1024, std::int64_t{0},
+      [&](std::int64_t blk_b, std::int64_t blk_e) {
+        std::int64_t awake = 0;
+        for (NodeId v = blk_b; v < blk_e; ++v) {
+          if (parent[v] >= 0) continue;
+          bool found = false;
+          // Early-exit scan: stop at the first frontier neighbor (GAPBS
+          // BUStep).
+          g.for_each_out(v, [&](NodeId u) -> bool {
+            if (front.get_bit(static_cast<std::size_t>(u))) {
+              parent[v] = u;
+              found = true;
+              return true;
+            }
+            return false;
+          });
+          if (found) {
+            next.set_bit(static_cast<std::size_t>(v));
+            ++awake;
+          }
+        }
+        return awake;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
 }
 
 template <GraphView G>
 std::int64_t td_step(const G& g, std::vector<NodeId>& parent,
                      SlidingQueue<NodeId>& queue) {
-  std::int64_t scout = 0;
-#pragma omp parallel reduction(+ : scout)
-  {
-    QueueBuffer<NodeId> lqueue(queue);
-#pragma omp for schedule(dynamic, 64) nowait
-    for (auto it = queue.begin(); it < queue.end(); ++it) {
-      const NodeId u = *it;
-      g.for_each_out(u, [&](NodeId v) {
-        NodeId cur = parent[v];
-        if (cur < 0) {
-          if (__atomic_compare_exchange_n(&parent[v], &cur, u, false,
-                                          __ATOMIC_ACQ_REL,
-                                          __ATOMIC_ACQUIRE)) {
-            lqueue.push_back(v);
-            scout += -cur;  // degree was encoded as -(deg+1)
+  const auto qbegin = queue.begin();
+  const std::int64_t qsize = queue.end() - queue.begin();
+  return par::team_reduce(
+      qsize, 64, std::int64_t{0},
+      [&](int, par::BlockSource& src) {
+        std::int64_t scout = 0;
+        QueueBuffer<NodeId> lqueue(queue);
+        std::int64_t b = 0;
+        std::int64_t e = 0;
+        while (src.next(b, e)) {
+          for (std::int64_t i = b; i < e; ++i) {
+            const NodeId u = *(qbegin + i);
+            g.for_each_out(u, [&](NodeId v) {
+              NodeId cur = parent[v];
+              if (cur < 0) {
+                if (__atomic_compare_exchange_n(&parent[v], &cur, u, false,
+                                                __ATOMIC_ACQ_REL,
+                                                __ATOMIC_ACQUIRE)) {
+                  lqueue.push_back(v);
+                  scout += -cur;  // degree was encoded as -(deg+1)
+                }
+              }
+            });
           }
+          par::assist_point();
         }
-      });
-    }
-    lqueue.flush();
-  }
-  return scout;
+        lqueue.flush();
+        return scout;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
 }
 
 inline void queue_to_bitmap(const SlidingQueue<NodeId>& queue, Bitmap& bm) {
@@ -86,14 +105,19 @@ template <GraphView G>
 void bitmap_to_queue(const G& g, const Bitmap& bm,
                      SlidingQueue<NodeId>& queue) {
   const NodeId n = g.num_nodes();
-#pragma omp parallel
-  {
+  par::BlockSource src(n, 4096);
+  const int k = static_cast<int>(
+      std::min<std::int64_t>(par::max_threads(), src.num_blocks()));
+  par::team(k, [&](int, int) {
     QueueBuffer<NodeId> lqueue(queue);
-#pragma omp for schedule(static) nowait
-    for (NodeId v = 0; v < n; ++v)
-      if (bm.get_bit(static_cast<std::size_t>(v))) lqueue.push_back(v);
+    std::int64_t b = 0;
+    std::int64_t e = 0;
+    while (src.next(b, e)) {
+      for (NodeId v = b; v < e; ++v)
+        if (bm.get_bit(static_cast<std::size_t>(v))) lqueue.push_back(v);
+    }
     lqueue.flush();
-  }
+  });
   queue.slide_window();
 }
 
@@ -107,9 +131,9 @@ std::vector<NodeId> bfs(const G& g, NodeId source,
                         const BfsParams& params = {}) {
   const NodeId n = g.num_nodes();
   std::vector<NodeId> parent(static_cast<std::size_t>(n));
-#pragma omp parallel for schedule(static)
-  for (NodeId v = 0; v < n; ++v)
-    parent[v] = -(g.out_degree(v) + 1);
+  par::for_blocks(n, 4096, [&](std::int64_t b, std::int64_t e) {
+    for (NodeId v = b; v < e; ++v) parent[v] = -(g.out_degree(v) + 1);
+  });
 
   if (n == 0) return parent;
   std::uint64_t edges_to_check = total_directed_edges(g);
@@ -145,9 +169,10 @@ std::vector<NodeId> bfs(const G& g, NodeId source,
       queue.slide_window();
     }
   }
-#pragma omp parallel for schedule(static)
-  for (NodeId v = 0; v < n; ++v)
-    if (parent[v] < 0) parent[v] = -1;
+  par::for_blocks(n, 4096, [&](std::int64_t b, std::int64_t e) {
+    for (NodeId v = b; v < e; ++v)
+      if (parent[v] < 0) parent[v] = -1;
+  });
   return parent;
 }
 

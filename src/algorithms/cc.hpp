@@ -4,13 +4,17 @@
 // Repeatedly: (hook) for every edge (u,v), link the larger component id to
 // the smaller; (compress) pointer-jump every vertex's label to its root.
 // Terminates when a full pass changes nothing. Works on directed edge
-// iteration over a symmetric graph.
+// iteration over a symmetric graph. Racy hook winners only delay
+// convergence — the fixpoint (every label = the component's minimum id)
+// is schedule-independent, so the final labels are identical across
+// par:: execution modes and thread counts.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "src/algorithms/graph_view.hpp"
+#include "src/sched/parallel.hpp"
 
 namespace dgap::algorithms {
 
@@ -18,32 +22,40 @@ template <GraphView G>
 std::vector<NodeId> connected_components(const G& g) {
   const NodeId n = g.num_nodes();
   std::vector<NodeId> comp(static_cast<std::size_t>(n));
-#pragma omp parallel for schedule(static)
-  for (NodeId v = 0; v < n; ++v) comp[v] = v;
+  par::for_blocks(n, 4096, [&](std::int64_t b, std::int64_t e) {
+    for (NodeId v = b; v < e; ++v) comp[v] = v;
+  });
 
   bool change = true;
   while (change) {
-    change = false;
-#pragma omp parallel for schedule(dynamic, 1024) reduction(|| : change)
-    for (NodeId u = 0; u < n; ++u) {
-      g.for_each_out(u, [&](NodeId v) {
-        const NodeId comp_u = comp[u];
-        const NodeId comp_v = comp[v];
-        if (comp_u == comp_v) return;
-        // Hook the higher id onto the lower (benign racy min-update: wrong
-        // winners only delay convergence, never break correctness).
-        const NodeId high = comp_u > comp_v ? comp_u : comp_v;
-        const NodeId low = comp_u + comp_v - high;
-        if (comp[high] == high) {
-          change = true;
-          comp[high] = low;
-        }
-      });
-    }
-#pragma omp parallel for schedule(static)
-    for (NodeId v = 0; v < n; ++v) {
-      while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
-    }
+    change = par::reduce_blocks(
+        n, 1024, false,
+        [&](std::int64_t blk_b, std::int64_t blk_e) {
+          bool part = false;
+          for (NodeId u = blk_b; u < blk_e; ++u) {
+            g.for_each_out(u, [&](NodeId v) {
+              const NodeId comp_u = comp[u];
+              const NodeId comp_v = comp[v];
+              if (comp_u == comp_v) return;
+              // Hook the higher id onto the lower (benign racy min-update:
+              // wrong winners only delay convergence, never break
+              // correctness).
+              const NodeId high = comp_u > comp_v ? comp_u : comp_v;
+              const NodeId low = comp_u + comp_v - high;
+              if (comp[high] == high) {
+                part = true;
+                comp[high] = low;
+              }
+            });
+          }
+          return part;
+        },
+        [](bool a, bool b) { return a || b; });
+    par::for_blocks(n, 4096, [&](std::int64_t b, std::int64_t e) {
+      for (NodeId v = b; v < e; ++v) {
+        while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
+      }
+    });
   }
   return comp;
 }

@@ -4,12 +4,18 @@
 // score_new(v) = (1-d)/N + d * sum_{u in N(v)} contrib(u),
 // contrib(u) = score(u) / deg(u). Graphs are symmetric so pulling over
 // out-neighbors equals pulling over in-neighbors.
+//
+// Parallelism goes through par:: (scheduler or OpenMP — src/sched/
+// parallel.hpp). Both reductions use reduce_blocks, whose per-block
+// partials combine in block order: the floating-point results are
+// bit-identical across execution modes and thread counts.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "src/algorithms/graph_view.hpp"
+#include "src/sched/parallel.hpp"
 
 namespace dgap::algorithms {
 
@@ -32,30 +38,42 @@ std::vector<double> pagerank(const G& g, const PageRankParams& params = {}) {
   const double base = (1.0 - params.damping) / static_cast<double>(n);
   std::vector<double> score(static_cast<std::size_t>(n), init);
   std::vector<double> contrib(static_cast<std::size_t>(n), 0.0);
+  const auto plus = [](double a, double b) { return a + b; };
 
   for (int iter = 0; iter < params.iterations; ++iter) {
     // Dangling mass (deg == 0) is redistributed uniformly, as in GAPBS's
     // handling of sink vertices.
-    double dangling = 0.0;
-#pragma omp parallel for reduction(+ : dangling) schedule(static)
-    for (NodeId v = 0; v < n; ++v) {
-      const std::int64_t deg = g.out_degree(v);
-      if (deg > 0)
-        contrib[v] = score[v] / static_cast<double>(deg);
-      else
-        dangling += score[v];
-    }
+    const double dangling = par::reduce_blocks(
+        n, 2048, 0.0,
+        [&](std::int64_t b, std::int64_t e) {
+          double part = 0.0;
+          for (NodeId v = b; v < e; ++v) {
+            const std::int64_t deg = g.out_degree(v);
+            if (deg > 0)
+              contrib[v] = score[v] / static_cast<double>(deg);
+            else
+              part += score[v];
+          }
+          return part;
+        },
+        plus);
     const double dangling_share =
         params.damping * dangling / static_cast<double>(n);
-    double change = 0.0;
-#pragma omp parallel for schedule(dynamic, 256) reduction(+ : change)
-    for (NodeId v = 0; v < n; ++v) {
-      double incoming = 0.0;
-      g.for_each_out(v, [&](NodeId u) { incoming += contrib[u]; });
-      const double next = base + dangling_share + params.damping * incoming;
-      change += next > score[v] ? next - score[v] : score[v] - next;
-      score[v] = next;
-    }
+    const double change = par::reduce_blocks(
+        n, 256, 0.0,
+        [&](std::int64_t b, std::int64_t e) {
+          double part = 0.0;
+          for (NodeId v = b; v < e; ++v) {
+            double incoming = 0.0;
+            g.for_each_out(v, [&](NodeId u) { incoming += contrib[u]; });
+            const double next =
+                base + dangling_share + params.damping * incoming;
+            part += next > score[v] ? next - score[v] : score[v] - next;
+            score[v] = next;
+          }
+          return part;
+        },
+        plus);
     if (params.tolerance > 0 && change < params.tolerance) break;
   }
   return score;

@@ -1,7 +1,5 @@
 #include "src/bench_common/harness.hpp"
 
-#include <omp.h>
-
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -105,6 +103,18 @@ BenchConfig parse_common(const Cli& cli, double default_scale,
         parse_positive_int_capped(cli.get("metrics-interval-ms", ""),
                                   "--metrics-interval-ms", 3600000));
   cfg.trace_out = cli.get("trace-out", "");
+  if (cli.has("threads")) {
+    cfg.threads = static_cast<int>(parse_positive_int_capped(
+        cli.get("threads", ""), "--threads",
+        static_cast<std::int64_t>(sched::TaskScheduler::kMaxWorkers)));
+    // Fix the scheduler pool size before anything spins up the global
+    // instance (throws if something already did — flags must come first).
+    sched::TaskScheduler::configure(
+        {.workers = static_cast<std::size_t>(cfg.threads)});
+    par::set_num_threads(cfg.threads);
+  }
+  cfg.sched_kernels = cli.get_bool("sched", false);
+  if (cfg.sched_kernels) par::set_kernel_mode(par::Mode::sched);
   return cfg;
 }
 
@@ -481,16 +491,16 @@ bool print_live_incremental_section(
   TablePrinter table({"Graph", "rounds", "delta/rnd", "active/rnd",
                       "full(s)", "incr(s)", "speedup", "fallback rnds",
                       "identical"});
-  const int saved_threads = omp_get_max_threads();
-  omp_set_num_threads(1);
   bool all_ok = true;
-  for (const auto& name : cfg.datasets) {
-    all_ok =
-        run_live_incremental(cfg, name, stream_for(name), table, os) &&
-        all_ok;
-    if (!all_ok) break;
+  {
+    const par::ScopedKernelThreads one_thread(1);
+    for (const auto& name : cfg.datasets) {
+      all_ok =
+          run_live_incremental(cfg, name, stream_for(name), table, os) &&
+          all_ok;
+      if (!all_ok) break;
+    }
   }
-  omp_set_num_threads(saved_threads);
   table.print(os);
   if (all_ok)
     os << "# incremental: every round's CC labels matched the full "
@@ -589,6 +599,8 @@ void print_banner(const std::string& title, const BenchConfig& cfg) {
             << "# scale=" << cfg.scale << " latency_model="
             << (cfg.latency ? "on" : "off")
             << " hw_threads=" << std::thread::hardware_concurrency();
+  if (cfg.threads != 0) std::cout << " threads=" << cfg.threads;
+  if (cfg.sched_kernels) std::cout << " kernels=sched";
   if (cfg.tuning.profile == core::IngestProfile::ingest_heavy)
     std::cout << " ingest-profile=ingest-heavy";
   if (cfg.tuning.section_slots != 0)
@@ -615,16 +627,14 @@ void print_banner(const std::string& title, const BenchConfig& cfg) {
 
 namespace {
 
-// Run `fn` with a given OpenMP thread count, restoring the previous count.
+// Run `fn` with a given kernel thread count, restoring the previous count
+// (par:: routes it to OpenMP or the scheduler per the active kernel mode).
 template <typename Fn>
 double timed_with_threads(int threads, Fn&& fn) {
-  const int saved = omp_get_max_threads();
-  omp_set_num_threads(threads);
+  const par::ScopedKernelThreads scoped(threads);
   Timer t;
   fn();
-  const double s = t.seconds();
-  omp_set_num_threads(saved);
-  return s;
+  return t.seconds();
 }
 
 // Kernel timing over any GraphView — shared by every store model below.

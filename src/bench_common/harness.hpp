@@ -13,8 +13,6 @@
 #include <thread>
 #include <vector>
 
-#include <omp.h>
-
 #include "src/algorithms/graph_view.hpp"
 #include "src/baselines/pmem_csr.hpp"
 #include "src/common/cli.hpp"
@@ -27,6 +25,7 @@
 #include "src/ingest/async_ingestor.hpp"
 #include "src/obs/sampler.hpp"
 #include "src/pmem/pool.hpp"
+#include "src/sched/parallel.hpp"
 
 namespace dgap::bench {
 
@@ -94,14 +93,22 @@ struct BenchConfig {
   std::string metrics_out;
   std::uint64_t metrics_interval_ms = 500;
   std::string trace_out;
+  // --threads=N: TaskScheduler worker count AND the default kernel width
+  // (par::set_num_threads); 0 = leave both at their runtime defaults.
+  // --sched: run the analysis kernels on the scheduler execution path
+  // instead of OpenMP (bit-identical results; see src/sched/parallel.hpp).
+  // Both are applied eagerly by parse_common — the scheduler worker count
+  // must be fixed before anything instantiates the global instance.
+  int threads = 0;
+  bool sched_kernels = false;
 };
 
 // Parse --scale, --datasets=a,b,c, --latency, --pool-mb, --system,
 // --batch=a,b,c, --async-writers=a,b,c, --shards=a,b,c,
 // --ingest-profile=balanced|ingest-heavy, --section-slots=N (power of
 // two), --autotune, --absorb-min=N, --csr-cache, --live-ingest,
-// --live-producers=N. Throws std::invalid_argument on non-positive /
-// non-numeric / unknown values.
+// --live-producers=N, --threads=N, --sched. Throws std::invalid_argument
+// on non-positive / non-numeric / unknown values.
 BenchConfig parse_common(const Cli& cli, double default_scale,
                          std::vector<std::string> default_datasets);
 
@@ -395,8 +402,7 @@ bool print_csr_cache_section(
   TablePrinter table({"Graph", "build(s)", a + ".snap", a + ".csr",
                       b + ".snap", b + ".csr", "2nd-kernel speedup",
                       "identical"});
-  const int saved_threads = omp_get_max_threads();
-  omp_set_num_threads(1);
+  const par::ScopedKernelThreads one_thread(1);
   bool all_identical = true;
   for (const auto& name : cfg.datasets) {
     const LoadedDgap loaded =
@@ -423,7 +429,6 @@ bool print_csr_cache_section(
                    identical ? "yes" : "NO (BUG)"});
     if (!identical) break;
   }
-  omp_set_num_threads(saved_threads);
   table.print(os);
   if (all_identical)
     os << "# csr-cache: per dataset 1 build (miss) + 3 hits; all kernel "
@@ -451,8 +456,7 @@ bool print_dram_cache_section(
      << " pm-read-ns=" << cfg.pm_read_ns << ", 1 thread) ---\n";
   TablePrinter table({"Graph", "csr(s)", "pm(s)", "cached(s)", "speedup",
                       "hit%", "gap closed", "identical"});
-  const int saved_threads = omp_get_max_threads();
-  omp_set_num_threads(1);
+  const par::ScopedKernelThreads one_thread(1);
   bool all_identical = true;
   tier::CacheStats totals;
   for (const auto& name : cfg.datasets) {
@@ -506,7 +510,6 @@ bool print_dram_cache_section(
          identical ? "yes" : "NO (BUG)"});
     if (!identical) break;
   }
-  omp_set_num_threads(saved_threads);
   table.print(os);
   os << "# dram-cache counters: populates=" << totals.populates
      << " evictions=" << totals.evictions
@@ -521,8 +524,8 @@ bool print_dram_cache_section(
 // --- type-erased store ------------------------------------------------------
 
 // Uniform handle over every system. Kernel timers run the shared GAPBS-style
-// implementations on the store's analysis view with `omp_set_num_threads`
-// applied, and return seconds.
+// implementations on the store's analysis view with the requested kernel
+// thread count applied (par::ScopedKernelThreads), and return seconds.
 class IStore {
  public:
   virtual ~IStore() = default;

@@ -48,9 +48,23 @@ std::uint64_t fast_now_ns() { return now_ns(); }
 
 void spin_wait_ns(std::uint64_t ns) {
   if (ns == 0) return;
-  const auto iters = static_cast<std::uint64_t>(
-      static_cast<double>(ns) * g_pauses_per_ns);
-  for (std::uint64_t i = 0; i < iters; ++i) cpu_pause();
+  // Short waits (the PM latency model's ~100 ns injections) stay pure
+  // pause-count: a clock read would dwarf the delay being injected.
+  if (ns < 16'384) {
+    const auto iters = static_cast<std::uint64_t>(
+        static_cast<double>(ns) * g_pauses_per_ns);
+    for (std::uint64_t i = 0; i < iters; ++i) cpu_pause();
+    return;
+  }
+  // Long waits (producer pacing, tests) check a deadline sparsely instead:
+  // the startup calibration can undershoot badly when the host was
+  // oversubscribed during process init, and here a clock read per ~2k
+  // pauses is noise.
+  const std::uint64_t deadline = now_ns() + ns;
+  for (;;) {
+    for (int i = 0; i < 2048; ++i) cpu_pause();
+    if (now_ns() >= deadline) return;
+  }
 }
 
 }  // namespace dgap

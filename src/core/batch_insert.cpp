@@ -296,11 +296,39 @@ void DgapStore::update_batch_internal(std::span<const Edge> all,
 
       // Coalesced rebalance triggers: at most one per touched section, and
       // trigger_rebalance itself no-ops for sections a previous trigger's
-      // window already drained.
+      // window already drained. With offload_rebalance the trigger runs as
+      // a high-priority scheduler task so the inserting thread returns to
+      // staging instead of draining elogs; the in-flight cap keeps a merge
+      // storm from swamping the scheduler (past it, triggers run inline as
+      // before). Correctness is identical either way: trigger_rebalance
+      // re-validates density under its own locks, so a stale hint no-ops.
       std::sort(merge_secs.begin(), merge_secs.end());
       merge_secs.erase(std::unique(merge_secs.begin(), merge_secs.end()),
                        merge_secs.end());
-      for (const std::uint64_t sec : merge_secs) trigger_rebalance(sec);
+      constexpr std::uint32_t kMaxOffloadedRebalances = 8;
+      for (const std::uint64_t sec : merge_secs) {
+        if (opts_.offload_rebalance &&
+            offloaded_rebalances_.load(std::memory_order_relaxed) <
+                kMaxOffloadedRebalances) {
+          offloaded_rebalances_.fetch_add(1, std::memory_order_relaxed);
+          rebalance_wg_.add(1);
+          sched::TaskScheduler::global().submit(
+              [this, sec] {
+                try {
+                  trigger_rebalance(sec);
+                } catch (...) {
+                  // A failed offloaded merge leaves the section dense; the
+                  // next insert into it re-triggers inline and surfaces the
+                  // error to its caller.
+                }
+                offloaded_rebalances_.fetch_sub(1, std::memory_order_relaxed);
+                rebalance_wg_.done();
+              },
+              sched::Priority::high);
+        } else {
+          trigger_rebalance(sec);
+        }
+      }
 
       work.swap(deferred);
     }

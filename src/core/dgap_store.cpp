@@ -29,6 +29,9 @@ DgapStore::DgapStore(pmem::PmemPool& pool, const DgapOptions& opts)
 }
 
 DgapStore::~DgapStore() {
+  // Wait out offloaded rebalance tasks first (idempotent after shutdown());
+  // they hold `this` and must not outlive it.
+  rebalance_wg_.wait();
   // Close the snapshot control block first: any snapshot op from here on
   // fails fast (std::logic_error) instead of touching freed memory, and
   // Snapshot::release() becomes a no-op on the store side.
@@ -88,9 +91,11 @@ void DgapStore::adopt_layout(const DgapLayout& l) {
   // natural epoch invalidation — stale section ids can never be re-read.
   if (const std::uint64_t cache_bytes = resolve_cache_bytes(opts_);
       cache_bytes != 0) {
-    if (!cache_)
+    if (!cache_) {
       cache_ = std::make_unique<tier::SectionCache>(cache_bytes,
                                                     opts_.eviction);
+      cache_->set_background_evict(opts_.offload_tier_evict);
+    }
     cache_->configure(num_segments_, seg_slots_);
   }
 
@@ -380,7 +385,12 @@ void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
   for (;;) {
     global_mu_.lock_shared();
     // Optimistic read; every value is re-validated under the section locks.
-    const VertexEntry e = entries_[src];
+    // Field-wise atomic loads, not a struct copy: the copy deliberately
+    // races same-vertex writers publishing under their section locks.
+    VertexEntry e;
+    e.start = relaxed_u64(entries_[src].start);
+    e.arr_count = relaxed_u32(entries_[src].arr_count);
+    e.el_count = relaxed_u32(entries_[src].el_count);
     const std::uint64_t ss = seg_slots_;
     const std::uint64_t cap = capacity_;
     if (e.start >= cap || ss == 0) {  // torn mid-resize: retry
@@ -425,7 +435,7 @@ void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
                               encode_edge(dst, tombstone));
       publish_u32(entries_[src].arr_count, e.arr_count + 1);
       touch_mark(src);
-      if (tombstone) entries_[src].has_tombstone = 1;
+      if (tombstone) store_u8_relaxed(entries_[src].has_tombstone, 1);
       tree_->add(pos / ss, +1);
       if (!opts_.metadata_in_dram) {
         mirror_vertex(src);
@@ -447,10 +457,10 @@ void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
         pool_.persist(entry, sizeof(ElogEntry));
         sm.elog_raw += 1;
         sm.elog_live += 1;
-        entries_[src].el_count += 1;
+        store_u32_relaxed(entries_[src].el_count, live.el_count + 1);
         publish_u32(entries_[src].el_head_p1, idx + 1);
         touch_mark(src);
-        if (tombstone) entries_[src].has_tombstone = 1;
+        if (tombstone) store_u8_relaxed(entries_[src].has_tombstone, 1);
         tree_->add(home, +1);
         if (!opts_.metadata_in_dram) {
           mirror_vertex(src);
@@ -475,7 +485,7 @@ void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
           nearby_shift_insert(src, encode_edge(dst, tombstone), pos, gap);
           publish_u32(entries_[src].arr_count, e.arr_count + 1);
           touch_mark(src);
-          if (tombstone) entries_[src].has_tombstone = 1;
+          if (tombstone) store_u8_relaxed(entries_[src].has_tombstone, 1);
           tree_->add(pos / ss, +1);
           if (!opts_.metadata_in_dram) {
             mirror_vertex(src);
@@ -851,6 +861,9 @@ DgapStore::ShardIdentity DgapStore::shard_identity() const {
 }
 
 void DgapStore::shutdown() {
+  // Quiesce offloaded rebalances BEFORE taking the store locks: a task
+  // blocked on global_mu_ while we hold it could never retire.
+  rebalance_wg_.wait();
   global_mu_.lock();
   const std::uint64_t n = num_segments_;
   lock_sections_upto(n);

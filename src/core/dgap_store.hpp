@@ -42,6 +42,7 @@
 #include "src/obs/metrics_registry.hpp"
 #include "src/pma/segment_tree.hpp"
 #include "src/pmem/latency_model.hpp"
+#include "src/sched/task_scheduler.hpp"
 #include "src/pmem/pool.hpp"
 #include "src/pmem/tx.hpp"
 #include "src/tier/dram_cache.hpp"
@@ -235,6 +236,26 @@ class DgapStore {
   static std::uint32_t acquire_u32(const std::uint32_t& field) {
     return std::atomic_ref<std::uint32_t>(const_cast<std::uint32_t&>(field))
         .load(std::memory_order_acquire);
+  }
+
+  // Relaxed counterparts for the optimistic pre-validation read in
+  // insert_internal and the lock-held stores it races with. The race is by
+  // design — every optimistically read value is re-validated under the
+  // section locks — and routing both sides through atomic_ref keeps it
+  // defined behavior (plain moves on every target we build for).
+  static std::uint64_t relaxed_u64(const std::uint64_t& field) {
+    return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(field))
+        .load(std::memory_order_relaxed);
+  }
+  static std::uint32_t relaxed_u32(const std::uint32_t& field) {
+    return std::atomic_ref<std::uint32_t>(const_cast<std::uint32_t&>(field))
+        .load(std::memory_order_relaxed);
+  }
+  static void store_u32_relaxed(std::uint32_t& field, std::uint32_t v) {
+    std::atomic_ref<std::uint32_t>(field).store(v, std::memory_order_relaxed);
+  }
+  static void store_u8_relaxed(std::uint8_t& field, std::uint8_t v) {
+    std::atomic_ref<std::uint8_t>(field).store(v, std::memory_order_relaxed);
   }
 
   struct SectionMeta {
@@ -519,6 +540,13 @@ class DgapStore {
   mutable std::unique_ptr<tier::SectionCache> cache_;
   // Shared resize token gate; null = ungated (see set_structural_budget).
   std::shared_ptr<StructuralBudget> struct_budget_;
+
+  // Offloaded merge-rebalance tracking (opts_.offload_rebalance): tasks in
+  // flight on the scheduler. shutdown()/~DgapStore wait the group BEFORE
+  // taking global_mu_ — an offloaded rebalance blocked on the store lock
+  // while shutdown holds it would deadlock the wait.
+  sched::WaitGroup rebalance_wg_;
+  std::atomic<std::uint32_t> offloaded_rebalances_{0};
 
   std::atomic<std::uint32_t> next_writer_{0};
   std::uint64_t instance_id_;

@@ -43,6 +43,7 @@
 #include "src/common/spinlock.hpp"
 #include "src/core/encoding.hpp"
 #include "src/graph/types.hpp"
+#include "src/sched/parallel.hpp"
 
 namespace dgap::core {
 
@@ -219,26 +220,31 @@ class SnapshotCsr {
     csr.n_ = n;
     csr.slot_degree_.resize(static_cast<std::size_t>(n));
     csr.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
-    std::uint64_t total_slots = 0;
-#pragma omp parallel for schedule(dynamic, 1024) reduction(+ : total_slots)
-    for (NodeId v = 0; v < n; ++v) {
-      const std::int64_t d = view.out_degree(v);
-      csr.slot_degree_[v] = static_cast<std::uint32_t>(d);
-      total_slots += static_cast<std::uint64_t>(d);
-      std::uint64_t emitted = 0;
-      view.for_each_out(v, [&](NodeId) { ++emitted; });
-      csr.offsets_[static_cast<std::size_t>(v) + 1] = emitted;
-    }
-    csr.total_slots_ = total_slots;
+    csr.total_slots_ = par::reduce_blocks(
+        n, 1024, std::uint64_t{0},
+        [&](std::int64_t b, std::int64_t e) {
+          std::uint64_t part = 0;
+          for (NodeId v = b; v < e; ++v) {
+            const std::int64_t d = view.out_degree(v);
+            csr.slot_degree_[v] = static_cast<std::uint32_t>(d);
+            part += static_cast<std::uint64_t>(d);
+            std::uint64_t emitted = 0;
+            view.for_each_out(v, [&](NodeId) { ++emitted; });
+            csr.offsets_[static_cast<std::size_t>(v) + 1] = emitted;
+          }
+          return part;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
     for (NodeId v = 0; v < n; ++v)
       csr.offsets_[static_cast<std::size_t>(v) + 1] +=
           csr.offsets_[static_cast<std::size_t>(v)];
     csr.nbrs_.resize(csr.offsets_[static_cast<std::size_t>(n)]);
-#pragma omp parallel for schedule(dynamic, 1024)
-    for (NodeId v = 0; v < n; ++v) {
-      std::uint64_t at = csr.offsets_[v];
-      view.for_each_out(v, [&](NodeId d) { csr.nbrs_[at++] = d; });
-    }
+    par::for_blocks(n, 1024, [&](std::int64_t b, std::int64_t e) {
+      for (NodeId v = b; v < e; ++v) {
+        std::uint64_t at = csr.offsets_[v];
+        view.for_each_out(v, [&](NodeId d) { csr.nbrs_[at++] = d; });
+      }
+    });
     return csr;
   }
 

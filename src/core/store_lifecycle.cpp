@@ -1,9 +1,11 @@
 #include "src/core/store_lifecycle.hpp"
 
+#include <atomic>
 #include <exception>
 #include <stdexcept>
-#include <thread>
 #include <utility>
+
+#include "src/sched/task_scheduler.hpp"
 
 namespace dgap::core {
 
@@ -33,28 +35,38 @@ std::vector<StoreHandle> attach_stores_parallel(
   for (std::size_t i = 0; i < pools.size(); ++i)
     handles[i].pool = std::move(pools[i]);
 
+  // One attach (recovery scan on open) per handle, claimed off an atomic
+  // index by scheduler pump tasks plus this thread. The scheduler's worker
+  // pool is process-wide and pre-spawned, so there is no per-call thread
+  // spawn to fail and no fallback path to maintain; the caller pumping too
+  // means a 1-worker scheduler still attaches everything.
   std::vector<std::exception_ptr> errors(handles.size());
-  std::vector<std::thread> workers;
-  workers.reserve(handles.size());
-  const auto attach_one = [&](std::size_t i) {
-    try {
-      handles[i].store =
-          fresh ? DgapStore::create(*handles[i].pool, store_opts[i])
-                : DgapStore::open(*handles[i].pool, store_opts[i]);
-    } catch (...) {
-      errors[i] = std::current_exception();
+  std::atomic<std::size_t> next{0};
+  const auto pump = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= handles.size()) return;
+      try {
+        handles[i].store =
+            fresh ? DgapStore::create(*handles[i].pool, store_opts[i])
+                  : DgapStore::open(*handles[i].pool, store_opts[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
     }
   };
-  // Spawn failures (thread limits) must not unwind past joinable threads
-  // (std::terminate): fall back to attaching the remainder inline.
-  std::size_t spawned = 0;
-  try {
-    for (; spawned < handles.size(); ++spawned)
-      workers.emplace_back(attach_one, spawned);
-  } catch (const std::system_error&) {
-    for (std::size_t i = spawned; i < handles.size(); ++i) attach_one(i);
-  }
-  for (auto& t : workers) t.join();
+  auto& s = sched::TaskScheduler::global();
+  sched::WaitGroup wg;
+  const std::size_t helpers =
+      handles.size() > 1 ? std::min(handles.size() - 1, s.num_workers()) : 0;
+  wg.add(helpers);
+  for (std::size_t t = 0; t < helpers; ++t)
+    s.submit([&] {
+      pump();
+      wg.done();
+    });
+  pump();
+  wg.wait();
   for (const auto& err : errors)
     if (err) std::rethrow_exception(err);
   return handles;

@@ -9,9 +9,9 @@
 // Before sharding, that pairing lived inline in every call site (quickstart,
 // benches, tests). The sharded store multiplies it by S — one pool file and
 // one recovery per shard — so the lifecycle is factored here once, plus a
-// parallel driver that opens/recovers S shards on S threads (recovery cost
-// after a crash is a full pool scan, which parallelizes perfectly across
-// independent pools).
+// parallel driver that opens/recovers S shards via the task scheduler
+// (recovery cost after a crash is a full pool scan, which parallelizes
+// perfectly across independent pools).
 #pragma once
 
 #include <memory>
@@ -44,10 +44,11 @@ StoreHandle open_store(const pmem::PoolOptions& pool_opts,
 // Attach stores to caller-provided pools. `fresh` selects DgapStore::create
 // (brand-new pools) vs DgapStore::open (existing content; recovery runs per
 // pool). The heavy per-pool work — initial array persists on create, the
-// recovery scan on open — runs on one thread per handle, so an S-shard open
-// after a crash is S parallel recoveries. The first failure is rethrown
-// after all threads join; pools are returned untouched inside the handles
-// either way.
+// recovery scan on open — fans out over the process TaskScheduler (the
+// caller pumps too), so an S-shard open after a crash runs up to
+// min(S, workers+1) recoveries concurrently. The first failure is rethrown
+// after every attach finishes; pools are returned untouched inside the
+// handles either way.
 std::vector<StoreHandle> attach_stores_parallel(
     std::vector<std::unique_ptr<pmem::PmemPool>> pools,
     const std::vector<DgapOptions>& store_opts, bool fresh);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "src/core/dgap_store.hpp"
@@ -38,12 +39,13 @@ AsyncIngestor::AsyncIngestor(BatchFn sink, Options opts)
   queues_.reserve(nq);
   for (std::size_t i = 0; i < nq; ++i)
     queues_.push_back(std::make_unique<Queue>());
-  worker_state_.reserve(opts_.absorbers);
+  slots_.reserve(opts_.absorbers);
   for (std::size_t i = 0; i < opts_.absorbers; ++i)
-    worker_state_.push_back(std::make_unique<WorkerState>());
-  workers_.reserve(opts_.absorbers);
-  for (std::size_t i = 0; i < opts_.absorbers; ++i)
-    workers_.emplace_back([this, i] { absorber_main(i); });
+    slots_.push_back(std::make_unique<Slot>());
+  // Touch the process scheduler now so its worker pool spins up before the
+  // first push (and so a configure() racing construction fails fast there,
+  // not mid-ingest).
+  sched::TaskScheduler::global();
 
   // Publish this instance's counters/gauges/histograms as registry readers
   // over the cells above (metric_handles_ is the last member, so the
@@ -81,19 +83,31 @@ AsyncIngestor::AsyncIngestor(BatchFn sink, Options opts)
 }
 
 AsyncIngestor::~AsyncIngestor() {
-  // Destructor-drain guarantee: absorbers keep draining after the stop flag
-  // until their queues are empty, so everything staged before destruction is
-  // absorbed and fenced before the threads exit.
+  // Destructor-drain guarantee: absorber tasks keep draining after the stop
+  // flag until their queues are empty, so everything staged before
+  // destruction is absorbed and fenced before the last task retires.
   stopping_.store(true, std::memory_order_release);
-  for (auto& w : worker_state_) {
-    std::lock_guard<std::mutex> g(w->mu);
-    w->cv.notify_all();
-  }
   for (auto& q : queues_) {
     std::lock_guard<std::mutex> g(q->mu);
     q->not_full.notify_all();  // unblock any straggling submitter
   }
-  for (auto& t : workers_) t.join();
+  // Wait for in-flight submit() calls to finish staging: their pushes are
+  // the only resubmission source besides timers, so once this hits zero no
+  // new absorber task can appear after the wg_ wait below.
+  while (pushers_inflight_.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
+  // Cancel pending flush timers — shutdown drains regardless of gather
+  // pacing. A timer that already fired (cancel fails) runs its own
+  // wg_.done(); only a successful cancel transfers that obligation here.
+  for (auto& s : slots_) {
+    std::lock_guard<std::mutex> g(s->timer_mu);
+    if (s->timer_armed.exchange(false, std::memory_order_acq_rel)) {
+      if (sched::TaskScheduler::global().cancel(s->timer_id)) wg_.done();
+    }
+  }
+  // One final stop-flag drain per slot, then wait out every absorber task.
+  for (std::size_t i = 0; i < slots_.size(); ++i) ensure_scheduled(i);
+  wg_.wait();
   // Final synchronous sweep: a submitter that was blocked on backpressure
   // when destruction began is unblocked by the notify above and may push
   // after its absorber's last empty sweep. Absorb those stragglers here so
@@ -169,10 +183,12 @@ Epoch AsyncIngestor::submit_internal(std::span<const Edge> edges,
   // compare submitted vs absorbed to decide whether more work is coming).
   submitted_edges_ += edges.size();
   ++submit_calls_;
+  pushers_inflight_.fetch_add(1, std::memory_order_acq_rel);
   for (auto& [qi, item] : items) {
     item.epoch = ticket;
     push_item(qi, std::move(item));
   }
+  pushers_inflight_.fetch_sub(1, std::memory_order_release);
   return ticket;
 }
 
@@ -216,12 +232,7 @@ void AsyncIngestor::push_item(std::size_t queue_idx, Item item) {
     q.edges += n;
     queue_high_watermark_.max_with(q.edges);
   }
-  WorkerState& w = *worker_state_[queue_idx % worker_state_.size()];
-  {
-    std::lock_guard<std::mutex> g(w.mu);
-    ++w.signal;
-  }
-  w.cv.notify_one();
+  ensure_scheduled(queue_idx % slots_.size());
 }
 
 std::size_t AsyncIngestor::gather_threshold_locked(const Queue& q) const {
@@ -386,19 +397,63 @@ void AsyncIngestor::retire_items(const std::vector<Item>& items) {
   }
 }
 
-void AsyncIngestor::absorber_main(std::size_t worker) {
-  WorkerState& state = *worker_state_[worker];
-  std::uint64_t seen_signal = 0;
+void AsyncIngestor::ensure_scheduled(std::size_t slot) {
+  Slot& s = *slots_[slot];
+  // seq_cst pairs with the seq_cst clear in run_absorber: if this exchange
+  // observes true, the running task's post-clear queue recheck is ordered
+  // after our caller's push and cannot miss it.
+  if (s.scheduled.exchange(true, std::memory_order_seq_cst)) return;
+  wg_.add(1);
+  sched::TaskScheduler::global().submit(
+      [this, slot] {
+        try {
+          run_absorber(slot);
+        } catch (const std::exception& ex) {
+          // OOM-class failure outside the sink try/catch: surface it like a
+          // sink error (freeze durability, wake waiters) and release the
+          // slot so later pushes can still reschedule it.
+          {
+            std::lock_guard<std::mutex> g(epoch_mu_);
+            if (error_.empty()) error_ = ex.what();
+            durable_cv_.notify_all();
+          }
+          slots_[slot]->scheduled.store(false, std::memory_order_seq_cst);
+        }
+        wg_.done();
+      },
+      sched::Priority::high);
+}
+
+void AsyncIngestor::arm_flush_timer(std::size_t slot) {
+  Slot& s = *slots_[slot];
+  if (s.timer_armed.exchange(true, std::memory_order_acq_rel)) return;
+  wg_.add(1);
+  std::lock_guard<std::mutex> g(s.timer_mu);
+  s.timer_id = sched::TaskScheduler::global().submit_after(
+      opts_.flush_deadline_us,
+      [this, slot] {
+        // Clear before rescheduling so the drain we trigger can re-arm for
+        // its own remainder. The per-queue gather clock is not reset by the
+        // wakeup, so firing never extends a deadline.
+        slots_[slot]->timer_armed.store(false, std::memory_order_release);
+        ensure_scheduled(slot);
+        wg_.done();
+      },
+      sched::Priority::high);
+}
+
+void AsyncIngestor::run_absorber(std::size_t slot) {
+  Slot& s = *slots_[slot];
+  bool gathering = false;
   for (;;) {
     bool did_work = false;
-    bool gathering = false;
+    gathering = false;
     // Gathering applies only in steady state: shutdown drains whatever is
     // staged, however small. pop_chunk itself enforces the per-queue flush
     // deadline, so a sweep that finds other work still drains any queue
     // whose deadline has passed.
     const bool allow_gather = !stopping_.load(std::memory_order_acquire);
-    for (std::size_t qi = worker; qi < queues_.size();
-         qi += worker_state_.size()) {
+    for (std::size_t qi = slot; qi < queues_.size(); qi += slots_.size()) {
       std::vector<Item> chunk =
           pop_chunk(*queues_[qi], allow_gather, &gathering);
       if (chunk.empty()) continue;
@@ -406,37 +461,28 @@ void AsyncIngestor::absorber_main(std::size_t worker) {
       retire_items(chunk);
       did_work = true;
     }
-    if (did_work) continue;
-    if (stopping_.load(std::memory_order_acquire)) {
-      // Final sweep below the stop flag: queues may have been filled
-      // between our empty sweep and the flag read.
-      bool empty = true;
-      for (std::size_t qi = worker; qi < queues_.size();
-           qi += worker_state_.size()) {
-        std::lock_guard<std::mutex> g(queues_[qi]->mu);
-        empty = empty && queues_[qi]->items.empty();
-      }
-      if (empty) return;
-      continue;
-    }
-    std::unique_lock<std::mutex> l(state.mu);
-    const auto wake = [&] {
-      return state.signal != seen_signal ||
-             stopping_.load(std::memory_order_acquire);
-    };
-    if (gathering) {
-      // A non-empty queue is below the gather threshold: sleep for at most
-      // one deadline period, then re-sweep — pop_chunk drains any queue
-      // whose own deadline has expired, so an idle producer never leaves a
-      // tail epoch open (ROADMAP trickle-ingest follow-up). Waking early on
-      // a new-arrival signal is fine: the per-queue clock is not reset.
-      state.cv.wait_for(l, std::chrono::microseconds(opts_.flush_deadline_us),
-                        wake);
-    } else {
-      state.cv.wait(l, wake);
-    }
-    seen_signal = state.signal;
+    if (!did_work) break;
   }
+  // Release the slot, then recheck the queues: a push that raced the empty
+  // sweep above saw scheduled == true and skipped resubmitting, so its item
+  // is this task's responsibility. The seq_cst clear orders the recheck
+  // after any such push's q.mu critical section (see ensure_scheduled).
+  s.scheduled.store(false, std::memory_order_seq_cst);
+  bool nonempty = false;
+  for (std::size_t qi = slot; qi < queues_.size(); qi += slots_.size()) {
+    std::lock_guard<std::mutex> g(queues_[qi]->mu);
+    nonempty = nonempty || !queues_[qi]->items.empty();
+  }
+  if (!nonempty) return;
+  if (gathering && !stopping_.load(std::memory_order_acquire)) {
+    // Everything left is a sub-threshold gather remainder: instead of
+    // spinning, arm one cancellable timer for the flush deadline — the old
+    // dedicated thread's cv wait_for, without parking a thread. Arrivals in
+    // the meantime reschedule the slot themselves via push_item.
+    arm_flush_timer(slot);
+    return;
+  }
+  ensure_scheduled(slot);
 }
 
 void AsyncIngestor::wait_durable(Epoch e) {

@@ -3,11 +3,20 @@
 // ingestion API, modeled after XPGraph-style buffered per-socket PM logs).
 //
 //   producers ──submit()──▶ per-section-group staging queues ──▶ absorbers
-//                                 (bounded, backpressure)      (M threads)
-//                                                                   │
+//                                 (bounded, backpressure)   (M slots, each a
+//                                                     resubmitting scheduler
+//                                                                      task)
 //                                            insert_batch/delete_batch fast
 //                                            path, one lock + one fence per
 //                                            section group (batch_insert.cpp)
+//
+// Absorbers are not dedicated threads: each absorber slot is a
+// high-priority task on the process TaskScheduler (src/sched) that drains
+// its queues until empty and exits; a push into an idle slot's queue
+// resubmits it (at-most-one task in flight per slot, so `absorbers` is a
+// concurrency CAP, not a thread count). A queue left sub-threshold by the
+// gather heuristic arms a cancellable scheduler timer for its flush
+// deadline instead of parking a thread on a condition variable.
 //
 // Routing: consecutive blocks of source ids share a queue, so the edges an
 // absorber drains in one pass cluster by home section — preserving the batch
@@ -49,13 +58,13 @@
 #include <mutex>
 #include <span>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "src/common/stat_cell.hpp"
 #include "src/graph/types.hpp"
 #include "src/obs/latency_histogram.hpp"
 #include "src/obs/metrics_registry.hpp"
+#include "src/sched/task_scheduler.hpp"
 
 namespace dgap::core {
 class DgapStore;
@@ -104,9 +113,11 @@ class AsyncIngestor {
   using RouteFn = std::function<std::size_t(NodeId, std::size_t)>;
 
   struct Options {
-    std::size_t absorbers = 1;  // background absorber threads (M)
+    // Absorber slots (M): the CAP on concurrent absorber tasks. Actual
+    // parallelism is min(M, scheduler workers).
+    std::size_t absorbers = 1;
     // Staging queues (N); 0 => one per absorber. Queue i is drained only by
-    // absorber i % M, so each queue has exactly one consumer.
+    // absorber slot i % M, so each queue has exactly one consumer.
     std::size_t queues = 0;
     std::size_t queue_capacity_edges = 1 << 16;  // backpressure bound
     std::size_t absorb_chunk_edges = 8192;  // max edges per sink call
@@ -147,7 +158,7 @@ class AsyncIngestor {
   // enclosing class is complete.)
   AsyncIngestor(BatchFn sink, Options opts);
   explicit AsyncIngestor(BatchFn sink);
-  ~AsyncIngestor();  // drains, then stops and joins the absorbers
+  ~AsyncIngestor();  // drains, then waits out every absorber task
   AsyncIngestor(const AsyncIngestor&) = delete;
   AsyncIngestor& operator=(const AsyncIngestor&) = delete;
 
@@ -171,7 +182,7 @@ class AsyncIngestor {
   [[nodiscard]] Epoch durable_epoch() const;
   [[nodiscard]] IngestStats stats() const;
   [[nodiscard]] std::size_t num_queues() const { return queues_.size(); }
-  [[nodiscard]] std::size_t num_absorbers() const { return workers_.size(); }
+  [[nodiscard]] std::size_t num_absorbers() const { return slots_.size(); }
 
   // Latency distributions (ns): one sample per sink call (absorb) and one
   // per wait_durable call. Snapshots diff (operator-) for per-round views.
@@ -212,17 +223,24 @@ class AsyncIngestor {
     std::chrono::steady_clock::time_point last_arrival{};
   };
 
-  // Per-absorber wake channel: submitters bump `signal` after pushing into
-  // any queue the absorber owns.
-  struct WorkerState {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::uint64_t signal = 0;
+  // One absorber slot = at most one scheduler task in flight. `scheduled`
+  // is the resubmission latch (exchange/clear/recheck — see run_absorber);
+  // `timer_armed`/`timer_id` guard the slot's pending flush-deadline timer.
+  struct Slot {
+    std::atomic<bool> scheduled{false};
+    std::atomic<bool> timer_armed{false};
+    std::mutex timer_mu;
+    sched::TaskScheduler::TimerId timer_id = 0;
   };
 
   Epoch submit_internal(std::span<const Edge> edges, bool tombstone);
   void push_item(std::size_t queue_idx, Item item);
-  void absorber_main(std::size_t worker);
+  // Drain slot's queues until an entire sweep finds nothing, then release
+  // the slot (rescheduling or arming the flush timer if work remains).
+  void run_absorber(std::size_t slot);
+  // Submit slot's absorber task unless one is already in flight.
+  void ensure_scheduled(std::size_t slot);
+  void arm_flush_timer(std::size_t slot);
   // Drain at most absorb_chunk_edges from queue q (the boundary item is
   // split — never taken whole — so a sink call can never exceed the
   // chunk); returns drained items. With `gather` set, a non-empty queue
@@ -244,8 +262,14 @@ class AsyncIngestor {
   BatchFn sink_;
   Options opts_;
   std::vector<std::unique_ptr<Queue>> queues_;
-  std::vector<std::unique_ptr<WorkerState>> worker_state_;
-  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  // Outstanding absorber tasks + pending timers; the destructor waits on it
+  // after the last resubmission source (in-flight pushers) has quiesced.
+  sched::WaitGroup wg_;
+  // submit() calls currently staging items. The destructor spins this to 0
+  // after unblocking backpressure waiters, so a straggler's
+  // ensure_scheduled can never race the final wg_ wait.
+  std::atomic<std::size_t> pushers_inflight_{0};
   std::mutex sink_mu_;  // held around sink calls when serialize_sink
 
   // Epoch ledger: open_[e] counts staged-but-not-yet-durable items of

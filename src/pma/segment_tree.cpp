@@ -1,12 +1,22 @@
 #include "src/pma/segment_tree.hpp"
 
+#include <atomic>
 #include <cassert>
-#include <numeric>
 #include <stdexcept>
 
 #include "src/common/platform.hpp"
 
 namespace dgap::pma {
+
+namespace {
+inline void store_relaxed(std::uint64_t& v, std::uint64_t x) {
+  std::atomic_ref<std::uint64_t>(v).store(x, std::memory_order_relaxed);
+}
+inline std::uint64_t load_relaxed_(const std::uint64_t& v) {
+  return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(v))
+      .load(std::memory_order_relaxed);
+}
+}  // namespace
 
 SegmentTree::SegmentTree(std::uint64_t num_segments,
                          std::uint64_t segment_slots,
@@ -21,31 +31,37 @@ SegmentTree::SegmentTree(std::uint64_t num_segments,
 }
 
 void SegmentTree::set_count(std::uint64_t seg, std::uint64_t count) {
-  counts_[seg] = count;
+  store_relaxed(counts_[seg], count);
 }
 
 void SegmentTree::add(std::uint64_t seg, std::int64_t delta) {
+  // Same-segment mutators hold that section's writer lock; the atomic RMW
+  // only defines the race against unlocked neighbor scans.
   assert(delta >= 0 ||
-         counts_[seg] >= static_cast<std::uint64_t>(-delta));
-  counts_[seg] = static_cast<std::uint64_t>(
-      static_cast<std::int64_t>(counts_[seg]) + delta);
+         load_relaxed_(counts_[seg]) >= static_cast<std::uint64_t>(-delta));
+  std::atomic_ref<std::uint64_t>(counts_[seg])
+      .fetch_add(static_cast<std::uint64_t>(delta),
+                 std::memory_order_relaxed);
 }
 
 std::uint64_t SegmentTree::total_count() const {
-  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+  std::uint64_t sum = 0;
+  for (const std::uint64_t& c : counts_) sum += load_relaxed_(c);
+  return sum;
 }
 
 double SegmentTree::density(std::uint64_t begin_seg,
                             std::uint64_t end_seg) const {
   assert(begin_seg < end_seg && end_seg <= counts_.size());
   std::uint64_t sum = 0;
-  for (std::uint64_t s = begin_seg; s < end_seg; ++s) sum += counts_[s];
+  for (std::uint64_t s = begin_seg; s < end_seg; ++s)
+    sum += load_relaxed_(counts_[s]);
   return static_cast<double>(sum) /
          static_cast<double>((end_seg - begin_seg) * segment_slots_);
 }
 
 bool SegmentTree::leaf_overflow(std::uint64_t seg) const {
-  return static_cast<double>(counts_[seg]) /
+  return static_cast<double>(load_relaxed_(counts_[seg])) /
              static_cast<double>(segment_slots_) >
          bounds_.tau(0);
 }
@@ -59,7 +75,8 @@ SegmentTree::Window SegmentTree::find_rebalance_window(
     const std::uint64_t end = std::min<std::uint64_t>(begin + window,
                                                       counts_.size());
     std::uint64_t sum = extra;
-    for (std::uint64_t s = begin; s < end; ++s) sum += counts_[s];
+    for (std::uint64_t s = begin; s < end; ++s)
+      sum += load_relaxed_(counts_[s]);
     const double d = static_cast<double>(sum) /
                      static_cast<double>((end - begin) * segment_slots_);
     if (d <= bounds_.tau(level)) return {begin, end, level, true};

@@ -6,8 +6,17 @@
 //
 // Lives in DRAM by design (paper Table 5 "DP" ablation shows why); after a
 // crash it is rebuilt by scanning the persistent edge array.
+//
+// Concurrency contract: a segment's count is mutated only while holding
+// that section's writer lock, but density scans (find_rebalance_window,
+// density) read NEIGHBORING segments without their locks — deliberately
+// approximate, since the chosen window is re-validated under the
+// structural gate before any slots move. All element accesses therefore go
+// through relaxed atomic_ref: the sloppy reads stay defined behavior and
+// cost nothing (plain moves on every target).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -29,7 +38,7 @@ class SegmentTree {
   void set_count(std::uint64_t seg, std::uint64_t count);
   void add(std::uint64_t seg, std::int64_t delta);
   [[nodiscard]] std::uint64_t count(std::uint64_t seg) const {
-    return counts_[seg];
+    return load_relaxed(counts_[seg]);
   }
   [[nodiscard]] std::uint64_t total_count() const;
 
@@ -54,6 +63,11 @@ class SegmentTree {
                                              std::uint64_t extra = 0) const;
 
  private:
+  static std::uint64_t load_relaxed(const std::uint64_t& v) {
+    return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(v))
+        .load(std::memory_order_relaxed);
+  }
+
   std::vector<std::uint64_t> counts_;
   std::uint64_t segment_slots_;
   DensityBounds bounds_;

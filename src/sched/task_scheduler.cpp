@@ -1,0 +1,586 @@
+#include "src/sched/task_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/timer.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace dgap::sched {
+
+namespace {
+
+thread_local TaskScheduler* t_scheduler = nullptr;
+thread_local std::size_t t_worker = 0;
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 64;
+  while (p < v && p < (std::size_t{1} << 20)) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Task + Chase-Lev deque
+// ---------------------------------------------------------------------------
+
+struct TaskScheduler::Task {
+  std::function<void()> fn;
+  std::uint64_t submit_ns = 0;
+};
+
+// Bounded Chase-Lev work-stealing deque (Chase & Lev, SPAA'05, with the
+// C11 memory orderings of Lê et al., PPoPP'13). The owner pushes and pops
+// the bottom; thieves CAS the top. Bounded on purpose: a full deque spills
+// to the scheduler's shared normal lane instead of reallocating a ring
+// concurrently with thieves.
+class TaskScheduler::Deque {
+ public:
+  explicit Deque(std::size_t cap_pow2)
+      : mask_(cap_pow2 - 1), buf_(cap_pow2) {}
+
+  // Owner only. False when full (caller spills to the shared lane).
+  bool push_bottom(Task* t) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t top = top_.load(std::memory_order_acquire);
+    if (b - top > static_cast<std::int64_t>(mask_)) return false;
+    buf_[static_cast<std::size_t>(b) & mask_].store(
+        t, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Owner only.
+  Task* pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t top = top_.load(std::memory_order_relaxed);
+    Task* t = nullptr;
+    if (top <= b) {
+      t = buf_[static_cast<std::size_t>(b) & mask_].load(
+          std::memory_order_relaxed);
+      if (top == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(top, top + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+          t = nullptr;
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return t;
+  }
+
+  // Any thread.
+  Task* steal_top() {
+    std::int64_t top = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (top >= b) return nullptr;
+    Task* t = buf_[static_cast<std::size_t>(top) & mask_].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(top, top + 1,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return nullptr;  // lost the race; caller may retry another victim
+    return t;
+  }
+
+  [[nodiscard]] std::int64_t approx_size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t top = top_.load(std::memory_order_relaxed);
+    return b > top ? b - top : 0;
+  }
+
+ private:
+  const std::size_t mask_;
+  std::vector<std::atomic<Task*>> buf_;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+struct TaskScheduler::Worker {
+  explicit Worker(std::size_t deque_cap) : deque(deque_cap) {}
+  Deque deque;
+  std::size_t node = 0;  // index into topo_.nodes
+  alignas(64) std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::thread thread;
+};
+
+struct TaskScheduler::Timer {
+  std::uint64_t deadline_ns = 0;
+  TimerId id = 0;
+  Task* task = nullptr;
+  Priority prio = Priority::high;
+  // Min-heap on deadline (std::push_heap builds a max-heap, so invert).
+  bool operator<(const Timer& o) const { return deadline_ns > o.deadline_ns; }
+};
+
+// ---------------------------------------------------------------------------
+// Construction / shutdown
+// ---------------------------------------------------------------------------
+
+TaskScheduler::TaskScheduler(Options opts)
+    : opts_(opts), topo_(detect_topology()) {
+  if (opts_.workers == 0)
+    throw std::invalid_argument(
+        "TaskScheduler: workers must be >= 1 (0 is only meaningful as "
+        "'auto' in configure())");
+  if (opts_.workers > kMaxWorkers)
+    throw std::invalid_argument(
+        "TaskScheduler: workers exceeds kMaxWorkers (" +
+        std::to_string(opts_.workers) + " > " + std::to_string(kMaxWorkers) +
+        ")");
+  opts_.deque_capacity = round_up_pow2(std::max<std::size_t>(
+      64, opts_.deque_capacity));
+
+  workers_.reserve(opts_.workers);
+  for (std::size_t w = 0; w < opts_.workers; ++w) {
+    auto worker = std::make_unique<Worker>(opts_.deque_capacity);
+    worker->node = topo_.nodes.empty() ? 0 : w % topo_.nodes.size();
+    workers_.push_back(std::move(worker));
+  }
+  if (opts_.register_metrics) register_metrics();
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    workers_[w]->thread = std::thread([this, w] { worker_main(w); });
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+  // Workers exited with every runnable queue empty; only unexpired timers
+  // can remain. Their callbacks are dropped by contract.
+  for (Timer& tm : timers_) {
+    delete tm.task;
+    timers_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  timers_.clear();
+  metric_handles_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Submission
+// ---------------------------------------------------------------------------
+
+void TaskScheduler::submit(std::function<void()> fn, Priority prio) {
+  auto* t = new Task{std::move(fn), fast_now_ns()};
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (prio == Priority::normal && t_scheduler == this) {
+    if (workers_[t_worker]->deque.push_bottom(t)) {
+      // The push is thief-visible; wake a sleeper to come steal it in case
+      // this worker stays busy for a while.
+      wake_one_locked_check();
+      return;
+    }
+    overflows_.fetch_add(1, std::memory_order_relaxed);
+  }
+  push_shared(t, prio);
+}
+
+void TaskScheduler::push_shared(Task* t, Priority prio) {
+  const auto lane = static_cast<std::size_t>(prio);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    shared_[lane].push_back(t);
+    shared_count_[lane].fetch_add(1, std::memory_order_relaxed);
+    cv_.notify_one();
+  }
+}
+
+void TaskScheduler::wake_one_locked_check() {
+  // The lock is what prevents a lost wakeup: a worker commits to sleeping
+  // (bumps sleepers_, enters wait) only while holding mu_, and its pre-sleep
+  // recheck under mu_ observes any deque push that happened before our
+  // unlock.
+  std::lock_guard<std::mutex> g(mu_);
+  if (sleepers_.load(std::memory_order_relaxed) > 0) cv_.notify_one();
+}
+
+TaskScheduler::TimerId TaskScheduler::submit_after(std::uint64_t delay_us,
+                                                   std::function<void()> fn,
+                                                   Priority prio) {
+  auto* t = new Task{std::move(fn), fast_now_ns()};
+  const TimerId id = next_timer_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t deadline = t->submit_ns + delay_us * 1000;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    timers_.push_back(Timer{deadline, id, t, prio});
+    std::push_heap(timers_.begin(), timers_.end());
+    timer_count_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t cur = earliest_deadline_ns_.load(std::memory_order_relaxed);
+    while (deadline < cur && !earliest_deadline_ns_.compare_exchange_weak(
+                                 cur, deadline, std::memory_order_relaxed)) {
+    }
+    // A sleeping worker must re-arm its wait with the (possibly nearer)
+    // deadline.
+    cv_.notify_one();
+  }
+  return id;
+}
+
+bool TaskScheduler::cancel(TimerId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->id != id) continue;
+    delete it->task;
+    timers_.erase(it);
+    std::make_heap(timers_.begin(), timers_.end());
+    timer_count_.fetch_sub(1, std::memory_order_relaxed);
+    timers_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;  // already fired (or never existed)
+}
+
+void TaskScheduler::promote_expired_timers() {
+  if (timer_count_.load(std::memory_order_relaxed) == 0) return;
+  if (fast_now_ns() < earliest_deadline_ns_.load(std::memory_order_relaxed))
+    return;
+  std::lock_guard<std::mutex> g(mu_);
+  const std::uint64_t now = fast_now_ns();
+  while (!timers_.empty() && timers_.front().deadline_ns <= now) {
+    std::pop_heap(timers_.begin(), timers_.end());
+    Timer tm = timers_.back();
+    timers_.pop_back();
+    timer_count_.fetch_sub(1, std::memory_order_relaxed);
+    timers_fired_.fetch_add(1, std::memory_order_relaxed);
+    const auto lane = static_cast<std::size_t>(tm.prio);
+    shared_[lane].push_back(tm.task);
+    shared_count_[lane].fetch_add(1, std::memory_order_relaxed);
+  }
+  earliest_deadline_ns_.store(
+      timers_.empty() ? ~std::uint64_t{0} : timers_.front().deadline_ns,
+      std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+void TaskScheduler::run_task(Task* t, Worker* me) {
+  try {
+    t->fn();
+  } catch (...) {
+    // A raw submit() has nowhere to rethrow; count it and keep the worker
+    // alive. Structured callers (parallel_for, when_all, par::team)
+    // capture inside their own wrappers before it gets here.
+    task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  task_hist_.record(fast_now_ns() - t->submit_ns);
+  if (me != nullptr)
+    me->executed.fetch_add(1, std::memory_order_relaxed);
+  else
+    external_executed_.fetch_add(1, std::memory_order_relaxed);
+  delete t;
+}
+
+TaskScheduler::Task* TaskScheduler::pop_shared(Priority prio) {
+  const auto lane = static_cast<std::size_t>(prio);
+  if (shared_count_[lane].load(std::memory_order_relaxed) <= 0)
+    return nullptr;
+  std::lock_guard<std::mutex> g(mu_);
+  if (shared_[lane].empty()) return nullptr;
+  Task* t = shared_[lane].front();
+  shared_[lane].pop_front();
+  shared_count_[lane].fetch_sub(1, std::memory_order_relaxed);
+  return t;
+}
+
+TaskScheduler::Task* TaskScheduler::try_steal(std::size_t thief) {
+  const std::size_t n = workers_.size();
+  if (n <= 1) return nullptr;
+  const std::size_t my_node = workers_[thief]->node;
+  // Same-node victims first, then the rest; start offset rotates with the
+  // thief's steal count so victims are not hammered in a fixed order.
+  const std::uint64_t salt =
+      workers_[thief]->steals.load(std::memory_order_relaxed) + thief;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t v = (i + salt) % n;
+      if (v == thief) continue;
+      const bool same_node = workers_[v]->node == my_node;
+      if ((pass == 0) != same_node) continue;
+      if (Task* t = workers_[v]->deque.steal_top()) {
+        workers_[thief]->steals.fetch_add(1, std::memory_order_relaxed);
+        return t;
+      }
+    }
+    if (!topo_.multi_node()) break;  // single node: one pass covers all
+  }
+  return nullptr;
+}
+
+TaskScheduler::Task* TaskScheduler::next_task(std::size_t w) {
+  promote_expired_timers();
+  if (Task* t = pop_shared(Priority::high)) return t;
+  if (Task* t = workers_[w]->deque.pop_bottom()) return t;
+  if (Task* t = pop_shared(Priority::normal)) return t;
+  if (Task* t = try_steal(w)) return t;
+  if (Task* t = pop_shared(Priority::low)) return t;
+  return nullptr;
+}
+
+bool TaskScheduler::have_work_locked(std::size_t w) const {
+  for (const auto& lane : shared_count_)
+    if (lane.load(std::memory_order_relaxed) > 0) return true;
+  if (!timers_.empty() && timers_.front().deadline_ns <= fast_now_ns())
+    return true;
+  for (std::size_t v = 0; v < workers_.size(); ++v) {
+    if (v == w) continue;  // own deque was just drained by next_task
+    if (workers_[v]->deque.approx_size() > 0) return true;
+  }
+  return false;
+}
+
+void TaskScheduler::worker_main(std::size_t w) {
+  t_scheduler = this;
+  t_worker = w;
+#ifdef __linux__
+  if (opts_.pin_policy == PinPolicy::spread && !topo_.nodes.empty()) {
+    const auto& cpus = topo_.nodes[workers_[w]->node].cpus;
+    if (!cpus.empty()) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      for (const int c : cpus)
+        if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+      // Best-effort: a denied affinity call just leaves OS placement.
+      (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+    }
+  }
+#endif
+  Worker& me = *workers_[w];
+  for (;;) {
+    if (Task* t = next_task(w)) {
+      run_task(t, &me);
+      continue;
+    }
+    std::unique_lock<std::mutex> l(mu_);
+    if (have_work_locked(w)) continue;
+    // Drain-on-shutdown: leave only when stopping AND nothing runnable
+    // remains anywhere. Unexpired timers don't block exit — the destructor
+    // drops them.
+    if (stopping_) break;
+    sleepers_.fetch_add(1, std::memory_order_relaxed);
+    if (!timers_.empty()) {
+      const std::uint64_t now = fast_now_ns();
+      const std::uint64_t dl = timers_.front().deadline_ns;
+      cv_.wait_for(l, std::chrono::nanoseconds(dl > now ? dl - now : 1));
+    } else {
+      cv_.wait(l);
+    }
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  t_scheduler = nullptr;
+}
+
+bool TaskScheduler::assist() {
+  promote_expired_timers();
+  Task* t = pop_shared(Priority::high);
+  if (t == nullptr) return false;
+  assists_.fetch_add(1, std::memory_order_relaxed);
+  run_task(t, t_scheduler == this ? workers_[t_worker].get() : nullptr);
+  return true;
+}
+
+namespace detail {
+
+bool assist_for_wait() {
+  TaskScheduler* s = t_scheduler;
+  if (s == nullptr) return false;
+  // Own deque first: nested forks park their helpers there, and draining
+  // them is what makes a blocked fork self-sufficient on one worker.
+  if (TaskScheduler::Task* t = s->workers_[t_worker]->deque.pop_bottom()) {
+    s->assists_.fetch_add(1, std::memory_order_relaxed);
+    s->run_task(t, s->workers_[t_worker].get());
+    return true;
+  }
+  return s->assist();
+}
+
+}  // namespace detail
+
+void WaitGroup::wait() {
+  while (count_.load(std::memory_order_acquire) > 0) {
+    if (detail::assist_for_wait()) continue;
+    std::unique_lock<std::mutex> l(mu_);
+    // Under mu_ a zero count means every done() critical section has
+    // exited (the decrement happens inside it), so returning here lets the
+    // caller destroy us immediately.
+    if (count_.load(std::memory_order_acquire) <= 0) return;
+    // Bounded wait, not pure block: a helper stolen back into our own
+    // deque after the check above must not strand us.
+    cv_.wait_for(l, std::chrono::microseconds(500));
+  }
+  // The lock-free loop check can observe zero while the final done() is
+  // still inside its critical section; take the mutex once to quiesce it
+  // before the caller is allowed to destroy this object.
+  std::lock_guard<std::mutex> g(mu_);
+}
+
+void TaskScheduler::when_all(std::vector<std::function<void()>> fns,
+                             Priority prio) {
+  if (fns.empty()) return;
+  WaitGroup wg;
+  wg.add(fns.size());
+  std::exception_ptr err;
+  std::mutex err_mu;
+  for (auto& fn : fns) {
+    submit(
+        [&err, &err_mu, &wg, f = std::move(fn)] {
+          try {
+            f();
+          } catch (...) {
+            std::lock_guard<std::mutex> g(err_mu);
+            if (!err) err = std::current_exception();
+          }
+          wg.done();
+        },
+        prio);
+  }
+  wg.wait();
+  if (err) std::rethrow_exception(err);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::uint64_t TaskScheduler::queued_now() const {
+  std::int64_t q = 0;
+  for (const auto& lane : shared_count_)
+    q += std::max<std::int64_t>(0, lane.load(std::memory_order_relaxed));
+  for (const auto& w : workers_) q += w->deque.approx_size();
+  return static_cast<std::uint64_t>(std::max<std::int64_t>(0, q));
+}
+
+SchedStats TaskScheduler::stats() const {
+  SchedStats s;
+  s.workers = workers_.size();
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.overflows = overflows_.load(std::memory_order_relaxed);
+  s.assists = assists_.load(std::memory_order_relaxed);
+  s.timers_fired = timers_fired_.load(std::memory_order_relaxed);
+  s.timers_cancelled = timers_cancelled_.load(std::memory_order_relaxed);
+  s.timers_dropped = timers_dropped_.load(std::memory_order_relaxed);
+  s.task_exceptions = task_exceptions_.load(std::memory_order_relaxed);
+  s.executed = external_executed_.load(std::memory_order_relaxed);
+  s.per_worker.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    WorkerStats ws;
+    ws.executed = w->executed.load(std::memory_order_relaxed);
+    ws.steals = w->steals.load(std::memory_order_relaxed);
+    s.executed += ws.executed;
+    s.steals += ws.steals;
+    s.per_worker.push_back(ws);
+  }
+  s.queue_depth = queued_now();
+  return s;
+}
+
+void TaskScheduler::register_metrics() {
+  auto& reg = obs::registry();
+  metric_handles_.push_back(reg.add_counter("sched_submitted", [this] {
+    return static_cast<double>(submitted_.load(std::memory_order_relaxed));
+  }));
+  metric_handles_.push_back(reg.add_counter("sched_executed", [this] {
+    std::uint64_t v = external_executed_.load(std::memory_order_relaxed);
+    for (const auto& w : workers_)
+      v += w->executed.load(std::memory_order_relaxed);
+    return static_cast<double>(v);
+  }));
+  metric_handles_.push_back(reg.add_counter("sched_steals", [this] {
+    std::uint64_t v = 0;
+    for (const auto& w : workers_)
+      v += w->steals.load(std::memory_order_relaxed);
+    return static_cast<double>(v);
+  }));
+  metric_handles_.push_back(reg.add_counter("sched_overflows", [this] {
+    return static_cast<double>(overflows_.load(std::memory_order_relaxed));
+  }));
+  metric_handles_.push_back(reg.add_counter("sched_assists", [this] {
+    return static_cast<double>(assists_.load(std::memory_order_relaxed));
+  }));
+  metric_handles_.push_back(reg.add_counter("sched_timers_fired", [this] {
+    return static_cast<double>(timers_fired_.load(std::memory_order_relaxed));
+  }));
+  metric_handles_.push_back(
+      reg.add_counter("sched_task_exceptions", [this] {
+        return static_cast<double>(
+            task_exceptions_.load(std::memory_order_relaxed));
+      }));
+  metric_handles_.push_back(reg.add_gauge("sched_workers", [this] {
+    return static_cast<double>(workers_.size());
+  }));
+  metric_handles_.push_back(reg.add_gauge("sched_queue_depth", [this] {
+    return static_cast<double>(queued_now());
+  }));
+  metric_handles_.push_back(reg.add_histogram(
+      "sched_task", [this] { return task_hist_.snapshot(); }));
+}
+
+// ---------------------------------------------------------------------------
+// Global instance
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::mutex g_global_mu;
+Options g_configured;
+bool g_configured_set = false;
+std::atomic<bool> g_global_created{false};
+
+Options resolve_global_options() {
+  std::lock_guard<std::mutex> g(g_global_mu);
+  Options o = g_configured_set ? g_configured : Options{};
+  if (o.workers == 0)
+    o.workers = std::max(1u, std::thread::hardware_concurrency());
+  o.register_metrics = true;
+  g_global_created.store(true, std::memory_order_release);
+  return o;
+}
+
+}  // namespace
+
+TaskScheduler& TaskScheduler::global() {
+  // A function-local static, NOT a namespace-scope singleton: the metrics
+  // registry (also a function-local static) finishes constructing before
+  // this object does — either earlier in the program or inside this very
+  // constructor via register_metrics — so at exit it is destroyed AFTER the
+  // scheduler and the metric handles always deregister into a live
+  // registry. A constant-initialized pointer at namespace scope would be
+  // torn down after every dynamically-initialized static, deregistering
+  // into a destroyed registry.
+  static TaskScheduler s{resolve_global_options()};
+  return s;
+}
+
+void TaskScheduler::configure(Options opts) {
+  if (opts.workers > kMaxWorkers)
+    throw std::invalid_argument("TaskScheduler::configure: workers > max");
+  std::lock_guard<std::mutex> g(g_global_mu);
+  if (g_global_created.load(std::memory_order_acquire))
+    throw std::logic_error(
+        "TaskScheduler::configure: global scheduler already running");
+  g_configured = opts;
+  g_configured_set = true;
+}
+
+TaskScheduler* TaskScheduler::current() { return t_scheduler; }
+
+}  // namespace dgap::sched

@@ -1,0 +1,100 @@
+#include "src/sched/topology.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <string>
+#include <thread>
+
+namespace dgap::sched {
+
+namespace {
+
+bool parse_int(std::string_view s, int& out) {
+  const char* b = s.data();
+  const char* e = s.data() + s.size();
+  const auto [p, ec] = std::from_chars(b, e, out);
+  return ec == std::errc{} && p == e && out >= 0;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\n' ||
+                        s.front() == '\t' || s.front() == '\r'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\n' ||
+                        s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(std::string_view s) {
+  std::vector<int> cpus;
+  s = trim(s);
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    std::string_view piece = trim(s.substr(0, comma));
+    s = comma == std::string_view::npos ? std::string_view{}
+                                        : s.substr(comma + 1);
+    if (piece.empty()) continue;
+    const std::size_t dash = piece.find('-');
+    int lo = 0;
+    int hi = 0;
+    if (dash == std::string_view::npos) {
+      if (!parse_int(piece, lo)) continue;
+      hi = lo;
+    } else {
+      if (!parse_int(trim(piece.substr(0, dash)), lo) ||
+          !parse_int(trim(piece.substr(dash + 1)), hi) || hi < lo)
+        continue;
+    }
+    // Bound a hostile range: no real box has six-digit cpu ids.
+    hi = std::min(hi, lo + 4095);
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+std::size_t Topology::node_of_cpu(int cpu) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& c = nodes[i].cpus;
+    if (std::binary_search(c.begin(), c.end(), cpu)) return i;
+  }
+  return 0;
+}
+
+Topology detect_topology() {
+  Topology t;
+  const unsigned hw = std::thread::hardware_concurrency();
+  t.hardware_threads = hw == 0 ? 1 : hw;
+
+  // One directory per online node; sequential probing stops at the first
+  // gap, which matches how the kernel numbers populated nodes on the boxes
+  // we care about (a sparse node map just degrades to fewer pools).
+  for (int node = 0; node < 256; ++node) {
+    const std::string path = "/sys/devices/system/node/node" +
+                             std::to_string(node) + "/cpulist";
+    std::ifstream f(path);
+    if (!f) break;
+    std::string line;
+    std::getline(f, line);
+    std::vector<int> cpus = parse_cpulist(line);
+    if (cpus.empty()) continue;
+    t.nodes.push_back({node, std::move(cpus)});
+  }
+
+  if (t.nodes.empty()) {
+    NumaNode all;
+    all.id = 0;
+    all.cpus.reserve(t.hardware_threads);
+    for (unsigned c = 0; c < t.hardware_threads; ++c)
+      all.cpus.push_back(static_cast<int>(c));
+    t.nodes.push_back(std::move(all));
+  }
+  return t;
+}
+
+}  // namespace dgap::sched

@@ -1,0 +1,42 @@
+// CPU/NUMA topology detection for the task scheduler.
+//
+// The scheduler wants two facts: how many hardware threads exist, and how
+// they group into NUMA nodes (so workers can be pinned per node and steal
+// from same-node victims first). Both come from portable sources —
+// std::thread::hardware_concurrency plus, on Linux, the
+// /sys/devices/system/node/node*/cpulist files — and both degrade
+// gracefully to "one node containing every cpu" on single-socket hosts,
+// containers that mask /sys, and non-Linux builds.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace dgap::sched {
+
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;  // sorted, unique
+};
+
+struct Topology {
+  // Always at least one node; node 0 falls back to {0..hw_threads-1} when
+  // /sys is absent or unreadable.
+  std::vector<NumaNode> nodes;
+  unsigned hardware_threads = 1;
+
+  [[nodiscard]] bool multi_node() const { return nodes.size() > 1; }
+  // Node index (into nodes, not the kernel node id) owning `cpu`; 0 when
+  // the cpu is not listed anywhere.
+  [[nodiscard]] std::size_t node_of_cpu(int cpu) const;
+};
+
+// Parse a kernel cpulist ("0-3,8,10-11") into a sorted unique cpu vector.
+// Malformed pieces are skipped rather than thrown: a surprising /sys is a
+// reason to degrade, never to fail store bring-up.
+std::vector<int> parse_cpulist(std::string_view s);
+
+// Probe the host. Never throws.
+Topology detect_topology();
+
+}  // namespace dgap::sched

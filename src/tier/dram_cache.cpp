@@ -7,8 +7,19 @@
 #include "src/obs/scoped_latency.hpp"
 #include "src/obs/trace_ring.hpp"
 #include "src/pmem/latency_model.hpp"
+#include "src/sched/task_scheduler.hpp"
 
 namespace dgap::tier {
+
+// Shared between the cache and any queued background-evict task: the task
+// takes mu, and runs only if the owner is still attached. configure() and
+// the destructor detach under the same spinlock — a bounded wait for a
+// RUNNING scan, never for queued tasks (those find owner == nullptr later).
+struct SectionCache::BgState {
+  SpinLock mu;
+  SectionCache* owner = nullptr;
+  std::atomic<bool> inflight{false};
+};
 
 namespace {
 
@@ -31,10 +42,33 @@ constexpr std::uint32_t kEwmaSlack = 1024;
 SectionCache::SectionCache(std::uint64_t budget_bytes, Eviction policy)
     : budget_bytes_(budget_bytes), policy_(policy) {}
 
-SectionCache::~SectionCache() = default;
+SectionCache::~SectionCache() {
+  if (bg_) {
+    std::lock_guard<SpinLock> g(bg_->mu);
+    bg_->owner = nullptr;
+  }
+}
+
+void SectionCache::set_background_evict(bool on) {
+  bg_enabled_.store(on, std::memory_order_relaxed);
+  if (on && !bg_) {
+    bg_ = std::make_shared<BgState>();
+    bg_->owner = this;
+  }
+}
 
 void SectionCache::configure(std::uint64_t num_sections,
                              std::uint64_t section_slots) {
+  // Orphan any queued background-evict task: the frames it would scan are
+  // about to be dropped. A fresh handle re-attaches for the new layout.
+  if (bg_) {
+    {
+      std::lock_guard<SpinLock> g(bg_->mu);
+      bg_->owner = nullptr;
+    }
+    bg_ = std::make_shared<BgState>();
+    bg_->owner = this;
+  }
   num_sections_ = num_sections;
   section_slots_ = section_slots;
   const std::uint64_t frame_bytes = section_slots * sizeof(core::Slot);
@@ -223,6 +257,13 @@ std::uint32_t SectionCache::claim_frame_locked(std::uint64_t incoming_sec) {
       return kNil;
     }
   }
+  const std::uint32_t victim = pick_victim_locked();
+  if (victim == kNil) return kNil;
+  unmap_frame_locked(victim);
+  return victim;
+}
+
+std::uint32_t SectionCache::pick_victim_locked() {
   std::uint32_t victim = kNil;
   if (policy_ == Eviction::lru) {
     // From the cold end; protect pinned frames and (first pass) read-hot
@@ -257,19 +298,47 @@ std::uint32_t SectionCache::claim_frame_locked(std::uint64_t incoming_sec) {
       break;
     }
   }
-  if (victim == kNil) return kNil;
-  Frame& fr = frames_[victim];
+  return victim;
+}
+
+void SectionCache::unmap_frame_locked(std::uint32_t f) {
+  Frame& fr = frames_[f];
   const std::uint64_t old_sec = fr.sec.load(std::memory_order_relaxed);
   if (old_sec != kNoSec) {
     // seq_cst unmap: pairs with the pin-then-revalidate in acquire().
     frame_p1_[old_sec].store(0, std::memory_order_seq_cst);
     ++evictions_;
   }
-  if (policy_ == Eviction::lru) lru_unlink_locked(victim);
+  if (policy_ == Eviction::lru) lru_unlink_locked(f);
   fr.resident = false;
   --resident_;
   fr.sec.store(kNoSec, std::memory_order_relaxed);
-  return victim;
+}
+
+void SectionCache::maybe_schedule_evict() {
+  if (!bg_enabled_.load(std::memory_order_relaxed)) return;
+  std::shared_ptr<BgState> st = bg_;
+  if (!st || st->inflight.exchange(true, std::memory_order_acq_rel)) return;
+  sched::TaskScheduler::global().submit(
+      [st] {
+        std::lock_guard<SpinLock> g(st->mu);
+        st->inflight.store(false, std::memory_order_relaxed);
+        if (st->owner != nullptr) st->owner->evict_one_into_free();
+      },
+      sched::Priority::low);
+}
+
+void SectionCache::evict_one_into_free() {
+  std::lock_guard<SpinLock> g(mu_);
+  if (!free_.empty()) return;  // pressure already relieved
+  // Pure pressure relief, so no admission veto: the coldest unpinned frame
+  // goes (read-hot protection still applies inside the scan). A pre-evicted
+  // frame means the next miss claims from the free list without running the
+  // victim scan inside its reader lane.
+  const std::uint32_t victim = pick_victim_locked();
+  if (victim == kNil) return;
+  unmap_frame_locked(victim);
+  free_.push_back(victim);
 }
 
 SectionCache::Pin SectionCache::populate(std::uint64_t sec,
@@ -292,13 +361,18 @@ SectionCache::Pin SectionCache::populate(std::uint64_t sec,
   // bulk copy) and the evict histogram just the victim selection/unmap.
   const obs::ScopedLatency populate_lat(&populate_hist_);
   std::uint32_t f = kNil;
+  bool at_capacity = false;
   {
     const obs::ScopedLatency evict_lat(&evict_hist_);
     std::lock_guard<SpinLock> g(mu_);
+    at_capacity = free_.empty();
     f = claim_frame_locked(sec);
     if (f == kNil) return {};
     ++resident_;  // reserved; published below
   }
+  // Evict offload point: the claim above had to run a victim scan, so ask
+  // the scheduler to pre-evict one frame off the read path for next time.
+  if (at_capacity) maybe_schedule_evict();
   Frame& fr = frames_[f];
   // Stragglers that pinned before the unmap must drain before we overwrite.
   while (fr.readers.load(std::memory_order_seq_cst) != 0) cpu_relax();

@@ -149,6 +149,15 @@ class SectionCache {
   // construction; the handles deregister with the cache.
   void register_metrics(const std::string& prefix);
 
+  // Background eviction (the scheduler evict-offload point): after a
+  // populate that had to evict — the cache is at capacity — a low-priority
+  // scheduler task pre-evicts one cold frame into the free list, so the
+  // next miss claims a frame without paying the victim scan inside its
+  // reader lane. Off by default; call at setup time (not thread-safe).
+  // Queued tasks hold a detachable state handle, so configure()/destruction
+  // never wait on the scheduler — they just orphan the task.
+  void set_background_evict(bool on);
+
  private:
   static constexpr std::uint64_t kNoSec = ~std::uint64_t{0};
   static constexpr std::uint32_t kNil = ~std::uint32_t{0};
@@ -170,6 +179,14 @@ class SectionCache {
   // nothing is evictable OR the best victim still reads at least as hot as
   // the incoming section (thrash-resistant admission). Caller holds mu_.
   std::uint32_t claim_frame_locked(std::uint64_t incoming_sec);
+  // Policy scan for an evictable frame (no admission veto); kNil when every
+  // candidate is pinned. Caller holds mu_.
+  std::uint32_t pick_victim_locked();
+  // Clear a frame's mapping + policy state (seq_cst unmap pairing with the
+  // pin-then-revalidate in acquire()). Caller holds mu_.
+  void unmap_frame_locked(std::uint32_t f);
+  void maybe_schedule_evict();
+  void evict_one_into_free();
   void lru_unlink_locked(std::uint32_t f);
   void lru_push_front_locked(std::uint32_t f);
   [[nodiscard]] bool read_hot(std::uint64_t sec) const;
@@ -210,6 +227,13 @@ class SectionCache {
   mutable StatCell<std::uint64_t> admit_rejects_;
   mutable StatCell<std::uint64_t> write_updates_;
   mutable StatCell<std::uint64_t> invalidations_;
+
+  // Background-evict handle shared with queued scheduler tasks; owner is
+  // nulled (under its spinlock) on configure()/destruction so an orphaned
+  // task no-ops instead of touching freed frames. Defined in the .cpp.
+  struct BgState;
+  std::shared_ptr<BgState> bg_;
+  std::atomic<bool> bg_enabled_{false};
 
   obs::LatencyHistogram populate_hist_;
   obs::LatencyHistogram evict_hist_;

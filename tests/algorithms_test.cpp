@@ -2,7 +2,6 @@
 // results on random graphs, cross-store agreement, and OpenMP determinism
 // where the algorithm guarantees it.
 #include <gtest/gtest.h>
-#include <omp.h>
 
 #include <algorithm>
 #include <map>
@@ -16,6 +15,7 @@
 #include "src/algorithms/verify.hpp"
 #include "src/graph/adj_graph.hpp"
 #include "src/graph/generators.hpp"
+#include "src/sched/parallel.hpp"
 
 namespace dgap::algorithms {
 namespace {
@@ -173,8 +173,7 @@ TEST_P(ThreadSweep, KernelsStableAcrossThreadCounts) {
   const int threads = GetParam();
   const auto stream = symmetrize(generate_rmat(400, 5000, 3));
   const AdjGraph g(stream);
-  const int saved = omp_get_max_threads();
-  omp_set_num_threads(threads);
+  const par::ScopedKernelThreads scoped(threads);
 
   const NodeId source = max_degree_vertex(g);
   const auto parent = bfs(g, source);
@@ -185,8 +184,6 @@ TEST_P(ThreadSweep, KernelsStableAcrossThreadCounts) {
   EXPECT_TRUE(verify_pagerank(pr));
   const auto bc = betweenness_centrality(g, source);
   EXPECT_TRUE(verify_bc(bc));
-
-  omp_set_num_threads(saved);
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1, 2, 4),
