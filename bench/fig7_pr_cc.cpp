@@ -21,6 +21,11 @@
 // half of the stream while the analysis thread snapshots + runs PageRank
 // in a loop; both sides' throughput is reported (pre-refactor, ingest
 // minting new vertex ids stalled behind a held snapshot).
+// --cold-tier turns --pool-mb into DGAP's PHYSICAL pmem budget (the pool's
+// virtual span is oversized; the SSD tier demotes to stay within budget)
+// and adds the cold-tier section: PR and CC over a store whose enforced
+// budget is half its resident footprint, verified bit-identical to the
+// unconstrained run, with the slowdown factor reported.
 #include <iostream>
 #include <map>
 
@@ -29,9 +34,14 @@
 #include "src/bench_common/harness.hpp"
 #include "src/common/table.hpp"
 #include "src/graph/datasets.hpp"
+#include "src/pmem/alloc.hpp"
 
 using namespace dgap;
 using namespace dgap::bench;
+
+namespace {
+int run(const Cli& cli, BenchConfig& cfg);
+}  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
@@ -45,6 +55,18 @@ int main(int argc, char** argv) {
     std::cerr << cli.program() << ": " << ex.what() << "\n";
     return 2;
   }
+  try {
+    return run(cli, cfg);
+  } catch (const pmem::PoolCapacityError& ex) {
+    // The graph outgrew a fixed-size pool: fail with the actionable
+    // message instead of a bare bad_alloc (check.sh asserts on this).
+    std::cerr << cli.program() << ": " << ex.what() << "\n";
+    return 3;
+  }
+}
+
+namespace {
+int run(const Cli& cli, BenchConfig& cfg) {
   // Analysis benches: the latency model only affects loading (our reads are
   // not charged); default it off so the binaries finish quickly.
   cfg.latency = cli.get_bool("latency", false);
@@ -66,7 +88,9 @@ int main(int argc, char** argv) {
                         "GraphOne-FD", "XPGraph"});
     for (const auto& name : cfg.datasets) {
       const EdgeStream& stream = streams.at(name);
-      auto csr_pool = fresh_pool(cfg.pool_mb);
+      // With --cold-tier, the baselines get the same oversized span as
+      // DGAP (they have no tier; only DGAP is capacity-constrained).
+      auto csr_pool = fresh_pool_for(cfg.pool_mb, cfg.tuning);
       auto csr = make_csr(*csr_pool, stream);
       const bool is_pr = std::string(kernel) == "PR";
       const double base = is_pr ? csr->time_pagerank(1) : csr->time_cc(1);
@@ -77,9 +101,9 @@ int main(int argc, char** argv) {
           row.push_back("-");
           continue;
         }
-        auto pool = fresh_pool(cfg.pool_mb);
+        auto pool = fresh_pool_for(cfg.pool_mb, cfg.tuning);
         auto store = make_store(sys, *pool, stream.num_vertices(),
-                                stream.num_edges(), 1);
+                                stream.num_edges(), 1, cfg.tuning);
         for (const Edge& e : stream.edges()) store->insert(e.src, e.dst);
         store->finalize();
         const double t = std::string(kernel) == "PR"
@@ -156,6 +180,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- SSD cold tier (--cold-tier): capacity-constrained PR+CC -------------
+  if (cfg.tuning.cold_tier &&
+      (cfg.only_system.empty() || cfg.only_system == "dgap")) {
+    const bool ok = print_cold_tier_section(
+        cfg, "PR", "CC",
+        [&](const std::string& name) -> const EdgeStream& {
+          return streams.at(name);
+        },
+        [](const auto& g, NodeId) { return algorithms::pagerank(g); },
+        [](const auto& g, NodeId) {
+          return algorithms::connected_components(g);
+        },
+        std::cout);
+    if (!ok) {
+      std::cerr << "cold-tier: kernel results diverge from the "
+                   "unconstrained path\n";
+      return 1;
+    }
+  }
+
   // --- analysis concurrent with ingest (--live-ingest) ---------------------
   if (cfg.live_ingest &&
       (cfg.only_system.empty() || cfg.only_system == "dgap")) {
@@ -169,3 +213,4 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+}  // namespace

@@ -64,6 +64,23 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"
 ./build/fig7_pr_cc --dram-cache=64 --eviction=clock --datasets=orkut \
   --scale=0.02 --system=dgap --pool-mb=256
 
+# Smoke-run the SSD cold tier under real capacity pressure: --pool-mb=2 is
+# far below the graph's footprint, so the run only completes if demotion
+# keeps residency within budget while kernels stay bit-identical (the
+# section enforces that and the binary exits non-zero on divergence).
+./build/fig7_pr_cc --cold-tier --datasets=orkut --scale=0.05 \
+  --system=dgap --pool-mb=2
+# Same run without the tier must fail with the actionable capacity error,
+# not a bare bad_alloc or a crash.
+if OUT=$(./build/fig7_pr_cc --datasets=orkut --scale=0.05 --system=dgap \
+    --pool-mb=2 2>&1); then
+  echo "check.sh: undersized tier-off run unexpectedly succeeded" >&2
+  exit 1
+elif ! grep -q "pool capacity exceeded" <<<"$OUT"; then
+  echo "check.sh: missing capacity-error message, got: $OUT" >&2
+  exit 1
+fi
+
 # Smoke-run the observability exporters: fig6 and streaming_analytics with
 # the metrics sampler and structural trace ring on. Every artifact must be
 # non-empty, parseable JSON (JSON-lines for metrics, chrome://tracing for
@@ -152,6 +169,12 @@ expect_reject ./build/fig6_insert_throughput --metrics-interval-ms=0
 expect_reject ./build/fig6_insert_throughput --metrics-interval-ms=nope
 expect_reject ./build/streaming_analytics --metrics-interval-ms=0
 expect_reject ./build/streaming_analytics --metrics-interval-ms=nope
+expect_reject ./build/fig7_pr_cc --cold-tier=nope
+expect_reject ./build/fig7_pr_cc --cold-pread=maybe
+expect_reject ./build/fig7_pr_cc --uring-depth=0
+expect_reject ./build/fig7_pr_cc --uring-depth=nope
+expect_reject ./build/fig7_pr_cc --uring-depth=-4
+expect_reject ./build/fig8_bfs_bc --cold-tier=bogus
 expect_reject ./build/fig6_insert_throughput --threads=0
 expect_reject ./build/fig6_insert_throughput --threads=nope
 expect_reject ./build/fig6_insert_throughput --threads=100000

@@ -20,6 +20,7 @@
 #include "src/common/bitmap.hpp"
 #include "src/common/sliding_queue.hpp"
 #include "src/sched/parallel.hpp"
+#include "src/tier/streaming.hpp"
 
 namespace dgap::algorithms {
 
@@ -29,6 +30,9 @@ std::vector<double> betweenness_centrality(
   const NodeId n = g.num_nodes();
   std::vector<double> scores(static_cast<std::size_t>(n), 0.0);
   if (n == 0) return scores;
+  // BC touches each frontier edge once per direction per source — a
+  // streaming pattern the DRAM section cache should not populate from.
+  const tier::StreamingReadScope streaming;
 
   std::vector<std::atomic<std::int64_t>> sigma(static_cast<std::size_t>(n));
   std::vector<std::int32_t> depth(static_cast<std::size_t>(n));

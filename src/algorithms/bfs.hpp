@@ -20,6 +20,7 @@
 #include "src/common/bitmap.hpp"
 #include "src/common/sliding_queue.hpp"
 #include "src/sched/parallel.hpp"
+#include "src/tier/streaming.hpp"
 
 namespace dgap::algorithms {
 
@@ -130,6 +131,10 @@ template <GraphView G>
 std::vector<NodeId> bfs(const G& g, NodeId source,
                         const BfsParams& params = {}) {
   const NodeId n = g.num_nodes();
+  // Single-pass frontier expansion: each edge is touched O(1) times, so
+  // populating the DRAM section cache would only evict iterative kernels'
+  // hot sections (the fig8 single-pass regression).
+  const tier::StreamingReadScope streaming;
   std::vector<NodeId> parent(static_cast<std::size_t>(n));
   par::for_blocks(n, 4096, [&](std::int64_t b, std::int64_t e) {
     for (NodeId v = b; v < e; ++v) parent[v] = -(g.out_degree(v) + 1);

@@ -83,6 +83,23 @@ BenchConfig parse_common(const Cli& cli, double default_scale,
             cli.get("dram-cache", ""), "--dram-cache", 1 << 20));
   if (cli.has("eviction"))
     cfg.tuning.eviction = tier::parse_eviction(cli.get("eviction", ""));
+  // Tier toggles are parsed strictly (unlike get_bool, which maps any
+  // unknown token to false): silently ignoring a typo here would make a
+  // capacity-constrained run fail much later with a confusing OOM.
+  const auto strict_bool = [&cli](const std::string& key) {
+    const std::string v = cli.get(key, "");
+    if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+    throw std::invalid_argument("--" + key + " expects a boolean, got '" + v +
+                                "'");
+  };
+  if (cli.has("cold-tier")) cfg.tuning.cold_tier = strict_bool("cold-tier");
+  cfg.tuning.cold_file = cli.get("cold-file", "");
+  if (cli.has("uring-depth"))
+    cfg.tuning.uring_depth =
+        static_cast<std::uint32_t>(parse_positive_int_capped(
+            cli.get("uring-depth", ""), "--uring-depth", 4096));
+  if (cli.has("cold-pread")) cfg.tuning.cold_pread = strict_bool("cold-pread");
   if (cli.has("pm-read-ns"))
     cfg.pm_read_ns = static_cast<std::uint64_t>(parse_positive_int_capped(
         cli.get("pm-read-ns", ""), "--pm-read-ns", 1000000));
@@ -560,7 +577,7 @@ LoadedDgap load_dgap_for_analysis(const EdgeStream& stream,
                                   std::uint64_t pool_mb,
                                   const StoreTuning& tuning) {
   LoadedDgap l;
-  l.pool = fresh_pool(pool_mb);
+  l.pool = fresh_pool_for(pool_mb, tuning);
   core::DgapOptions o;
   o.init_vertices = stream.num_vertices();
   o.init_edges = stream.num_edges();
@@ -568,6 +585,7 @@ LoadedDgap load_dgap_for_analysis(const EdgeStream& stream,
   o.section_slots_hint = tuning.section_slots;
   o.dram_cache_mb = tuning.dram_cache_mb;
   o.eviction = tuning.eviction;
+  apply_cold_tuning(o, tuning, pool_mb);
   l.store = core::DgapStore::create(*l.pool, o);
   constexpr std::size_t kChunk = 8192;
   const auto all = stream.all();
@@ -594,6 +612,23 @@ std::unique_ptr<pmem::PmemPool> fresh_pool(std::uint64_t mb) {
   return pmem::PmemPool::create({.path = "", .size = mb << 20});
 }
 
+std::unique_ptr<pmem::PmemPool> fresh_pool_for(std::uint64_t mb,
+                                               const StoreTuning& tuning) {
+  // With the cold tier on, --pool-mb is the PHYSICAL budget: give the pool
+  // a larger virtual span and let demotion keep residency within budget.
+  return fresh_pool(tuning.cold_tier ? mb * kColdVirtualFactor : mb);
+}
+
+void apply_cold_tuning(core::DgapOptions& o, const StoreTuning& tuning,
+                       std::uint64_t pool_mb) {
+  if (!tuning.cold_tier) return;
+  o.cold_tier = true;
+  o.cold_tier_path = tuning.cold_file;
+  o.cold_tier_budget_bytes = pool_mb << 20;
+  o.uring_depth = tuning.uring_depth;
+  o.cold_tier_pread = tuning.cold_pread;
+}
+
 void print_banner(const std::string& title, const BenchConfig& cfg) {
   std::cout << "### " << title << "\n"
             << "# scale=" << cfg.scale << " latency_model="
@@ -612,6 +647,9 @@ void print_banner(const std::string& title, const BenchConfig& cfg) {
   if (cfg.tuning.dram_cache_mb != 0)
     std::cout << " dram-cache=" << cfg.tuning.dram_cache_mb
               << "MB eviction=" << tier::eviction_name(cfg.tuning.eviction);
+  if (cfg.tuning.cold_tier)
+    std::cout << " cold-tier=on uring-depth=" << cfg.tuning.uring_depth
+              << (cfg.tuning.cold_pread ? " cold-io=pread" : "");
   if (cfg.csr_cache) std::cout << " csr-cache=on";
   if (cfg.live_ingest)
     std::cout << " live-ingest=on live-producers=" << cfg.live_producers;
@@ -673,6 +711,11 @@ class DgapModel final : public IStore {
     o.section_slots_hint = tuning.section_slots;
     o.dram_cache_mb = tuning.dram_cache_mb;
     o.eviction = tuning.eviction;
+    // Cold-tier pools come from fresh_pool_for(), whose span is the
+    // physical budget times kColdVirtualFactor — recover the budget.
+    if (tuning.cold_tier)
+      apply_cold_tuning(o, tuning,
+                        (pool.size() / kColdVirtualFactor) >> 20);
     store_ = core::DgapStore::create(pool, o);
   }
   void insert(NodeId s, NodeId d) override { store_->insert_edge(s, d); }

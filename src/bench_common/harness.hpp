@@ -37,7 +37,21 @@ struct StoreTuning {
   // DRAM hot tier over the pmem edge array (src/tier/): 0 disables.
   std::uint32_t dram_cache_mb = 0;
   tier::Eviction eviction = tier::Eviction::lru;
+  // SSD cold tier below the pmem pool (src/tier/cold_tier.*): with
+  // --cold-tier on, --pool-mb becomes the PHYSICAL pmem budget — the pool
+  // is created with kColdVirtualFactor x the virtual span and the tier
+  // demotes cold sections to the backing file to keep residency within
+  // budget, so graphs larger than --pool-mb stay serveable.
+  bool cold_tier = false;
+  std::string cold_file;  // backing file; empty = unlinked temp file
+  std::uint32_t uring_depth = 64;
+  bool cold_pread = false;  // force the pread/pwrite fallback transport
 };
+
+// Virtual-over-physical headroom for --cold-tier pools: the address span
+// is this factor larger than --pool-mb, the cold tier keeps the RESIDENT
+// bytes within --pool-mb.
+inline constexpr std::uint64_t kColdVirtualFactor = 16;
 
 struct BenchConfig {
   double scale = 1.0;  // dataset scale multiplier (see datasets.hpp)
@@ -175,6 +189,17 @@ void configure_latency_with_read(bool enabled,
 
 // Fresh anonymous pool (benches do not need cross-process durability).
 std::unique_ptr<pmem::PmemPool> fresh_pool(std::uint64_t mb);
+
+// Pool sized for the tuning: plain `mb` normally, `mb * kColdVirtualFactor`
+// of virtual span when the cold tier is on (the tier enforces `mb` as the
+// physical budget).
+std::unique_ptr<pmem::PmemPool> fresh_pool_for(std::uint64_t mb,
+                                               const StoreTuning& tuning);
+
+// Copy the tuning's cold-tier knobs into store options; `pool_mb` becomes
+// the tier's physical budget.
+void apply_cold_tuning(core::DgapOptions& o, const StoreTuning& tuning,
+                       std::uint64_t pool_mb);
 
 // Print a standard bench banner so outputs are self-describing.
 void print_banner(const std::string& title, const BenchConfig& cfg);
@@ -518,6 +543,94 @@ bool print_dram_cache_section(
   if (all_identical)
     os << "# dram-cache: kernel results verified identical cache-on vs "
           "cache-off; csr column is the uncharged DRAM-speed floor\n";
+  return all_identical;
+}
+
+// --- --cold-tier section (fig7) ---------------------------------------------
+
+// The SSD cold-tier report: per dataset, run kernel A and kernel B over an
+// unconstrained store (tier off, everything resident in pmem) and over a
+// capacity-constrained store whose enforced budget is HALF the actual
+// post-load resident footprint — the edge array provably exceeds what pmem
+// may hold, so a real fraction of sections is served from (and promoted
+// off) the SSD backing file during the kernels. Reports the slowdown
+// factor and the tier's counters; returns false if any kernel result
+// diverges (hard failure — tiering must be semantically invisible).
+template <typename KernelA, typename KernelB>
+bool print_cold_tier_section(
+    const BenchConfig& cfg, const char* a_label, const char* b_label,
+    const std::function<const EdgeStream&(const std::string&)>& stream_for,
+    KernelA&& kernel_a, KernelB&& kernel_b, std::ostream& os) {
+  os << "\n--- DGAP SSD cold tier: " << a_label << " + " << b_label
+     << " with budget = resident/2 (uring-depth=" << cfg.tuning.uring_depth
+     << ", 1 thread) ---\n";
+  TablePrinter table({"Graph", "resident MB", "budget MB", "cold sect",
+                      "full(s)", "cold(s)", "slowdown", "identical"});
+  const par::ScopedKernelThreads one_thread(1);
+  bool all_identical = true;
+  tier::ColdStats totals;
+  const char* backend = "off";
+  for (const auto& name : cfg.datasets) {
+    const EdgeStream& stream = stream_for(name);
+
+    // Unconstrained baseline: tier off, the whole edge array in pmem. It
+    // gets the same oversized span the constrained store's pool has —
+    // --pool-mb is the budget under test, not a cap on the baseline.
+    StoreTuning flat = cfg.tuning;
+    flat.cold_tier = false;
+    const LoadedDgap full = load_dgap_for_analysis(
+        stream, cfg.pool_mb * kColdVirtualFactor, flat);
+    const core::Snapshot full_view = full.store->consistent_view();
+    const NodeId source = algorithms::max_degree_vertex(full_view);
+    Timer tf;
+    const auto full_a = kernel_a(full_view, source);
+    const auto full_b = kernel_b(full_view, source);
+    const double full_s = tf.seconds();
+
+    // Constrained: same load, then clamp the budget to half the measured
+    // footprint and enforce it synchronously — the kernels start against a
+    // store at least half of whose sections live on SSD.
+    const LoadedDgap cold =
+        load_dgap_for_analysis(stream, cfg.pool_mb, cfg.tuning);
+    const std::uint64_t resident = cold.store->resident_bytes();
+    const std::uint64_t budget = std::max<std::uint64_t>(resident / 2, 1);
+    cold.store->set_cold_budget_bytes(budget);
+    cold.store->cold_enforce_budget();
+    const std::uint64_t cold_sections = cold.store->cold_stats().cold_sections;
+    backend = cold.store->cold_io_backend();
+    const core::Snapshot cold_view = cold.store->consistent_view();
+    Timer tc;
+    const auto cold_a = kernel_a(cold_view, source);
+    const auto cold_b = kernel_b(cold_view, source);
+    const double cold_s = tc.seconds();
+    const tier::ColdStats cs = cold.store->cold_stats();
+    totals.demotions += cs.demotions;
+    totals.promotions += cs.promotions;
+    totals.cold_reads += cs.cold_reads;
+    totals.cold_read_bytes += cs.cold_read_bytes;
+    totals.read_retries += cs.read_retries;
+
+    const bool identical = full_a == cold_a && full_b == cold_b;
+    all_identical = all_identical && identical;
+    table.add_row({name, TablePrinter::fmt(resident / (1024.0 * 1024.0), 1),
+                   TablePrinter::fmt(budget / (1024.0 * 1024.0), 1),
+                   std::to_string(cold_sections),
+                   TablePrinter::fmt(full_s, 3), TablePrinter::fmt(cold_s, 3),
+                   TablePrinter::fmt(cold_s / full_s, 2) + "x",
+                   identical ? "yes" : "NO (BUG)"});
+    if (!identical) break;
+  }
+  table.print(os);
+  os << "# cold-tier counters: io=" << backend
+     << " demotions=" << totals.demotions
+     << " promotions=" << totals.promotions
+     << " cold_reads=" << totals.cold_reads
+     << " cold_read_MB=" << totals.cold_read_bytes / (1u << 20)
+     << " read_retries=" << totals.read_retries << "\n";
+  if (all_identical)
+    os << "# cold-tier: kernel results verified identical constrained vs "
+          "unconstrained; slowdown is the price of serving the overflow "
+          "from SSD\n";
   return all_identical;
 }
 

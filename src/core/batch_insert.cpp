@@ -76,6 +76,7 @@ void DgapStore::update_batch_internal(std::span<const Edge> all,
     // "No EL" ablation: occupied-destination inserts need nearby shifts,
     // which are inherently one-at-a-time structural ops.
     for (const Edge& e : all) insert_internal(e.src, e.dst, tombstone);
+    cold_maybe_schedule_enforce();
     return;
   }
 
@@ -167,6 +168,14 @@ void DgapStore::update_batch_internal(std::span<const Edge> all,
         last = std::min(last + 1, nseg - 1);
 
         for (std::uint64_t s = home; s <= last; ++s) sections_[s].lock.lock();
+        if (DGAP_UNLIKELY(cold_ != nullptr)) {
+          // Writers always write pmem: promote the whole locked group and
+          // feed the churn EWMA (write-warm sections resist demotion).
+          for (std::uint64_t s = home; s <= last; ++s) {
+            ensure_resident_locked(s);
+            cold_->note_write(s);
+          }
+        }
 
         SectionMeta& sm = sections_[home];
         const std::uint32_t el_base = sm.elog_raw;
@@ -333,6 +342,9 @@ void DgapStore::update_batch_internal(std::span<const Edge> all,
       work.swap(deferred);
     }
   }
+  // Batch absorption is the main pmem-pressure event: kick the cold-tier
+  // budget enforcer (no-op when the tier is off or under budget).
+  cold_maybe_schedule_enforce();
 }
 
 }  // namespace dgap::core

@@ -84,6 +84,16 @@ void DgapStore::adopt_layout(const DgapLayout& l) {
   seg_shift_ = log2_floor(l.segment_slots);
   elog_entries_ = l.elog_entries;
   sections_.ensure(num_segments_);
+  residency_ =
+      l.residency_off != 0 ? pool_.at<std::uint64_t>(l.residency_off) : nullptr;
+  if (cold_ != nullptr) {
+    // Resize flip: the new layout starts all-resident (resize promotes every
+    // cold section before rebuilding), so the backing file is simply
+    // re-stamped for the new geometry. Callers flip root_->layout_off before
+    // adopting, so the stamp identifies the layout now live.
+    cold_->reconfigure(root_->layout_off, num_segments_,
+                       seg_slots_ * sizeof(Slot));
+  }
 
   // (Re)shape the DRAM hot tier for this layout's section geometry. Every
   // adopt happens either inside the structural gate (resize flip) or before
@@ -134,6 +144,7 @@ std::unique_ptr<DgapStore> DgapStore::create(pmem::PmemPool& pool,
     throw std::invalid_argument("segment_slots must be a power of two");
   std::unique_ptr<DgapStore> store(new DgapStore(pool, opts));
   store->init_fresh(opts);
+  store->cold_attach();
   store->register_metrics();
   return store;
 }
@@ -183,6 +194,13 @@ void DgapStore::init_fresh(const DgapOptions& opts) {
   layout.edge_array_off = alloc.alloc(cap * sizeof(Slot), 4096);
   layout.elog_region_off =
       alloc.alloc(nsegs * layout.elog_entries * sizeof(ElogEntry), 4096);
+  // Cold-tier residency words, always allocated (zeroed = all resident) so
+  // the tier can be toggled per run without a format change.
+  layout.residency_off = alloc.alloc(nsegs * sizeof(std::uint64_t), 64);
+  std::memset(pool_.at<char>(layout.residency_off), 0,
+              nsegs * sizeof(std::uint64_t));
+  pool_.persist(pool_.at<char>(layout.residency_off),
+                nsegs * sizeof(std::uint64_t));
 
   std::memset(pool_.at<char>(layout.edge_array_off), 0, cap * sizeof(Slot));
   pool_.persist(pool_.at<char>(layout.edge_array_off), cap * sizeof(Slot));
@@ -285,6 +303,41 @@ void DgapStore::register_metrics() {
   metric_handles_.push_back(reg.add_histogram(
       p + "resize_ns", [this] { return resize_hist_.snapshot(); }));
   if (cache_) cache_->register_metrics(p + "cache_");
+  if (cold_) {
+    const std::string cp = p + "cold_";
+    const auto cold_counter = [&](const char* name, auto getter) {
+      metric_handles_.push_back(reg.add_counter(
+          cp + name, [this, getter] {
+            return static_cast<double>(getter(cold_->stats()));
+          }));
+    };
+    cold_counter("demotions",
+                 [](const tier::ColdStats& s) { return s.demotions; });
+    cold_counter("promotions",
+                 [](const tier::ColdStats& s) { return s.promotions; });
+    cold_counter("reads",
+                 [](const tier::ColdStats& s) { return s.cold_reads; });
+    cold_counter("read_bytes",
+                 [](const tier::ColdStats& s) { return s.cold_read_bytes; });
+    cold_counter("demoted_bytes",
+                 [](const tier::ColdStats& s) { return s.demoted_bytes; });
+    cold_counter("promoted_bytes",
+                 [](const tier::ColdStats& s) { return s.promoted_bytes; });
+    cold_counter("read_retries",
+                 [](const tier::ColdStats& s) { return s.read_retries; });
+    metric_handles_.push_back(reg.add_gauge(cp + "sections", [this] {
+      return static_cast<double>(cold_->cold_sections());
+    }));
+    metric_handles_.push_back(reg.add_gauge(cp + "resident_bytes", [this] {
+      return static_cast<double>(pool_.resident_bytes());
+    }));
+    metric_handles_.push_back(reg.add_histogram(cp + "demote_ns", [this] {
+      return cold_->demote_hist().snapshot();
+    }));
+    metric_handles_.push_back(reg.add_histogram(cp + "promote_ns", [this] {
+      return cold_->promote_hist().snapshot();
+    }));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -335,6 +388,8 @@ void DgapStore::append_vertex_locked(NodeId v) {
     }
     const std::uint64_t sec = sec_of(pos);
     sections_[sec].lock.lock();
+    ensure_resident_locked(sec);  // cold tier: writers always write pmem
+    if (cold_ != nullptr) cold_->note_write(sec);
     // Re-validate: a rebalance may have moved the tail.
     const std::uint64_t pos2 =
         v == 0 ? 0
@@ -410,6 +465,16 @@ void DgapStore::insert_internal(NodeId src, NodeId dst, bool tombstone) {
     }
 
     for (std::uint64_t s = first; s <= last; ++s) sections_[s].lock.lock();
+    if (DGAP_UNLIKELY(cold_ != nullptr)) {
+      // Writers always write pmem: promote every locked section up front
+      // (the elog home is in [first, last], so the log append below is
+      // covered too) and feed the churn EWMA that keeps write-warm sections
+      // out of the demotion victim list.
+      for (std::uint64_t s = first; s <= last; ++s) {
+        ensure_resident_locked(s);
+        cold_->note_write(s);
+      }
+    }
     const VertexEntry& live = entries_[src];
     if (live.start != e.start || seg_slots_ != ss ||
         live.arr_count != e.arr_count || live.el_count != e.el_count) {
@@ -929,25 +994,30 @@ bool DgapStore::check_invariants(std::string* why) const {
     ++runs_seen;
     return true;
   };
-  for (std::uint64_t pos = 0; pos < capacity_; ++pos) {
-    const Slot s = slots_[pos];
-    if (is_gap(s)) {
-      if (cur != kInvalidNode) in_gap_tail = true;
-      continue;
-    }
-    seg_used[sec_of(pos)] += 1;
-    if (is_pivot(s)) {
-      if (!close_run()) return false;
-      cur = pivot_vertex(s);
-      if (cur < 0 || cur >= n) return fail("pivot for unknown vertex");
-      if (entries_[cur].start != pos)
-        return fail("entry start does not match pivot position");
-      cur_edges = 0;
-      in_gap_tail = false;
-    } else {
-      if (cur == kInvalidNode) return fail("edge before any pivot");
-      if (in_gap_tail) return fail("edge after gap inside a run");
-      ++cur_edges;
+  std::vector<Slot> scan_buf;  // cold-section staging (section_for_scan)
+  for (std::uint64_t seg = 0; seg < num_segments_; ++seg) {
+    const Slot* sec_slots = section_for_scan(seg, scan_buf);
+    for (std::uint64_t i = 0; i < seg_slots_; ++i) {
+      const std::uint64_t pos = (seg << seg_shift_) + i;
+      const Slot s = sec_slots[i];
+      if (is_gap(s)) {
+        if (cur != kInvalidNode) in_gap_tail = true;
+        continue;
+      }
+      seg_used[seg] += 1;
+      if (is_pivot(s)) {
+        if (!close_run()) return false;
+        cur = pivot_vertex(s);
+        if (cur < 0 || cur >= n) return fail("pivot for unknown vertex");
+        if (entries_[cur].start != pos)
+          return fail("entry start does not match pivot position");
+        cur_edges = 0;
+        in_gap_tail = false;
+      } else {
+        if (cur == kInvalidNode) return fail("edge before any pivot");
+        if (in_gap_tail) return fail("edge after gap inside a run");
+        ++cur_edges;
+      }
     }
   }
   if (!close_run()) return false;

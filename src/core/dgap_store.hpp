@@ -45,7 +45,9 @@
 #include "src/sched/task_scheduler.hpp"
 #include "src/pmem/pool.hpp"
 #include "src/pmem/tx.hpp"
+#include "src/tier/cold_tier.hpp"
 #include "src/tier/dram_cache.hpp"
+#include "src/tier/streaming.hpp"
 
 namespace dgap::core {
 
@@ -188,6 +190,35 @@ class DgapStore {
   [[nodiscard]] tier::CacheStats cache_stats() const {
     return cache_ ? cache_->stats() : tier::CacheStats{};
   }
+
+  // --- SSD cold tier (src/tier/cold_tier.hpp, protocol in cold_ops.cpp) ----
+  [[nodiscard]] bool cold_tier_active() const { return cold_ != nullptr; }
+  [[nodiscard]] tier::ColdStats cold_stats() const {
+    return cold_ ? cold_->stats() : tier::ColdStats{};
+  }
+  [[nodiscard]] const char* cold_io_backend() const {
+    return cold_ ? cold_->io_backend() : "off";
+  }
+  // Pool bytes currently believed resident (allocator bump minus demoted
+  // sections) — what the demotion pass compares against the budget.
+  [[nodiscard]] std::uint64_t resident_bytes() const {
+    return pool_.resident_bytes();
+  }
+  // Run one budget-enforcement pass inline: decay the EWMAs and demote the
+  // coldest write-quiet sections until resident_bytes() <= budget. Normally
+  // triggered automatically after batch absorption / resize; public so
+  // benches and tests can force a deterministic pass.
+  void cold_enforce_budget();
+  // Re-aim the tier's pmem budget at runtime (the bench harness sizes it
+  // from the actual post-load footprint). No-op when the tier is off or
+  // bytes == 0; the next enforcement pass applies it.
+  void set_cold_budget_bytes(std::uint64_t bytes) {
+    if (cold_ != nullptr && bytes != 0)
+      cold_budget_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  // Test hooks: demote every eligible section / promote everything back.
+  void debug_cold_demote_all();
+  void debug_cold_promote_all();
 
   // Latency distributions (ns): snapshot-freeze duration (one sample per
   // consistent_view/capture), window-rebalance duration, and resize
@@ -422,6 +453,39 @@ class DgapStore {
                        std::uint64_t new_start, bool tail_first,
                        std::uint64_t start_cursor, std::uint32_t tid);
 
+  // --- SSD cold tier protocol (cold_ops.cpp) --------------------------------
+  // Which pmem bytes move when, under which locks/gates, and when the
+  // persisted residency word flips. Mechanics (file, io_uring, EWMAs) live
+  // in tier::ColdTier; see cold_ops.cpp for the full crash-safety argument.
+  void cold_attach();                  // create/open the tier after adopt
+  [[nodiscard]] std::uint64_t cold_residency_word(std::uint64_t sec) const;
+  [[nodiscard]] bool cold_is_cold(std::uint64_t sec) const;
+  // Reader path: when `sec` is cold, fill `buf` with its slot image from
+  // the backing file (generation-revalidated against promote/demote churn)
+  // and return true; false = resident, read pmem. Takes no locks.
+  bool cold_read_if_cold(std::uint64_t sec, std::vector<Slot>& buf) const;
+  // Single-slot probe for rebalance boundary walks: pmem when resident,
+  // the cold image otherwise (same revalidation loop). Takes no locks.
+  [[nodiscard]] Slot cold_probe_slot(std::uint64_t pos) const;
+  // Synchronous promotion; caller holds the section's writer lock. Every
+  // writer calls this before touching a section's slots or elog.
+  void ensure_resident_locked(std::uint64_t sec);
+  // Promotion that takes the section lock itself (async task body).
+  void cold_promote(std::uint64_t sec);
+  // Enqueue an async promotion on the scheduler's low lane (reader hits on
+  // cold sections). Deduped per section; tracked in rebalance_wg_.
+  void cold_schedule_promote(std::uint64_t sec) const;
+  // Demote one section. Caller holds rebalance_mu_ (windowed-gate
+  // contract); returns false when the section became ineligible.
+  bool cold_demote_one(std::uint64_t sec);
+  void cold_enforce_budget_locked();   // rebalance_mu_ held
+  void cold_maybe_schedule_enforce();  // post-batch/post-promote trigger
+  // Per-section pmem bytes a demotion releases (slots + elog tail).
+  [[nodiscard]] std::uint64_t cold_section_pmem_bytes() const;
+  // Scan source for one section: pmem when resident, the cold-file image
+  // staged into `buf` otherwise (check_invariants, recovery scan).
+  const Slot* section_for_scan(std::uint64_t sec, std::vector<Slot>& buf) const;
+
   // --- ablation: metadata-on-PM cost emulation --------------------------------
   void mirror_vertex(NodeId v);
   void mirror_segment(std::uint64_t seg);
@@ -538,6 +602,24 @@ class DgapStore {
   // populates frames from const methods; the cache is internally
   // synchronized per the contract in dram_cache.hpp.
   mutable std::unique_ptr<tier::SectionCache> cache_;
+  // SSD cold tier (null when opts_.cold_tier is off). Mutable for the same
+  // reason: const snapshot reads serve cold sections from the file and bump
+  // its counters/EWMAs.
+  mutable std::unique_ptr<tier::ColdTier> cold_;
+  // Volatile pointer to the persisted residency words of the live layout
+  // (pool_.at(layout.residency_off)); refreshed in adopt_layout under the
+  // same stability rules as slots_.
+  std::uint64_t* residency_ = nullptr;
+  std::atomic<std::uint64_t> cold_budget_bytes_{0};
+  // Async promote dedup (at most one in-flight promotion per section) + one
+  // in-flight budget pass. Fixed-size hashed flags, touch_marks_-style: a
+  // resize must never reallocate storage an already-queued task still
+  // indexes, and a hash collision only suppresses a duplicate schedule (the
+  // next cold read re-triggers it) — never correctness.
+  static constexpr std::size_t kColdPendingSlots = 4096;
+  mutable std::array<std::atomic<std::uint8_t>, kColdPendingSlots>
+      cold_promote_pending_{};
+  mutable std::atomic<bool> cold_enforce_inflight_{false};
   // Shared resize token gate; null = ungated (see set_structural_budget).
   std::shared_ptr<StructuralBudget> struct_budget_;
 
@@ -652,6 +734,7 @@ bool DgapStore::emit_run_frozen(std::uint64_t first, std::uint32_t count,
                                 F&& emit) const {
   std::uint64_t pos = first;
   std::uint32_t left = count;
+  thread_local std::vector<Slot> cold_scratch;  // cold-section file staging
   while (left > 0) {
     const std::uint64_t sec = sec_of(pos);
     const std::uint64_t sec_base = sec << seg_shift_;
@@ -659,16 +742,36 @@ bool DgapStore::emit_run_frozen(std::uint64_t first, std::uint32_t count,
         std::min<std::uint64_t>(left, sec_base + seg_slots_ - pos));
     const Slot* src = nullptr;
     tier::SectionCache::Pin pin;
-    if (DGAP_UNLIKELY(cache_ != nullptr)) {
+    if (DGAP_UNLIKELY(cold_ != nullptr)) {
+      // Feed the placement EWMA first so a section being read stops looking
+      // demotable, then serve straight from the file buffer if it is cold
+      // (an async promotion is scheduled inside; this read never waits on
+      // it). The residency probe happens AFTER read_frozen_range acquired
+      // arr_count — the ordering the cold-read correctness argument in
+      // cold_ops.cpp depends on.
+      cold_->note_read(sec);
+      if (cold_read_if_cold(sec, cold_scratch))
+        src = cold_scratch.data() + (pos - sec_base);
+    }
+    if (src == nullptr && DGAP_UNLIKELY(cache_ != nullptr)) {
       pin = cache_->acquire(sec);
-      if (!pin && cache_->should_admit(sec)) {
-        // Populate needs the section's writer lock to exclude appenders for
-        // the copy window — but never block for it inside a reader lane (a
-        // structural op may hold the lock while draining the lanes we sit
-        // in). try_lock keeps the miss path deadlock-free.
-        if (sections_[sec].lock.try_lock()) {
-          pin = cache_->populate(sec, slots_ + sec_base);
-          sections_[sec].lock.unlock_no_pending();
+      if (!pin) {
+        if (DGAP_UNLIKELY(tier::streaming_reads_active())) {
+          // Single-pass kernel (BFS/BC) declared itself streaming: serve
+          // the bulk read below without admitting a frame. Populating for
+          // a read that revisits each section ~2-3 times costs about what
+          // it saves (the PR-6 breakeven), so the bypass keeps single-pass
+          // kernels at cache-off speed while hits still hit above.
+          cache_->note_stream_bypass();
+        } else if (cache_->should_admit(sec)) {
+          // Populate needs the section's writer lock to exclude appenders
+          // for the copy window — but never block for it inside a reader
+          // lane (a structural op may hold the lock while draining the
+          // lanes we sit in). try_lock keeps the miss path deadlock-free.
+          if (sections_[sec].lock.try_lock()) {
+            pin = cache_->populate(sec, slots_ + sec_base);
+            sections_[sec].lock.unlock_no_pending();
+          }
         }
       }
       if (pin) src = pin.data + (pos - sec_base);

@@ -19,6 +19,15 @@ struct DgapLayout {
   std::uint64_t segment_slots;  // capacity_slots / num_segments
   std::uint64_t elog_region_off;  // num_segments * elog_entries * 12 B
   std::uint64_t elog_entries;     // entries per section
+  // SSD cold tier (src/tier/cold_tier.hpp): num_segments residency words,
+  // one per section. Word format: bit 63 = section is demoted to the cold
+  // file, bits 0..62 = demotion generation stamp (monotone per section;
+  // echoed in the cold file so a stale image is never trusted). A word is
+  // flipped to "cold" only *after* the section image is durable on the SSD,
+  // so recovery can treat the bitmap as authoritative and a torn demotion
+  // simply reads as still-resident in pmem. Always allocated (zeroed = all
+  // resident) so a pool created with the tier off can reopen with it on.
+  std::uint64_t residency_off;
 };
 
 struct DgapRoot {
@@ -47,10 +56,21 @@ struct DgapRoot {
   std::uint32_t shard_reserved;
 };
 
-// Root magic doubles as the format version: "DGAPSTO2" — bumped from
-// "DGAPSTOR" when the shard-identity fields grew DgapRoot, so a pool
-// written by the old layout is rejected at open instead of misread.
-inline constexpr std::uint64_t kDgapMagic = 0x4447'4150'5354'4f32ULL;
+// Root magic doubles as the format version: "DGAPSTO3" — bumped from
+// "DGAPSTO2" when the cold-tier residency map grew DgapLayout (and from
+// "DGAPSTOR" before that, when the shard-identity fields grew DgapRoot),
+// so a pool written by an old layout is rejected at open instead of
+// misread.
+inline constexpr std::uint64_t kDgapMagic = 0x4447'4150'5354'4f33ULL;
+
+// Residency-word helpers (DgapLayout::residency_off).
+inline constexpr std::uint64_t kResidencyColdBit = 1ull << 63;
+inline constexpr bool residency_is_cold(std::uint64_t word) {
+  return (word & kResidencyColdBit) != 0;
+}
+inline constexpr std::uint64_t residency_gen(std::uint64_t word) {
+  return word & ~kResidencyColdBit;
+}
 
 // Per-writer-thread undo log: a persistent descriptor of the in-flight
 // structural operation plus a data area backing up destination bytes about

@@ -78,19 +78,28 @@ void DgapStore::trigger_rebalance(std::uint64_t seg_hint, bool force,
     std::uint64_t e = win.end_seg;
     bool resized_instead = false;
     for (;;) {
-      for (std::uint64_t s = b; s < e; ++s) sections_[s].lock.lock();
+      // Promote while locking: the window is about to be gathered and
+      // rewritten in pmem. rebalance_mu_ (held) excludes demotions, so the
+      // window stays resident for the whole operation.
+      for (std::uint64_t s = b; s < e; ++s) {
+        sections_[s].lock.lock();
+        ensure_resident_locked(s);
+      }
       std::uint64_t nb = b;
       std::uint64_t ne = e;
       const std::uint64_t wb = b * seg_slots_;
       const std::uint64_t we = std::min(e * seg_slots_, capacity_);
+      // Boundary walks step OUTSIDE the locked window, where a section may
+      // be cold: cold_probe_slot reads pmem when resident and the cold-file
+      // image otherwise, without taking the (down-order) section lock.
       if (wb > 0 && is_edge(slots_[wb])) {
         std::uint64_t p = wb;
-        while (p > 0 && !is_pivot(slots_[p])) --p;
+        while (p > 0 && !is_pivot(cold_probe_slot(p))) --p;
         nb = sec_of(p);
       }
-      if (we < capacity_ && is_edge(slots_[we])) {
+      if (we < capacity_ && is_edge(cold_probe_slot(we))) {
         std::uint64_t p = we;
-        while (p < capacity_ && is_edge(slots_[p])) ++p;
+        while (p < capacity_ && is_edge(cold_probe_slot(p))) ++p;
         ne = sec_of(p - 1) + 1;
       }
       if (nb == b && ne == e) {
@@ -464,6 +473,15 @@ void DgapStore::resize_and_rebuild(std::uint64_t extra_slots) {
   const std::uint64_t old_segments = num_segments_;
   lock_sections_upto(old_segments);
 
+  // Cold tier: the gather below scans the WHOLE old array, and the new image
+  // is built from the old pmem slots — promote everything first. A transient
+  // resident spike up to the old array size is accepted (the alternative,
+  // staging cold sections piecemeal, complicates the one-flip crash story
+  // for no benefit: resizes already rewrite every byte); the budget pass
+  // scheduled at the end demotes the new layout's cold tail again.
+  if (cold_ != nullptr)
+    for (std::uint64_t s = 0; s < old_segments; ++s) ensure_resident_locked(s);
+
   const std::vector<GatheredRun> runs = gather_runs(0, capacity_);
 
   std::uint64_t needed = extra_slots;
@@ -497,6 +515,14 @@ void DgapStore::resize_and_rebuild(std::uint64_t extra_slots) {
   nl.edge_array_off = alloc.alloc(new_cap * sizeof(Slot), 4096);
   nl.elog_region_off =
       alloc.alloc(new_segs * new_elog_entries * sizeof(ElogEntry), 4096);
+  // All-resident residency map for the new layout, durable BEFORE the root
+  // flip: a crash on either side of the flip sees a layout whose residency
+  // words agree with where its bytes live (everything promoted above).
+  nl.residency_off = alloc.alloc(new_segs * sizeof(std::uint64_t), 64);
+  std::memset(pool_.at<char>(nl.residency_off), 0,
+              new_segs * sizeof(std::uint64_t));
+  pool_.persist(pool_.at<char>(nl.residency_off),
+                new_segs * sizeof(std::uint64_t));
 
   // Build the new image: weighted layout over the whole new array, edge
   // logs drained into the runs, fresh (zero) logs.
@@ -576,6 +602,9 @@ void DgapStore::resize_and_rebuild(std::uint64_t extra_slots) {
 
   unlock_sections_upto(old_segments);
   global_mu_.unlock();
+  // The promote-all above may have blown the resident budget: queue an async
+  // demotion pass (it waits for our caller's rebalance_mu_ before running).
+  cold_maybe_schedule_enforce();
 }
 
 }  // namespace dgap::core

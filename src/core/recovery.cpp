@@ -51,6 +51,20 @@ void DgapStore::recover(bool crashed) {
   adopt_layout(*pool_.at<DgapLayout>(root_->layout_off));
   tree_ = std::make_unique<pma::SegmentTree>(num_segments_, seg_slots_,
                                              opts_.density);
+  // Attach the cold tier BEFORE any path that reads edge-array bytes: the
+  // persisted residency map is replayed here (cold sections validate their
+  // file image + generation, torn demotions read as still-resident), and
+  // the scan below then sources cold sections from the file. With the tier
+  // off, a residency map holding cold sections is unreadable data — the
+  // scan would see punched zeros — so refuse early with a clear error.
+  cold_attach();
+  if (cold_ == nullptr && residency_ != nullptr) {
+    for (std::uint64_t s = 0; s < num_segments_; ++s)
+      if (residency_is_cold(cold_residency_word(s)))
+        throw std::runtime_error(
+            "pool has sections demoted to the SSD cold tier; reopen with "
+            "the cold tier enabled");
+  }
   const std::uint64_t nv = root_->num_vertices;
   entries_.reset(std::max<std::size_t>(static_cast<std::size_t>(nv) * 2, 32));
   num_vertices_.store(nv, std::memory_order_release);
@@ -212,22 +226,27 @@ void DgapStore::rebuild_volatile_from_scan() {
   // pivot element is "-vertex-id", negative and illegal as a destination).
   NodeId cur = kInvalidNode;
   NodeId max_vertex = -1;
-  for (std::uint64_t pos = 0; pos < capacity_; ++pos) {
-    const Slot s = slots_[pos];
-    if (is_gap(s)) continue;
-    tree_->add(sec_of(pos), +1);
-    if (is_pivot(s)) {
-      const NodeId v = pivot_vertex(s);
-      if (static_cast<std::size_t>(v) >= entries_.size())
-        entries_.ensure(ceil_pow2(static_cast<std::uint64_t>(v) + 1) * 2);
-      entries_[v] = VertexEntry{pos, 0, 0, 0, 0};
-      cur = v;
-      max_vertex = std::max(max_vertex, v);
-    } else {
-      if (cur == kInvalidNode)
-        throw std::runtime_error("DGAP recovery: edge before any pivot");
-      entries_[cur].arr_count += 1;
-      if (edge_tombstone(s)) entries_[cur].has_tombstone = 1;
+  std::vector<Slot> scan_buf;  // cold sections come from the backing file
+  for (std::uint64_t seg = 0; seg < num_segments_; ++seg) {
+    const Slot* sec_slots = section_for_scan(seg, scan_buf);
+    for (std::uint64_t i = 0; i < seg_slots_; ++i) {
+      const std::uint64_t pos = (seg << seg_shift_) + i;
+      const Slot s = sec_slots[i];
+      if (is_gap(s)) continue;
+      tree_->add(seg, +1);
+      if (is_pivot(s)) {
+        const NodeId v = pivot_vertex(s);
+        if (static_cast<std::size_t>(v) >= entries_.size())
+          entries_.ensure(ceil_pow2(static_cast<std::uint64_t>(v) + 1) * 2);
+        entries_[v] = VertexEntry{pos, 0, 0, 0, 0};
+        cur = v;
+        max_vertex = std::max(max_vertex, v);
+      } else {
+        if (cur == kInvalidNode)
+          throw std::runtime_error("DGAP recovery: edge before any pivot");
+        entries_[cur].arr_count += 1;
+        if (edge_tombstone(s)) entries_[cur].has_tombstone = 1;
+      }
     }
   }
 

@@ -44,6 +44,7 @@
 #include "src/core/encoding.hpp"
 #include "src/graph/types.hpp"
 #include "src/sched/parallel.hpp"
+#include "src/sched/parallel_sort.hpp"
 
 namespace dgap::core {
 
@@ -211,10 +212,33 @@ class SnapshotCsr {
   }
 
   // Materialize any GraphView-shaped source (a Snapshot, a ShardedSnapshot)
-  // into a compact CSR. Two sweeps: count emitted neighbors, prefix-sum,
-  // fill — both parallel across vertices.
+  // into a compact CSR. Two strategies, identical output (asserted in
+  // snapshot_csr tests):
+  //
+  //  * Two-sweep (small cuts / single thread): count emitted neighbors,
+  //    prefix-sum, fill — walks for_each_out(v) TWICE per vertex.
+  //  * Single-pass gather (large cuts): each participant drains vertex
+  //    blocks once, appending (v, seq, dst) records to a thread-local
+  //    buffer; the concatenated records are sched::parallel_sort-ed by
+  //    (v, seq) — the CSR's exact layout order — and the dst column is the
+  //    neighbor array. One for_each_out walk per vertex instead of two,
+  //    which matters once the walk misses DRAM: with the SSD cold tier on,
+  //    each walk of a cold section is an io_uring read, and the two-sweep
+  //    build paid it twice.
   template <typename View>
   static SnapshotCsr build(const View& view) {
+    const NodeId n = view.num_nodes();
+    if (n < kGatherBuildMinVertices || par::max_threads() == 1)
+      return build_two_sweep(view);
+    return build_gather(view);
+  }
+
+  // Below this vertex count the record buffers + sort cost more than the
+  // second for_each_out sweep.
+  static constexpr NodeId kGatherBuildMinVertices = 1 << 14;
+
+  template <typename View>
+  static SnapshotCsr build_two_sweep(const View& view) {
     SnapshotCsr csr;
     const NodeId n = view.num_nodes();
     csr.n_ = n;
@@ -245,6 +269,74 @@ class SnapshotCsr {
         view.for_each_out(v, [&](NodeId d) { csr.nbrs_[at++] = d; });
       }
     });
+    return csr;
+  }
+
+  template <typename View>
+  static SnapshotCsr build_gather(const View& view) {
+    // (v, seq) is the CSR layout order; seq fits u32 because per-vertex
+    // degrees are u32 in the vertex table.
+    struct Rec {
+      NodeId v;
+      std::uint32_t seq;
+      NodeId dst;
+    };
+    SnapshotCsr csr;
+    const NodeId n = view.num_nodes();
+    csr.n_ = n;
+    csr.slot_degree_.resize(static_cast<std::size_t>(n));
+    csr.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+    const int k =
+        std::max(1, std::min<int>(par::max_threads(),
+                                  static_cast<int>((n + 1023) / 1024)));
+    std::vector<std::vector<Rec>> bufs(static_cast<std::size_t>(k));
+    std::vector<std::uint64_t> slot_parts(static_cast<std::size_t>(k), 0);
+    par::BlockSource src(n, 1024);
+    par::team(k, [&](int tid, int) {
+      auto& buf = bufs[static_cast<std::size_t>(tid)];
+      std::uint64_t slots = 0;
+      std::int64_t b = 0;
+      std::int64_t e = 0;
+      while (src.next(b, e)) {
+        for (NodeId v = b; v < e; ++v) {
+          const std::int64_t d = view.out_degree(v);
+          csr.slot_degree_[v] = static_cast<std::uint32_t>(d);
+          slots += static_cast<std::uint64_t>(d);
+          std::uint32_t seq = 0;
+          view.for_each_out(v, [&](NodeId dst) {
+            buf.push_back(Rec{v, seq++, dst});
+          });
+          csr.offsets_[static_cast<std::size_t>(v) + 1] = seq;
+        }
+        par::assist_point();
+      }
+      slot_parts[static_cast<std::size_t>(tid)] = slots;
+    });
+    for (std::uint64_t p : slot_parts) csr.total_slots_ += p;
+    for (NodeId v = 0; v < n; ++v)
+      csr.offsets_[static_cast<std::size_t>(v) + 1] +=
+          csr.offsets_[static_cast<std::size_t>(v)];
+    const std::uint64_t emitted = csr.offsets_[static_cast<std::size_t>(n)];
+    std::vector<Rec> recs;
+    recs.reserve(emitted);
+    for (auto& buf : bufs) {
+      recs.insert(recs.end(), buf.begin(), buf.end());
+      buf.clear();
+      buf.shrink_to_fit();
+    }
+    sched::parallel_sort(recs.begin(), recs.end(),
+                         [](const Rec& a, const Rec& b) {
+                           return a.v != b.v ? a.v < b.v : a.seq < b.seq;
+                         });
+    // Sorted record i IS global position i: the sort key is the layout
+    // order and every (v, seq) is unique.
+    csr.nbrs_.resize(emitted);
+    par::for_blocks(static_cast<std::int64_t>(emitted), 1 << 16,
+                    [&](std::int64_t b, std::int64_t e) {
+                      for (std::int64_t i = b; i < e; ++i)
+                        csr.nbrs_[static_cast<std::size_t>(i)] =
+                            recs[static_cast<std::size_t>(i)].dst;
+                    });
     return csr;
   }
 

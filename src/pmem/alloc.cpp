@@ -43,7 +43,7 @@ std::uint64_t PmemAllocator::alloc(std::uint64_t size, std::uint64_t align) {
   // Blocks with a size class are rounded up so free() can recycle them.
   const std::uint64_t alloc_size = cls >= 0 ? class_size(cls) : size;
   const std::uint64_t off = round_up(h->alloc_bump, align);
-  if (off + alloc_size > pool_.size()) throw std::bad_alloc();
+  if (off + alloc_size > pool_.size()) throw PoolCapacityError{};
   h->alloc_bump = off + alloc_size;
   pool_.persist(&h->alloc_bump, sizeof(h->alloc_bump));
   return off;

@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <new>
 #include <vector>
 
 #include "src/common/platform.hpp"
@@ -21,6 +22,17 @@
 namespace dgap::pmem {
 
 class PmemPool;
+
+// Thrown when an allocation no longer fits the pool's fixed size. Derives
+// from std::bad_alloc (existing catch sites keep working) but carries an
+// actionable message instead of the default "std::bad_alloc".
+class PoolCapacityError : public std::bad_alloc {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "pmem pool capacity exceeded: the graph no longer fits the pool; "
+           "grow --pool-mb or enable the SSD cold tier (--cold-tier)";
+  }
+};
 
 class PmemAllocator {
  public:

@@ -50,6 +50,7 @@ void PmemPool::map(const PoolOptions& opts, bool create_new) {
   size_ = round_up(opts.size, 4096);
   shadow_ = opts.shadow;
   anonymous_ = opts.path.empty();
+  path_ = opts.path;
 
   if (anonymous_) {
     durable_ = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
@@ -203,6 +204,34 @@ void PmemPool::mark_clean_shutdown() {
 
 bool PmemPool::was_clean_shutdown() const {
   return header()->normal_shutdown != 0;
+}
+
+void PmemPool::release_physical(std::uint64_t off, std::uint64_t len) {
+  if (len == 0) return;
+  const std::uint64_t pg_lo = round_up(off, 4096);
+  const std::uint64_t pg_hi = ((off + len) / 4096) * 4096;
+  if (!shadow_ && pg_hi > pg_lo && pg_hi <= size_) {
+    const std::size_t n = static_cast<std::size_t>(pg_hi - pg_lo);
+    if (anonymous_) {
+      ::madvise(static_cast<char*>(durable_) + pg_lo, n, MADV_DONTNEED);
+    } else {
+#ifdef FALLOC_FL_PUNCH_HOLE
+      ::fallocate(fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                  static_cast<off_t>(pg_lo), static_cast<off_t>(n));
+#endif
+    }
+  }
+  punched_.fetch_add(len, std::memory_order_relaxed);
+}
+
+void PmemPool::reclaim_physical(std::uint64_t, std::uint64_t len) {
+  punched_.fetch_sub(len, std::memory_order_relaxed);
+}
+
+std::uint64_t PmemPool::resident_bytes() const {
+  const std::uint64_t used = header()->alloc_bump;
+  const std::uint64_t p = punched_.load(std::memory_order_relaxed);
+  return used > p ? used - p : 0;
 }
 
 void PmemPool::set_root(std::uint64_t off) {

@@ -15,6 +15,7 @@
 // amplification and emulates Optane's asymmetric write cost.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <memory>
@@ -45,6 +46,29 @@ class PmemPool {
 
   [[nodiscard]] void* base() const { return front_; }
   [[nodiscard]] std::uint64_t size() const { return size_; }
+  // Backing file path ("" for anonymous pools).
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool anonymous() const { return anonymous_; }
+
+  // --- physical space accounting (SSD cold tier) ---------------------------
+  // Return the physical pages backing [off, off+len) to the OS. The range is
+  // rounded *inward* to whole 4 KiB pages; file-backed pools punch a hole
+  // (FALLOC_FL_PUNCH_HOLE, the file stays the same length), anonymous pools
+  // MADV_DONTNEED — both read back as zeros. Shadow pools only account: the
+  // front/durable buffers keep their bytes so the crash-simulation contract
+  // is unaffected (callers only release ranges whose logical content lives
+  // in another tier). The full `len` is charged to the punched counter
+  // either way so resident_bytes() matches the caller's budget math even
+  // for sub-page tails. Best-effort: a failed punch still accounts.
+  void release_physical(std::uint64_t off, std::uint64_t len);
+  // Undo the accounting for a released range that is about to be rewritten
+  // (promotion); the pages fault back in on the first store.
+  void reclaim_physical(std::uint64_t off, std::uint64_t len);
+  // Bytes the pool is believed to keep resident: the allocator bump minus
+  // released ranges. An estimate (virtual pages count from allocation, not
+  // first touch), but it moves exactly with release/reclaim pairs, which is
+  // what the cold tier's budget enforcement needs.
+  [[nodiscard]] std::uint64_t resident_bytes() const;
 
   // Offset <-> pointer translation. Offset 0 is the pool header and is never
   // handed out by the allocator, so 0 doubles as a "null" offset.
@@ -124,6 +148,8 @@ class PmemPool {
   void* front_ = nullptr;    // what clients read/write
   void* durable_ = nullptr;  // mmap backing (== front_ unless shadow mode)
   std::uint64_t size_ = 0;
+  std::string path_;
+  std::atomic<std::uint64_t> punched_{0};  // released-but-allocated bytes
   bool shadow_ = false;
   bool anonymous_ = false;
   int fd_ = -1;

@@ -1,0 +1,70 @@
+// sched::parallel_sort — bulk stable sort on the work-stealing scheduler,
+// bit-identical to std::stable_sort.
+//
+// Shape: classic block merge sort. The range is cut into P power-of-two
+// aligned blocks whose boundaries depend on (n, grain) ONLY — never on the
+// participant count or claim order. Each block is std::stable_sort-ed in
+// parallel, then log2(P) rounds of pairwise std::inplace_merge zip
+// neighbors, each round's merges again running in parallel. Both phases
+// are stable and the merge tree is fixed, so the output is THE stable
+// order — element-for-element identical to a serial std::stable_sort with
+// the same comparator, regardless of thread count, scheduler timing, or
+// par:: execution mode. That identity is what lets SnapshotCsr::build use
+// it for the gather path while keeping the "kernels are bit-identical on
+// either view" contract, and it is asserted directly by
+// parallel_sort_test.
+//
+// Runs on whatever par::team dispatches to (TaskScheduler workers in sched
+// mode, an OpenMP region in omp builds) and respects the kernel
+// thread-count knob; single-thread or small inputs short-circuit to plain
+// std::stable_sort.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <iterator>
+
+#include "src/sched/parallel.hpp"
+
+namespace dgap::sched {
+
+// Below this many elements per block the fork/join overhead beats the
+// sort; also the floor block length for boundary computation.
+inline constexpr std::int64_t kParallelSortGrain = 1 << 14;
+
+template <class It, class Comp = std::less<
+                        typename std::iterator_traits<It>::value_type>>
+void parallel_sort(It first, It last, Comp comp = Comp{}) {
+  const std::int64_t n = static_cast<std::int64_t>(last - first);
+  if (n <= 2 * kParallelSortGrain || par::max_threads() == 1) {
+    std::stable_sort(first, last, comp);
+    return;
+  }
+  // Power-of-two block count so every merge round pairs exact neighbors;
+  // block length derives from (n, grain) alone (see file comment).
+  const std::uint64_t want =
+      static_cast<std::uint64_t>((n + kParallelSortGrain - 1) /
+                                 kParallelSortGrain);
+  const std::int64_t nb = static_cast<std::int64_t>(std::bit_ceil(want));
+  const std::int64_t block = (n + nb - 1) / nb;
+
+  par::for_blocks(n, block, [&](std::int64_t b, std::int64_t e) {
+    std::stable_sort(first + b, first + e, comp);
+  });
+
+  for (std::int64_t width = block; width < n; width *= 2) {
+    const std::int64_t pairs = (n + 2 * width - 1) / (2 * width);
+    par::for_blocks(pairs, 1, [&](std::int64_t pb, std::int64_t pe) {
+      for (std::int64_t p = pb; p < pe; ++p) {
+        const std::int64_t s = p * 2 * width;
+        const std::int64_t m = std::min(s + width, n);
+        const std::int64_t e2 = std::min(s + 2 * width, n);
+        if (m < e2) std::inplace_merge(first + s, first + m, first + e2, comp);
+      }
+    });
+  }
+}
+
+}  // namespace dgap::sched

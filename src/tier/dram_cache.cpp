@@ -470,6 +470,7 @@ void SectionCache::register_metrics(const std::string& prefix) {
   gauge("evictions", evictions_);
   gauge("populates", populates_);
   gauge("admit_rejects", admit_rejects_);
+  gauge("stream_bypasses", stream_bypasses_);
   gauge("write_updates", write_updates_);
   gauge("invalidations", invalidations_);
   metric_handles_.push_back(reg.add_gauge(
@@ -487,6 +488,7 @@ CacheStats SectionCache::stats() const {
   s.evictions = evictions_.load();
   s.populates = populates_.load();
   s.admit_rejects = admit_rejects_.load();
+  s.stream_bypasses = stream_bypasses_.load();
   s.write_updates = write_updates_.load();
   s.invalidations = invalidations_.load();
   s.capacity_bytes = budget_bytes_;

@@ -56,6 +56,9 @@ struct CacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t populates = 0;      // frames filled from pmem
   std::uint64_t admit_rejects = 0;  // misses the placement policy bypassed
+  std::uint64_t stream_bypasses = 0;  // misses served without admission
+                                      // because a StreamingReadScope
+                                      // (tier/streaming.hpp) was live
   std::uint64_t write_updates = 0;  // write-through slot updates applied
   std::uint64_t invalidations = 0;  // frames dropped by structural ops
   std::uint64_t capacity_bytes = 0;
@@ -74,6 +77,7 @@ struct CacheStats {
     evictions += o.evictions;
     populates += o.populates;
     admit_rejects += o.admit_rejects;
+    stream_bypasses += o.stream_bypasses;
     write_updates += o.write_updates;
     invalidations += o.invalidations;
     capacity_bytes += o.capacity_bytes;
@@ -113,6 +117,24 @@ class SectionCache {
   // Placement decision for a miss: false when the section's churn EWMA
   // dominates its read EWMA (write-hot section — caching it would thrash).
   [[nodiscard]] bool should_admit(std::uint64_t sec);
+
+  // A miss was served without admission because the reader declared itself
+  // streaming (tier/streaming.hpp): count it, nothing else — notably the
+  // read EWMA already ticked in acquire(), so a later non-streaming reader
+  // still sees the section as read-warm.
+  void note_stream_bypass() { stream_bypasses_.add(1); }
+
+  // Cold-tier promotion hook: a just-promoted section is hot by definition
+  // (an access triggered the promotion), so the owner offers its fresh pmem
+  // image for admission without waiting for a second miss. Same contract as
+  // populate() — caller holds the section's writer lock — but the admission
+  // veto still applies and the returned pin is dropped internally.
+  void admit_promoted(std::uint64_t sec, const core::Slot* src) {
+    if (!active()) return;
+    if (!should_admit(sec)) return;
+    const Pin p = populate(sec, src);
+    if (p) release(p);
+  }
 
   // Fill a frame with the section's pmem image (`src` = slot 0). Caller
   // MUST hold the section's writer lock across the call. Returns a pinned
@@ -225,6 +247,7 @@ class SectionCache {
   mutable StatCell<std::uint64_t> evictions_;
   mutable StatCell<std::uint64_t> populates_;
   mutable StatCell<std::uint64_t> admit_rejects_;
+  mutable StatCell<std::uint64_t> stream_bypasses_;
   mutable StatCell<std::uint64_t> write_updates_;
   mutable StatCell<std::uint64_t> invalidations_;
 

@@ -1,0 +1,48 @@
+// Streaming-read declaration for single-pass kernels (the fig8 story).
+//
+// The DRAM SectionCache's admission EWMAs cannot distinguish "this section
+// will be revisited hundreds of times" (PageRank, CC — populate pays for
+// itself many times over) from "this BFS touches each section two or three
+// times and never again" — by the time the EWMA knows, the populate cost is
+// already spent, which is why single-pass BFS/BC sat at breakeven after
+// PR 6. The kernel, however, knows up front. A StreamingReadScope is that
+// declaration: while any scope is live, cache MISSES on the frozen read
+// path skip admission/populate entirely and serve the latency-charged pmem
+// (or cold-tier file) read directly; HITS are still served from the frame.
+//
+// Process-wide atomic depth, not thread_local: kernels fan out across
+// par::/TaskScheduler workers, and a thread-local flag set on the calling
+// thread would not propagate to them. The scope is held around whole kernel
+// executions (seconds), so one relaxed load per cache miss is the only
+// hot-path cost, and nesting/overlap from concurrent kernels composes as a
+// simple counter.
+#pragma once
+
+#include <atomic>
+
+namespace dgap::tier {
+
+namespace detail {
+inline std::atomic<int>& streaming_depth() {
+  static std::atomic<int> depth{0};
+  return depth;
+}
+}  // namespace detail
+
+[[nodiscard]] inline bool streaming_reads_active() {
+  return detail::streaming_depth().load(std::memory_order_relaxed) > 0;
+}
+
+class StreamingReadScope {
+ public:
+  StreamingReadScope() {
+    detail::streaming_depth().fetch_add(1, std::memory_order_relaxed);
+  }
+  ~StreamingReadScope() {
+    detail::streaming_depth().fetch_sub(1, std::memory_order_relaxed);
+  }
+  StreamingReadScope(const StreamingReadScope&) = delete;
+  StreamingReadScope& operator=(const StreamingReadScope&) = delete;
+};
+
+}  // namespace dgap::tier

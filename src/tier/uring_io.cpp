@@ -1,0 +1,336 @@
+#include "src/tier/uring_io.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#if defined(__NR_io_uring_setup) && defined(__NR_io_uring_enter) && \
+    defined(__NR_io_uring_register)
+#define DGAP_HAVE_URING 1
+#endif
+#endif
+
+namespace dgap::tier {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what, int err) {
+  throw std::runtime_error(std::string("uring_io: ") + what + ": " +
+                           std::strerror(err));
+}
+
+// One SQE per chunk of this size (rounded so a section image of a few MB
+// fans out across the queue instead of landing as one giant transfer).
+constexpr std::size_t kMinChunk = 64 * 1024;
+
+}  // namespace
+
+#ifdef DGAP_HAVE_URING
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags,
+              nullptr, 0));
+}
+int sys_io_uring_register(int fd, unsigned opcode, const void* arg,
+                          unsigned nr_args) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+}  // namespace
+
+struct UringIo::Ring {
+  // SQ ring mapping
+  void* sq_map = nullptr;
+  std::size_t sq_map_len = 0;
+  std::atomic<unsigned>* sq_head = nullptr;
+  std::atomic<unsigned>* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned* sq_array = nullptr;
+  // SQE array mapping
+  io_uring_sqe* sqes = nullptr;
+  std::size_t sqes_map_len = 0;
+  // CQ ring mapping
+  void* cq_map = nullptr;
+  std::size_t cq_map_len = 0;
+  std::atomic<unsigned>* cq_head = nullptr;
+  std::atomic<unsigned>* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+  unsigned entries = 0;  // actual SQ size the kernel granted
+};
+
+bool UringIo::kernel_supported() {
+  static const bool ok = [] {
+    io_uring_params p{};
+    const int fd = sys_io_uring_setup(1, &p);
+    if (fd < 0) return false;
+    close(fd);
+    return true;
+  }();
+  return ok;
+}
+
+UringIo::UringIo(int fd, unsigned depth, bool force_fallback) : fd_(fd) {
+  depth_ = depth == 0 ? 1 : (depth > kMaxDepth ? kMaxDepth : depth);
+  if (force_fallback || !kernel_supported()) return;
+
+  io_uring_params p{};
+  const int rfd = sys_io_uring_setup(depth_, &p);
+  if (rfd < 0) return;  // degraded environment: stay on the fallback
+
+  auto ring = new Ring();
+  ring->entries = p.sq_entries;
+  ring->sq_map_len = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  ring->cq_map_len = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  ring->sqes_map_len = p.sq_entries * sizeof(io_uring_sqe);
+
+  ring->sq_map = mmap(nullptr, ring->sq_map_len, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, rfd, IORING_OFF_SQ_RING);
+  ring->cq_map = mmap(nullptr, ring->cq_map_len, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, rfd, IORING_OFF_CQ_RING);
+  void* sqes = mmap(nullptr, ring->sqes_map_len, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, rfd, IORING_OFF_SQES);
+  if (ring->sq_map == MAP_FAILED || ring->cq_map == MAP_FAILED ||
+      sqes == MAP_FAILED) {
+    if (ring->sq_map != MAP_FAILED) munmap(ring->sq_map, ring->sq_map_len);
+    if (ring->cq_map != MAP_FAILED) munmap(ring->cq_map, ring->cq_map_len);
+    if (sqes != MAP_FAILED) munmap(sqes, ring->sqes_map_len);
+    close(rfd);
+    delete ring;
+    return;
+  }
+  auto* sqb = static_cast<char*>(ring->sq_map);
+  ring->sq_head =
+      reinterpret_cast<std::atomic<unsigned>*>(sqb + p.sq_off.head);
+  ring->sq_tail =
+      reinterpret_cast<std::atomic<unsigned>*>(sqb + p.sq_off.tail);
+  ring->sq_mask = *reinterpret_cast<unsigned*>(sqb + p.sq_off.ring_mask);
+  ring->sq_array = reinterpret_cast<unsigned*>(sqb + p.sq_off.array);
+  ring->sqes = static_cast<io_uring_sqe*>(sqes);
+  auto* cqb = static_cast<char*>(ring->cq_map);
+  ring->cq_head =
+      reinterpret_cast<std::atomic<unsigned>*>(cqb + p.cq_off.head);
+  ring->cq_tail =
+      reinterpret_cast<std::atomic<unsigned>*>(cqb + p.cq_off.tail);
+  ring->cq_mask = *reinterpret_cast<unsigned*>(cqb + p.cq_off.ring_mask);
+  ring->cqes = reinterpret_cast<io_uring_cqe*>(cqb + p.cq_off.cqes);
+
+  ring_ = ring;
+  ring_fd_ = rfd;
+}
+
+void UringIo::teardown_ring() {
+  if (!ring_) return;
+  munmap(ring_->sqes, ring_->sqes_map_len);
+  munmap(ring_->sq_map, ring_->sq_map_len);
+  munmap(ring_->cq_map, ring_->cq_map_len);
+  close(ring_fd_);
+  delete ring_;
+  ring_ = nullptr;
+  ring_fd_ = -1;
+}
+
+UringIo::~UringIo() { teardown_ring(); }
+
+bool UringIo::register_buffer(void* base, std::size_t len) {
+  if (!using_ring() || base == nullptr || len == 0) return false;
+  std::lock_guard<std::mutex> g(mu_);
+  iovec iov{base, len};
+  if (sys_io_uring_register(ring_fd_, IORING_REGISTER_BUFFERS, &iov, 1) < 0)
+    return false;  // RLIMIT_MEMLOCK etc. — plain READ/WRITE SQEs still work
+  fixed_base_ = base;
+  fixed_len_ = len;
+  return true;
+}
+
+void UringIo::ring_io(bool is_write, std::uint64_t off, void* buf,
+                      std::size_t len) {
+  struct Seg {
+    std::uint64_t off;
+    char* ptr;
+    std::size_t len;
+  };
+  // Chunk so the transfer fans out over the queue depth.
+  std::size_t chunk = (len + depth_ - 1) / depth_;
+  chunk = ((chunk + 4095) / 4096) * 4096;
+  if (chunk < kMinChunk) chunk = kMinChunk;
+
+  std::vector<Seg> pending;
+  for (std::size_t done = 0; done < len; done += chunk) {
+    const std::size_t n = std::min(chunk, len - done);
+    pending.push_back({off + done, static_cast<char*>(buf) + done, n});
+  }
+
+  const bool fixed =
+      fixed_base_ != nullptr && buf >= fixed_base_ &&
+      static_cast<char*>(buf) + len <=
+          static_cast<char*>(fixed_base_) + fixed_len_;
+
+  std::lock_guard<std::mutex> g(mu_);
+  while (!pending.empty()) {
+    // Fill up to ring-capacity SQEs from the pending list.
+    const unsigned head = ring_->sq_head->load(std::memory_order_acquire);
+    unsigned tail = ring_->sq_tail->load(std::memory_order_relaxed);
+    unsigned room = ring_->entries - (tail - head);
+    unsigned batch = 0;
+    std::vector<Seg> inflight;
+    while (room > 0 && !pending.empty()) {
+      const Seg s = pending.back();
+      pending.pop_back();
+      const unsigned idx = tail & ring_->sq_mask;
+      io_uring_sqe* sqe = &ring_->sqes[idx];
+      std::memset(sqe, 0, sizeof(*sqe));
+      if (fixed) {
+        sqe->opcode = is_write ? IORING_OP_WRITE_FIXED : IORING_OP_READ_FIXED;
+        sqe->buf_index = 0;
+      } else {
+        sqe->opcode = is_write ? IORING_OP_WRITE : IORING_OP_READ;
+      }
+      sqe->fd = fd_;
+      sqe->off = s.off;
+      sqe->addr = reinterpret_cast<std::uint64_t>(s.ptr);
+      sqe->len = static_cast<unsigned>(s.len);
+      sqe->user_data = inflight.size();
+      inflight.push_back(s);
+      ring_->sq_array[idx] = idx;
+      ++tail;
+      --room;
+      ++batch;
+    }
+    ring_->sq_tail->store(tail, std::memory_order_release);
+
+    const int rc =
+        sys_io_uring_enter(ring_fd_, batch, batch, IORING_ENTER_GETEVENTS);
+    if (rc < 0) throw_errno("io_uring_enter", errno);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+
+    // Drain exactly `batch` completions (the ring is private to this call
+    // while mu_ is held, so every CQE belongs to this batch).
+    unsigned drained = 0;
+    while (drained < batch) {
+      unsigned chead = ring_->cq_head->load(std::memory_order_relaxed);
+      const unsigned ctail = ring_->cq_tail->load(std::memory_order_acquire);
+      if (chead == ctail) {
+        const int wrc = sys_io_uring_enter(ring_fd_, 0, 1,
+                                           IORING_ENTER_GETEVENTS);
+        if (wrc < 0 && errno != EINTR) throw_errno("io_uring_enter", errno);
+        continue;
+      }
+      while (chead != ctail && drained < batch) {
+        const io_uring_cqe* cqe = &ring_->cqes[chead & ring_->cq_mask];
+        const Seg s = inflight[static_cast<std::size_t>(cqe->user_data)];
+        if (cqe->res < 0) {
+          ring_->cq_head->store(chead + 1, std::memory_order_release);
+          throw_errno(is_write ? "write sqe" : "read sqe", -cqe->res);
+        }
+        const auto moved = static_cast<std::size_t>(cqe->res);
+        if (moved < s.len) {
+          if (moved == 0 && !is_write)
+            throw_errno("short read (eof)", EIO);
+          // Short transfer: requeue the remainder.
+          pending.push_back({s.off + moved, s.ptr + moved, s.len - moved});
+        }
+        (is_write ? ring_writes_ : ring_reads_)
+            .fetch_add(1, std::memory_order_relaxed);
+        if (fixed) fixed_ops_.fetch_add(1, std::memory_order_relaxed);
+        ++chead;
+        ++drained;
+      }
+      ring_->cq_head->store(chead, std::memory_order_release);
+    }
+  }
+}
+
+#else  // !DGAP_HAVE_URING
+
+struct UringIo::Ring {};
+
+bool UringIo::kernel_supported() { return false; }
+
+UringIo::UringIo(int fd, unsigned depth, bool) : fd_(fd) {
+  depth_ = depth == 0 ? 1 : (depth > kMaxDepth ? kMaxDepth : depth);
+}
+
+UringIo::~UringIo() = default;
+
+void UringIo::teardown_ring() {}
+
+bool UringIo::register_buffer(void*, std::size_t) { return false; }
+
+void UringIo::ring_io(bool, std::uint64_t, void*, std::size_t) {
+  throw_errno("ring unavailable", ENOSYS);
+}
+
+#endif  // DGAP_HAVE_URING
+
+void UringIo::fallback_io(bool is_write, std::uint64_t off, void* buf,
+                          std::size_t len) {
+  char* p = static_cast<char*>(buf);
+  std::size_t left = len;
+  std::uint64_t at = off;
+  while (left > 0) {
+    const ssize_t rc =
+        is_write ? pwrite(fd_, p, left, static_cast<off_t>(at))
+                 : pread(fd_, p, left, static_cast<off_t>(at));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(is_write ? "pwrite" : "pread", errno);
+    }
+    if (rc == 0) throw_errno("short io (eof)", EIO);
+    p += rc;
+    at += static_cast<std::uint64_t>(rc);
+    left -= static_cast<std::size_t>(rc);
+  }
+  (is_write ? fallback_writes_ : fallback_reads_)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void UringIo::read(std::uint64_t off, void* buf, std::size_t len) {
+  if (len == 0) return;
+  if (using_ring())
+    ring_io(false, off, buf, len);
+  else
+    fallback_io(false, off, buf, len);
+}
+
+void UringIo::write(std::uint64_t off, const void* buf, std::size_t len) {
+  if (len == 0) return;
+  if (using_ring())
+    ring_io(true, off, const_cast<void*>(buf), len);
+  else
+    fallback_io(true, off, const_cast<void*>(buf), len);
+}
+
+void UringIo::datasync() {
+  if (::fdatasync(fd_) != 0) throw_errno("fdatasync", errno);
+}
+
+UringStats UringIo::stats() const {
+  UringStats s;
+  s.ring_reads = ring_reads_.load(std::memory_order_relaxed);
+  s.ring_writes = ring_writes_.load(std::memory_order_relaxed);
+  s.fixed_ops = fixed_ops_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.fallback_reads = fallback_reads_.load(std::memory_order_relaxed);
+  s.fallback_writes = fallback_writes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dgap::tier

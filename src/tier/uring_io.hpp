@@ -1,0 +1,90 @@
+// UringIo: minimal io_uring submission/completion wrapper for the SSD cold
+// tier. One ring per file, bulk positional reads/writes split into batched
+// SQEs (up to the configured queue depth per io_uring_enter), an optional
+// registered fixed buffer for the demote/promote bounce path, and runtime
+// feature detection with a pread/pwrite fallback so the build and tests
+// work on kernels or containers without io_uring (or with it seccomp'd
+// away). The wrapper is deliberately synchronous at the call boundary —
+// callers hand it a whole section image and get completion-or-throw; the
+// asynchrony the cold tier needs lives above it on the TaskScheduler.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace dgap::tier {
+
+struct UringStats {
+  std::uint64_t ring_reads = 0;    // SQEs completed as IORING_OP_READ*
+  std::uint64_t ring_writes = 0;   // SQEs completed as IORING_OP_WRITE*
+  std::uint64_t fixed_ops = 0;     // of those, via the registered buffer
+  std::uint64_t batches = 0;       // io_uring_enter calls
+  std::uint64_t fallback_reads = 0;
+  std::uint64_t fallback_writes = 0;
+};
+
+class UringIo {
+ public:
+  static constexpr unsigned kMaxDepth = 4096;
+
+  // fd is borrowed (caller owns/closes it). depth is the SQ size; values
+  // are clamped to [1, kMaxDepth]. force_fallback skips ring setup
+  // entirely and routes every call through pread/pwrite — the
+  // deterministic path for --cold-tier-pread and for CI coverage.
+  UringIo(int fd, unsigned depth, bool force_fallback);
+  ~UringIo();
+  UringIo(const UringIo&) = delete;
+  UringIo& operator=(const UringIo&) = delete;
+
+  // True when this kernel accepts io_uring_setup (probed once, cached).
+  static bool kernel_supported();
+
+  [[nodiscard]] bool using_ring() const { return ring_fd_ >= 0; }
+  [[nodiscard]] const char* backend() const {
+    return using_ring() ? "io_uring" : "pread";
+  }
+
+  // Best-effort: register [base, base+len) as fixed buffer 0 so I/O that
+  // stays inside it uses IORING_OP_{READ,WRITE}_FIXED. Registration can
+  // fail (RLIMIT_MEMLOCK, old kernel); that silently degrades to plain
+  // READ/WRITE SQEs. Returns whether the buffer is registered.
+  bool register_buffer(void* base, std::size_t len);
+
+  // Bulk positional I/O. Splits the range into up-to-`depth` SQEs per
+  // batch and waits for all completions; short transfers are resubmitted.
+  // Throws std::runtime_error on I/O error. Thread-safe (ring ops are
+  // serialized internally; the fallback uses positional syscalls).
+  void read(std::uint64_t off, void* buf, std::size_t len);
+  void write(std::uint64_t off, const void* buf, std::size_t len);
+  // Durability barrier for previously completed writes.
+  void datasync();
+
+  [[nodiscard]] UringStats stats() const;
+
+ private:
+  struct Ring;
+
+  void ring_io(bool is_write, std::uint64_t off, void* buf, std::size_t len);
+  void fallback_io(bool is_write, std::uint64_t off, void* buf,
+                   std::size_t len);
+  void teardown_ring();
+
+  int fd_ = -1;
+  int ring_fd_ = -1;
+  unsigned depth_ = 1;
+  Ring* ring_ = nullptr;     // mmap'd SQ/CQ state; null in fallback mode
+  void* fixed_base_ = nullptr;
+  std::size_t fixed_len_ = 0;
+  mutable std::mutex mu_;    // serializes ring submission/completion
+
+  std::atomic<std::uint64_t> ring_reads_{0};
+  std::atomic<std::uint64_t> ring_writes_{0};
+  std::atomic<std::uint64_t> fixed_ops_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> fallback_reads_{0};
+  std::atomic<std::uint64_t> fallback_writes_{0};
+};
+
+}  // namespace dgap::tier

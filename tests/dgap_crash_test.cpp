@@ -12,10 +12,13 @@
 // merges, multi-chunk run moves and array resizes, so every state of the
 // undo-log protocol gets interrupted somewhere in the sweep.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <span>
+#include <string>
 
 #include "src/core/dgap_store.hpp"
 #include "src/core/sharded_store.hpp"
@@ -280,6 +283,99 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<AblationCrashParam>& info) {
       return info.param.name;
     });
+
+// --- cold-tier crash consistency --------------------------------------------
+//
+// The SSD cold tier's commit point is the persisted residency-word flip
+// (cold_ops.cpp). Sweeping crashes across a workload that interleaves
+// inserts with forced demote-all passes interrupts every phase of the
+// protocol: mid-file-write (word still resident, pmem authoritative —
+// the torn image is ignored), between word-persist and page release, and
+// mid-promotion (word still cold, the durable file image re-serves). After
+// recovery the acknowledged prefix must be intact and every still-cold
+// section must serve from its file image.
+class ColdTierCrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColdTierCrashSweep, RecoversResidencyAndAcknowledgedPrefix) {
+  const int band = GetParam();
+  const auto stream = symmetrize(generate_rmat(48, 1500, 909));
+  const auto& edges = stream.edges();
+  const std::string cold_path =
+      "/tmp/dgap_cold_crash_" + std::to_string(::getpid()) + "_" +
+      std::to_string(band);
+
+  DgapOptions o = crash_opts();
+  o.cold_tier = true;
+  o.cold_tier_path = cold_path;
+
+  for (int offset = 0; offset < 5; ++offset) {
+    std::filesystem::remove(cold_path);
+    const std::uint64_t crash_at =
+        static_cast<std::uint64_t>(band) * 1400 + offset * 211;
+    auto pool =
+        PmemPool::create({.path = "", .size = 8 << 20, .shadow = true});
+    auto store = DgapStore::create(*pool, o);
+    pool->arm_crash_after(crash_at);
+    CrashOutcome out;
+    try {
+      for (const Edge& e : edges) {
+        store->insert_edge(e.src, e.dst);
+        ++out.acked;
+        // Every 300 acks, shove everything demotable to the SSD so the
+        // following inserts promote it back — both protocol directions
+        // stay in the crash blast radius for the whole sweep.
+        if (out.acked % 300 == 0) store->debug_cold_demote_all();
+      }
+    } catch (const PmemPool::CrashInjected&) {
+      out.crashed = true;
+    }
+    pool->disarm_crash();
+    if (!out.crashed) {
+      std::string why;
+      ASSERT_TRUE(store->check_invariants(&why)) << why;
+      store.reset();
+      std::filesystem::remove(cold_path);
+      return;  // later bands would not crash either
+    }
+
+    AdjGraph oracle(stream.num_vertices());
+    for (std::size_t i = 0; i < out.acked; ++i)
+      oracle.add_edge(edges[i].src, edges[i].dst);
+    const Edge inflight = out.acked < edges.size()
+                              ? edges[out.acked]
+                              : Edge{kInvalidNode, kInvalidNode};
+
+    store.reset();
+    pool->simulate_crash();
+    auto recovered = DgapStore::open(*pool, o);
+
+    std::string why;
+    ASSERT_TRUE(recovered->check_invariants(&why))
+        << why << " (crash_at=" << crash_at << ")";
+    const auto extra = multiset_extra(*recovered, oracle);
+    for (const auto& [edge, count] : extra) {
+      ASSERT_GT(count, 0) << "lost edge " << edge.first << "->"
+                          << edge.second << " (crash_at=" << crash_at << ")";
+      ASSERT_EQ(count, 1) << "duplicated edge (crash_at=" << crash_at << ")";
+      ASSERT_TRUE(edge.first == inflight.src && edge.second == inflight.dst)
+          << "unexpected extra edge " << edge.first << "->" << edge.second
+          << " (crash_at=" << crash_at << ")";
+    }
+    ASSERT_LE(extra.size(), 1u) << "crash_at=" << crash_at;
+
+    // The recovered store keeps working across residency states.
+    recovered->insert_edge(1, 2);
+    recovered->debug_cold_promote_all();
+    ASSERT_TRUE(recovered->check_invariants(&why)) << why;
+    recovered.reset();
+    std::filesystem::remove(cold_path);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, ColdTierCrashSweep, ::testing::Range(0, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Band" + std::to_string(info.param);
+                         });
 
 // --- batched ingestion crash consistency ------------------------------------
 //

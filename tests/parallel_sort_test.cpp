@@ -1,0 +1,106 @@
+// sched::parallel_sort: output must be ELEMENT-FOR-ELEMENT identical to
+// std::stable_sort — including the relative order of equal keys — at every
+// size and thread count, because SnapshotCsr::build's gather path relies on
+// that identity for the "kernels are bit-identical on either view"
+// contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "src/sched/parallel_sort.hpp"
+
+namespace dgap::sched {
+namespace {
+
+// Payload carries the original index so stability violations are visible
+// even though the comparator only looks at key.
+struct Item {
+  std::uint32_t key;
+  std::uint32_t tag;
+  bool operator==(const Item&) const = default;
+};
+
+std::vector<Item> make_items(std::size_t n, std::uint32_t key_range,
+                             std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> dist(0, key_range - 1);
+  std::vector<Item> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = Item{dist(rng), static_cast<std::uint32_t>(i)};
+  return v;
+}
+
+void expect_bit_identical(std::size_t n, std::uint32_t key_range,
+                          std::uint32_t seed) {
+  const auto comp = [](const Item& a, const Item& b) {
+    return a.key < b.key;
+  };
+  std::vector<Item> serial = make_items(n, key_range, seed);
+  std::vector<Item> par = serial;
+  std::stable_sort(serial.begin(), serial.end(), comp);
+  parallel_sort(par.begin(), par.end(), comp);
+  ASSERT_EQ(par.size(), serial.size());
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(par[i].key, serial[i].key) << "key diverged at " << i;
+  // Full equality (keys AND tags) is the stability check.
+  ASSERT_TRUE(par == serial) << "stability diverged (n=" << n << ")";
+}
+
+TEST(ParallelSort, SmallInputsShortCircuit) {
+  expect_bit_identical(0, 10, 1);
+  expect_bit_identical(1, 10, 2);
+  expect_bit_identical(1000, 16, 3);
+  expect_bit_identical(static_cast<std::size_t>(2 * kParallelSortGrain), 64,
+                       4);
+}
+
+TEST(ParallelSort, LargeManyDuplicates) {
+  // Tiny key range: nearly every comparison ties, maximal stress on
+  // stability across block boundaries and merge rounds.
+  expect_bit_identical(300000, 8, 5);
+}
+
+TEST(ParallelSort, LargeWideKeys) {
+  expect_bit_identical(500000, 1u << 30, 6);
+}
+
+TEST(ParallelSort, OddSizesAroundBlockBoundaries) {
+  const auto grain = static_cast<std::size_t>(kParallelSortGrain);
+  for (const std::size_t n :
+       {2 * grain + 1, 3 * grain - 1, 5 * grain + 17, 8 * grain}) {
+    expect_bit_identical(n, 1000, static_cast<std::uint32_t>(n));
+  }
+}
+
+TEST(ParallelSort, ThreadCountDoesNotChangeOutput) {
+  for (const int k : {1, 2, 3, 8}) {
+    par::ScopedKernelThreads scoped(k);
+    expect_bit_identical(200000, 32, 7);
+  }
+}
+
+TEST(ParallelSort, AlreadySortedAndReversed) {
+  const auto comp = [](const Item& a, const Item& b) {
+    return a.key < b.key;
+  };
+  std::vector<Item> asc(300000);
+  for (std::size_t i = 0; i < asc.size(); ++i)
+    asc[i] = Item{static_cast<std::uint32_t>(i / 3),
+                  static_cast<std::uint32_t>(i)};
+  std::vector<Item> desc(asc.rbegin(), asc.rend());
+
+  for (std::vector<Item>* input : {&asc, &desc}) {
+    std::vector<Item> serial = *input;
+    std::vector<Item> par = *input;
+    std::stable_sort(serial.begin(), serial.end(), comp);
+    parallel_sort(par.begin(), par.end(), comp);
+    ASSERT_TRUE(par == serial);
+  }
+}
+
+}  // namespace
+}  // namespace dgap::sched
